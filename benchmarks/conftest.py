@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+The synthetic world is built once per session at benchmark scale (tens of
+thousands of machines).  Set ``REPRO_BENCH_SCALE=small`` to run the whole
+harness on the test-scale world instead (useful for smoke runs; the
+asserted floors are chosen to hold at either scale, while the printed
+numbers are meaningful at benchmark scale).
+"""
+
+import os
+
+import pytest
+
+from repro.synth.scenario import Scenario
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "benchmark")
+
+#: Quality floors are asserted only at benchmark scale; the small world's
+#: test sets are too tiny (a handful of C&C domains) for stable rates.
+STRICT = SCALE != "small"
+
+
+@pytest.fixture(scope="session")
+def scenario() -> Scenario:
+    if SCALE == "small":
+        return Scenario.small(seed=7)
+    return Scenario.benchmark(seed=7)
+
+
+def paper_vs_measured(title, rows):
+    """Print a paper-reported vs. measured comparison block."""
+    print(f"\n=== {title} ===")
+    width = max(len(r[0]) for r in rows)
+    for name, paper, measured in rows:
+        print(f"  {name:<{width}s}  paper: {paper:<24s}  measured: {measured}")

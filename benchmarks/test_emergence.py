@@ -1,0 +1,38 @@
+"""Family-emergence latency (operational follow-up to §IV-C).
+
+When a previously unseen malware family starts operating in the network,
+how many days does the day-by-day deployment need to flag one of its
+control domains?  Complements Fig. 8 (which shows unseen-family domains
+*can* be detected) with the time dimension.
+"""
+
+from repro.eval.emergence import family_emergence_latency
+from repro.eval.reporting import ascii_table
+
+from conftest import STRICT
+
+
+def test_family_emergence_latency(scenario, benchmark):
+    result = benchmark.pedantic(
+        family_emergence_latency,
+        kwargs={"scenario": scenario, "isp": "isp1", "n_days": 8},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.summary())
+    if result.latencies:
+        print(
+            ascii_table(
+                ["family", "latency (days)"],
+                sorted(result.latencies.items(), key=lambda kv: kv[1]),
+                title="Detection latency per emergent family",
+            )
+        )
+    if result.undetected:
+        print("undetected within window:", ", ".join(result.undetected))
+    if not STRICT:
+        return
+    assert result.n_emergent >= 1
+    assert result.detection_rate >= 0.5
+    if result.latencies:
+        assert result.mean_latency <= 6.0

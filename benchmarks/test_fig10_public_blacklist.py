@@ -1,0 +1,65 @@
+"""Fig. 10 + §IV-E — experiments with public blacklists.
+
+Paper: cross-day detection with graphs labeled exclusively from public
+C&C feeds (4,125 domains) still reaches over 94% TPs at 0.1% FPs; and
+training on the commercial blacklist while testing on public-only domains
+(53 domains) yields (TP=57%, FP=0.1%), (74%, 0.5%), (77%, 0.9%) — lower
+because of the tiny test set and public-feed noise.
+"""
+
+from repro.eval.experiments import cross_blacklist_test, fig10_public_blacklist
+from repro.eval.reporting import roc_series_table
+
+from conftest import STRICT, paper_vs_measured
+
+
+def test_fig10_public_blacklist_cross_day(scenario, benchmark):
+    experiment = benchmark.pedantic(
+        fig10_public_blacklist,
+        kwargs={"scenario": scenario, "isp": "isp2", "gap": 13},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + roc_series_table({experiment.name: experiment.roc}))
+    paper_vs_measured(
+        "Fig. 10",
+        [
+            (
+                "TP @ 0.1% FP (public labels)",
+                "> 0.94",
+                f"{experiment.roc.tpr_at(0.001):.3f}",
+            )
+        ],
+    )
+    if not STRICT:
+        return
+    assert experiment.split.n_malware >= 5
+    assert experiment.roc.tpr_at(0.005) >= 0.6
+    assert experiment.roc.auc() >= 0.9
+
+
+def test_cross_blacklist_detection(scenario, benchmark):
+    result = benchmark.pedantic(
+        cross_blacklist_test,
+        kwargs={"scenario": scenario, "isp": "isp2", "gap": 10},
+        rounds=1,
+        iterations=1,
+    )
+    points = result["operating_points"]
+    paper_vs_measured(
+        "Cross-blacklist (§IV-E)",
+        [
+            ("public-only domains in traffic", "53", str(result["n_public_only"])),
+            ("TP @ 0.1% FP", "0.57", f"{points[0.001]:.2f}"),
+            ("TP @ 0.5% FP", "0.74", f"{points[0.005]:.2f}"),
+            ("TP @ 0.9% FP", "0.77", f"{points[0.009]:.2f}"),
+        ],
+    )
+    # TPs grow (weakly) with the FP budget.
+    assert points[0.001] <= points[0.009] + 1e-9
+    if not STRICT:
+        return
+    assert result["n_public_only"] >= 5
+    # Detection is non-trivial but below the same-feed experiments — the
+    # paper's qualitative story.
+    assert points[0.009] >= 0.3

@@ -1,0 +1,57 @@
+"""Fig. 3 — distribution of malware-control domains queried per infected
+machine.
+
+Paper: during one day, about 70% of known malware-infected machines query
+more than one malware domain, and it is extremely unlikely (<~1%) that an
+infected machine queries more than twenty.
+"""
+
+from repro.eval.experiments import fig3_infection_behavior
+from repro.eval.reporting import histogram
+
+from conftest import STRICT, paper_vs_measured
+
+
+def test_fig3_infection_behavior(scenario, benchmark):
+    result = benchmark.pedantic(
+        fig3_infection_behavior,
+        kwargs={
+            "scenario": scenario,
+            "isp": "isp1",
+            "day": scenario.eval_day(0),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    values = [
+        count for count, n in result["counts"].items() for _ in range(n)
+    ]
+    print(
+        "\n"
+        + histogram(
+            values,
+            bins=[1, 2, 3, 5, 8, 13, 21, 200],
+            title="Fig. 3: malware domains queried per infected machine",
+        )
+    )
+    paper_vs_measured(
+        "Fig. 3",
+        [
+            (
+                "frac querying > 1 domain",
+                "~0.70",
+                f"{result['frac_query_more_than_one']:.2f}",
+            ),
+            (
+                "frac querying > 20 domains",
+                "~0 (extremely unlikely)",
+                f"{result['frac_query_more_than_twenty']:.3f}",
+            ),
+        ],
+    )
+    assert result["n_infected"] > 0
+    if not STRICT:
+        return
+    assert 0.4 <= result["frac_query_more_than_one"] <= 0.95
+    # Probe/scanner clients can exceed 20, but the population must not.
+    assert result["frac_query_more_than_twenty"] < 0.1

@@ -1,0 +1,55 @@
+"""Table II + Fig. 6 — cross-day and cross-network detection accuracy.
+
+Paper: three experiments (ISP1 cross-day, 13-day gap; ISP2 cross-day,
+18-day gap; ISP1->ISP2 cross-network, 15-day gap), each consistently above
+92% TPs at 0.1% FPs.  Test sets: thousands of malicious and hundreds of
+thousands of benign domains (Table II); ours are ~100x smaller.
+"""
+
+from repro.eval.experiments import fig6_cross_day_and_network
+from repro.eval.reporting import ascii_table, roc_series_table
+
+from conftest import STRICT, paper_vs_measured
+
+
+def test_fig6_cross_day_and_network(scenario, benchmark):
+    results = benchmark.pedantic(
+        fig6_cross_day_and_network,
+        kwargs={"scenario": scenario},
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        "\n"
+        + ascii_table(
+            ["experiment", "malicious", "benign"],
+            [
+                [e.name, e.split.n_malware, e.split.n_benign]
+                for e in results.values()
+            ],
+            title="Table II: cross-day and cross-network test set sizes",
+        )
+    )
+    print(
+        "\n"
+        + roc_series_table(
+            {e.name: e.roc for e in results.values()},
+            title="Fig. 6: cross-day / cross-network ROC (FPs in [0, 0.01])",
+        )
+    )
+    paper_vs_measured(
+        "Fig. 6 operating point",
+        [
+            (e.name, ">= 0.92 TP @ 0.1% FP", f"{e.roc.tpr_at(0.001):.3f}")
+            for e in results.values()
+        ],
+    )
+    if not STRICT:
+        return
+    for experiment in results.values():
+        assert experiment.split.n_malware >= 20
+        assert experiment.split.n_benign >= 500
+        # Paper: consistently above 92% TPs at 0.1% FPs; we assert a
+        # slightly looser floor to absorb synthetic-world seed variance.
+        assert experiment.roc.tpr_at(0.001) >= 0.80
+        assert experiment.roc.auc() >= 0.97

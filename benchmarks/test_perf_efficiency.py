@@ -1,0 +1,38 @@
+"""§IV-G — Segugio's efficiency.
+
+Paper (on full ISP traces: ~10M domains, ~320M edges): the learning phase
+(graph building, annotation/labeling, pruning, classifier training) takes
+about 60 minutes; measuring features for and classifying ALL unknown
+domains of a day takes only about 3 minutes.  The reproduced claims are
+(a) absolute cost stays interactive at our scale, and (b) classification
+is far cheaper than training.
+"""
+
+from repro.eval.experiments import performance_timing
+
+from conftest import paper_vs_measured
+
+
+def test_performance_timing(scenario, benchmark):
+    timing = benchmark.pedantic(
+        performance_timing,
+        kwargs={"scenario": scenario, "isp": "isp1", "n_days": 2},
+        rounds=1,
+        iterations=1,
+    )
+    print("\naverage per-phase cost (seconds):")
+    for phase, seconds in timing.items():
+        print(f"  {phase:<28s} {seconds:8.3f}")
+    ratio = timing["train_total"] / max(timing["test_total"], 1e-9)
+    paper_vs_measured(
+        "Efficiency (§IV-G)",
+        [
+            ("learning phase", "~60 min (320M-edge graph)", f"{timing['train_total']:.1f}s"),
+            ("classification phase", "~3 min", f"{timing['test_total']:.1f}s"),
+            ("train/test cost ratio", "~20x", f"{ratio:.1f}x"),
+        ],
+    )
+    assert timing["train_total"] > timing["test_total"]
+    # A full day at benchmark scale must stay within interactive bounds.
+    assert timing["train_total"] < 300
+    assert timing["test_total"] < 120

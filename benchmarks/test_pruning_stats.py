@@ -1,0 +1,30 @@
+"""§III pruning statistics.
+
+Paper: across all days, pruning with R1-R4 removed on average 26.55% of
+domain nodes, 13.85% of machine nodes, and 26.59% of edges.
+"""
+
+from repro.eval.experiments import pruning_statistics
+
+from conftest import paper_vs_measured
+
+
+def test_pruning_statistics(scenario, benchmark):
+    stats = benchmark.pedantic(
+        pruning_statistics,
+        kwargs={"scenario": scenario, "days_per_isp": 2, "gap": 7},
+        rounds=1,
+        iterations=1,
+    )
+    paper_vs_measured(
+        "Graph pruning (avg reduction)",
+        [
+            ("domain nodes", "-26.55%", f"-{stats['avg_domains_removed_pct']:.2f}%"),
+            ("machine nodes", "-13.85%", f"-{stats['avg_machines_removed_pct']:.2f}%"),
+            ("edges", "-26.59%", f"-{stats['avg_edges_removed_pct']:.2f}%"),
+        ],
+    )
+    # The conservative rules must remove a visible but bounded share.
+    assert 1 < stats["avg_domains_removed_pct"] < 70
+    assert 1 < stats["avg_machines_removed_pct"] < 70
+    assert 1 < stats["avg_edges_removed_pct"] < 70

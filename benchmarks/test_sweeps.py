@@ -1,0 +1,72 @@
+"""Parameter-sensitivity sweeps (DESIGN.md §5; not paper figures).
+
+The paper fixes n = 14 days (activity lookback), W ≈ 5 months (pDNS
+history), and uses 13-24 day train/test gaps; these sweeps show how the
+reproduction behaves as each knob moves.
+"""
+
+from repro.eval import sweeps
+from repro.eval.reporting import ascii_table
+
+from conftest import STRICT
+
+
+def _table(results, label):
+    return ascii_table(
+        [label, "AUC", "TP@0.1%FP", "TP@1%FP"],
+        [
+            [
+                f"{value:g}",
+                f"{e.roc.auc():.4f}",
+                f"{e.roc.tpr_at(0.001):.3f}",
+                f"{e.roc.tpr_at(0.01):.3f}",
+            ]
+            for value, e in results
+        ],
+        title=f"Sweep: {label}",
+    )
+
+
+def test_sweep_train_test_gap(scenario, benchmark):
+    results = benchmark.pedantic(
+        sweeps.sweep_train_test_gap,
+        kwargs={"scenario": scenario, "gaps": (3, 8, 13, 20)},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + _table(results, "train/test gap (days)"))
+    if not STRICT:
+        return
+    # The paper sustains accuracy across 13-24 day gaps; the model must
+    # not age out inside this range.
+    by_gap = {int(v): e for v, e in results}
+    assert by_gap[20].roc.tpr_at(0.01) >= 0.8
+    assert by_gap[3].roc.auc() >= 0.97
+
+
+def test_sweep_activity_window(scenario, benchmark):
+    results = benchmark.pedantic(
+        sweeps.sweep_activity_window,
+        kwargs={"scenario": scenario, "windows": (3, 7, 14)},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + _table(results, "activity lookback n (days)"))
+    if not STRICT:
+        return
+    for _, experiment in results:
+        assert experiment.roc.auc() >= 0.95
+
+
+def test_sweep_pdns_window(scenario, benchmark):
+    results = benchmark.pedantic(
+        sweeps.sweep_pdns_window,
+        kwargs={"scenario": scenario, "windows": (14, 60, 150)},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + _table(results, "pDNS history W (days)"))
+    if not STRICT:
+        return
+    for _, experiment in results:
+        assert experiment.roc.auc() >= 0.95

@@ -1,0 +1,81 @@
+"""Table III — analysis of Segugio's false positives.
+
+Paper, at a threshold giving <=0.05% FPs and >90% TPs: 724-807 FP FQDs
+collapsing to ~401-451 e2LDs, top-10 e2LDs contributing 31-38% of FPs;
+of the FP domains, 55-73% were queried by machine groups that were >90%
+known-infected, 80-86% resolved to previously abused IPs, 20-27% were
+active <=3 days, and 19-23% were queried by sandboxed malware — i.e. many
+"false" positives are abused free-hosting subdomains that are likely truly
+malicious.
+"""
+
+from repro.eval.experiments import cross_day_experiment, table3_fp_analysis
+
+from conftest import STRICT, paper_vs_measured
+
+
+def test_table3_fp_analysis(scenario, benchmark):
+    train_ctx = scenario.context("isp1", scenario.eval_day(0))
+    test_ctx = scenario.context("isp1", scenario.eval_day(13))
+    experiment = cross_day_experiment(
+        train_ctx, test_ctx, name="isp1 cross-day", seed=0, keep_model=True
+    )
+    # The paper characterizes FPs at its 0.05% operating point over ~780k
+    # benign test domains (~390 FPs).  Our benign test set is ~100x
+    # smaller, so the same *absolute* FP population needs a proportionally
+    # larger rate budget; 0.5% yields a few dozen FPs to characterize.
+    analysis = benchmark.pedantic(
+        table3_fp_analysis,
+        kwargs={
+            "scenario": scenario,
+            "experiment": experiment,
+            "test_context": test_ctx,
+            "fp_budget": 0.005,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    paper_vs_measured(
+        "Table III (threshold at <=0.05% FPs)",
+        [
+            ("TP rate at threshold", "> 0.90", f"{analysis['tp_rate']:.3f}"),
+            ("FP FQDs", "724-807 (ISP-scale)", str(analysis["fp_fqds"])),
+            ("distinct e2LDs", "401-451", str(analysis["fp_e2lds"])),
+            (
+                "top-10 e2LD contribution",
+                "31-38%",
+                f"{analysis['top10_e2ld_pct']:.0f}%",
+            ),
+            (
+                ">90% infected machines",
+                "55-73%",
+                f"{analysis['frac_over_90pct_infected']:.0%}",
+            ),
+            (
+                "past abused IPs",
+                "80-86%",
+                f"{analysis['frac_past_abused_ips']:.0%}",
+            ),
+            (
+                "active <= 3 days",
+                "20-27%",
+                f"{analysis['frac_active_3days_or_less']:.0%}",
+            ),
+            (
+                "queried by sandboxed malware",
+                "19-23%",
+                f"{analysis['frac_sandbox_queried']:.0%}",
+            ),
+            (
+                "actually malware (synthetic oracle)",
+                "\"may very well be\"",
+                f"{analysis['frac_actually_malware']:.0%}",
+            ),
+        ],
+    )
+    if analysis["example_fps"]:
+        print("  example FPs:", ", ".join(analysis["example_fps"][:6]))
+    if not STRICT:
+        return
+    assert analysis["tp_rate"] > 0.7
+    assert analysis["fp_e2lds"] <= max(analysis["fp_fqds"], 1)

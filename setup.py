@@ -1,0 +1,6 @@
+"""Legacy shim so `python setup.py develop` works on offline machines
+without the `wheel` package (PEP 660 editable installs require it)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""Segugio reproduction: behavior-based tracking of malware-control domains.
+
+Reproduces *Segugio: Efficient Behavior-Based Tracking of Malware-Control
+Domains in Large ISP Networks* (Rahbarinia, Perdisci, Antonakakis — DSN
+2015) as a complete Python library:
+
+* :mod:`repro.core` — the Segugio system itself (behavior graph, labeling,
+  pruning rules R1-R4, the 11 features, label-hiding training, pipeline).
+* :mod:`repro.dns`, :mod:`repro.pdns`, :mod:`repro.intel` — the substrates:
+  DNS traces and the public-suffix list, passive-DNS history, blacklists,
+  whitelists, sandbox traces.
+* :mod:`repro.ml` — from-scratch Random Forest / logistic regression / ROC.
+* :mod:`repro.synth` — the synthetic ISP-scale DNS world standing in for
+  the paper's (unobtainable) ISP traces.
+* :mod:`repro.baselines` — Notos-style reputation, loopy belief
+  propagation, and co-occurrence baselines.
+* :mod:`repro.eval` — experiment drivers regenerating every table and
+  figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import Scenario, Segugio
+
+    scenario = Scenario.small(seed=7)
+    train_ctx = scenario.context("isp1", scenario.eval_day(0))
+    test_ctx = scenario.context("isp1", scenario.eval_day(5))
+
+    model = Segugio().fit(train_ctx)
+    report = model.classify(test_ctx)
+    for domain, score in report.detections(threshold=0.9)[:10]:
+        print(f"{score:5.2f}  {domain}")
+"""
+
+from repro.core import (
+    DetectionReport,
+    DomainTracker,
+    ObservationContext,
+    Segugio,
+    SegugioConfig,
+)
+from repro.synth import Scenario
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DetectionReport",
+    "DomainTracker",
+    "ObservationContext",
+    "Scenario",
+    "Segugio",
+    "SegugioConfig",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Comparison systems reimplemented for the paper's head-to-heads.
+
+* :mod:`repro.baselines.notos` — a Notos-style dynamic domain-reputation
+  system [3]: network/zone/evidence features from passive DNS, a trained
+  classifier, and the reject option the paper's §V observes ("the version
+  of Notos given to us employed a 'reject option'...").
+* :mod:`repro.baselines.belief` — loopy belief propagation over the
+  machine-domain graph (the approach of Manadhata et al. [6] / Polonium
+  [17]), vectorized message passing in NumPy.
+* :mod:`repro.baselines.cooccurrence` — the Sato et al. [21] co-occurrence
+  score (how often a candidate is queried together with known C&C domains).
+* :mod:`repro.baselines.exposure` — an Exposure-style detector (Bilge et
+  al. [4]): pDNS time-series and answer-pattern features, also
+  machine-blind.
+"""
+
+from repro.baselines.belief import LoopyBeliefPropagation
+from repro.baselines.cooccurrence import CoOccurrenceScorer
+from repro.baselines.exposure import ExposureDetector
+from repro.baselines.notos import NotosReputation
+
+__all__ = [
+    "CoOccurrenceScorer",
+    "ExposureDetector",
+    "LoopyBeliefPropagation",
+    "NotosReputation",
+]

@@ -1,0 +1,153 @@
+"""Loopy belief propagation over the machine-domain graph.
+
+The approach of Manadhata et al. [6] and Polonium [17]: treat the bipartite
+graph as a pairwise Markov random field with binary states
+(benign/malware), homophilic edge potentials, and label-derived node
+priors, then run loopy BP [7] and read each domain's malware marginal as
+its score.
+
+Messages are kept per directed edge as P(receiver = malware) and updated
+synchronously with NumPy scatter-adds in log space, with damping — one
+iteration is O(edges), no Python per-node loops, which is what makes the
+§I pilot comparison runnable at graph scale (the paper notes GraphLab LBP
+took tens of hours on their traces; the point of the comparison here is
+accuracy *shape*: LBP has no access to the domain annotations, so its
+low-FPR detection lags Segugio's).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.graph import BehaviorGraph
+from repro.core.labeling import BENIGN, MALWARE, GraphLabels
+
+
+@dataclass(frozen=True)
+class BeliefConfig:
+    epsilon: float = 0.05
+    """Homophily strength: edge potential is 0.5 +/- epsilon."""
+
+    prior_strength: float = 0.99
+    """Prior P(malware) for malware-labeled nodes (1 - this for benign)."""
+
+    unknown_prior: float = 0.5
+    max_iterations: int = 15
+    damping: float = 0.3
+    tolerance: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if not 0 < self.epsilon < 0.5:
+            raise ValueError("epsilon must be in (0, 0.5)")
+        if not 0.5 < self.prior_strength < 1:
+            raise ValueError("prior_strength must be in (0.5, 1)")
+
+
+class LoopyBeliefPropagation:
+    """Domain malware marginals via vectorized sum-product BP."""
+
+    def __init__(self, config: Optional[BeliefConfig] = None) -> None:
+        self.config = config if config is not None else BeliefConfig()
+        self.n_iterations_: int = 0
+
+    def score_domains(
+        self, graph: BehaviorGraph, labels: GraphLabels
+    ) -> np.ndarray:
+        """P(malware) marginal for every domain id (global id space).
+
+        Unlabeled isolated domains keep the unknown prior.
+        """
+        cfg = self.config
+        em = graph.edge_machines
+        ed = graph.edge_domains
+        n_edges = em.size
+        if n_edges == 0:
+            return np.full(graph.n_domain_ids, cfg.unknown_prior)
+
+        machine_prior = self._priors(labels.machine_labels)
+        domain_prior = self._priors(labels.domain_labels)
+
+        # Messages as P(receiver side = malware), one per directed edge.
+        msg_m2d = np.full(n_edges, 0.5)
+        msg_d2m = np.full(n_edges, 0.5)
+
+        eps_hi = 0.5 + cfg.epsilon
+        eps_lo = 0.5 - cfg.epsilon
+
+        log_machine_prior_mal = np.log(machine_prior)
+        log_machine_prior_ben = np.log1p(-machine_prior)
+        log_domain_prior_mal = np.log(domain_prior)
+        log_domain_prior_ben = np.log1p(-domain_prior)
+
+        self.n_iterations_ = 0
+        for _ in range(cfg.max_iterations):
+            # --- domain -> machine messages ---
+            # Each domain aggregates incoming machine messages (cavity: the
+            # target edge's own message is divided out in log space).
+            log_in_mal = np.log(np.clip(msg_m2d, 1e-12, 1.0))
+            log_in_ben = np.log(np.clip(1.0 - msg_m2d, 1e-12, 1.0))
+            dom_sum_mal = np.bincount(
+                ed, weights=log_in_mal, minlength=graph.n_domain_ids
+            )
+            dom_sum_ben = np.bincount(
+                ed, weights=log_in_ben, minlength=graph.n_domain_ids
+            )
+            cav_mal = log_domain_prior_mal[ed] + dom_sum_mal[ed] - log_in_mal
+            cav_ben = log_domain_prior_ben[ed] + dom_sum_ben[ed] - log_in_ben
+            new_d2m = self._propagate(cav_mal, cav_ben, eps_hi, eps_lo)
+            msg_d2m = cfg.damping * msg_d2m + (1 - cfg.damping) * new_d2m
+
+            # --- machine -> domain messages ---
+            log_in_mal = np.log(np.clip(msg_d2m, 1e-12, 1.0))
+            log_in_ben = np.log(np.clip(1.0 - msg_d2m, 1e-12, 1.0))
+            mac_sum_mal = np.bincount(
+                em, weights=log_in_mal, minlength=graph.n_machine_ids
+            )
+            mac_sum_ben = np.bincount(
+                em, weights=log_in_ben, minlength=graph.n_machine_ids
+            )
+            cav_mal = log_machine_prior_mal[em] + mac_sum_mal[em] - log_in_mal
+            cav_ben = log_machine_prior_ben[em] + mac_sum_ben[em] - log_in_ben
+            new_m2d = self._propagate(cav_mal, cav_ben, eps_hi, eps_lo)
+            delta = float(np.abs(new_m2d - msg_m2d).max())
+            msg_m2d = cfg.damping * msg_m2d + (1 - cfg.damping) * new_m2d
+
+            self.n_iterations_ += 1
+            if delta < cfg.tolerance:
+                break
+
+        # Final domain beliefs.
+        log_in_mal = np.log(np.clip(msg_m2d, 1e-12, 1.0))
+        log_in_ben = np.log(np.clip(1.0 - msg_m2d, 1e-12, 1.0))
+        belief_mal = log_domain_prior_mal + np.bincount(
+            ed, weights=log_in_mal, minlength=graph.n_domain_ids
+        )
+        belief_ben = log_domain_prior_ben + np.bincount(
+            ed, weights=log_in_ben, minlength=graph.n_domain_ids
+        )
+        shift = np.maximum(belief_mal, belief_ben)
+        p_mal = np.exp(belief_mal - shift)
+        p_ben = np.exp(belief_ben - shift)
+        return p_mal / (p_mal + p_ben)
+
+    def _priors(self, node_labels: np.ndarray) -> np.ndarray:
+        cfg = self.config
+        priors = np.full(node_labels.shape[0], cfg.unknown_prior)
+        priors[node_labels == MALWARE] = cfg.prior_strength
+        priors[node_labels == BENIGN] = 1.0 - cfg.prior_strength
+        return priors
+
+    @staticmethod
+    def _propagate(
+        cav_mal: np.ndarray, cav_ben: np.ndarray, eps_hi: float, eps_lo: float
+    ) -> np.ndarray:
+        """Sum-product over the 2x2 homophily potential, normalized."""
+        shift = np.maximum(cav_mal, cav_ben)
+        p_mal = np.exp(cav_mal - shift)
+        p_ben = np.exp(cav_ben - shift)
+        out_mal = eps_hi * p_mal + eps_lo * p_ben
+        out_ben = eps_lo * p_mal + eps_hi * p_ben
+        return out_mal / (out_mal + out_ben)

@@ -1,0 +1,57 @@
+"""Co-occurrence scoring of unknown domains (Sato et al. [21]).
+
+Scores a candidate domain by how strongly it co-occurs with *known*
+malicious domains in the machines' query sets: the fraction of the
+candidate's querying machines that also query at least one blacklisted
+domain, optionally weighted by how many blacklisted domains each such
+machine queries.
+
+This is essentially Segugio's F1 signal alone — no domain-activity and no
+IP-abuse features and no learned combination — which is why (as §VII notes
+of [21]) it suffers high FPs at low TP rates and cannot rank domains whose
+querier overlap with known infections is thin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.graph import BehaviorGraph
+from repro.core.labeling import GraphLabels
+
+
+class CoOccurrenceScorer:
+    """Machine-overlap co-occurrence score in [0, 1]."""
+
+    def __init__(self, weighted: bool = True) -> None:
+        self.weighted = weighted
+
+    def score_domains(
+        self, graph: BehaviorGraph, labels: GraphLabels
+    ) -> np.ndarray:
+        """Score for every domain id in the global id space.
+
+        With ``weighted=True`` each co-occurring machine contributes
+        ``1 - 2^(-k)`` where ``k`` is the number of blacklisted domains it
+        queries (more corroboration, more weight); with ``False`` it
+        contributes 1 if ``k >= 1``.
+        """
+        malware_degree = labels.machine_malware_degree
+        if self.weighted:
+            contribution = 1.0 - np.power(
+                2.0, -malware_degree.astype(np.float64)
+            )
+        else:
+            contribution = (malware_degree >= 1).astype(np.float64)
+
+        ed = graph.edge_domains
+        em = graph.edge_machines
+        total = np.bincount(ed, minlength=graph.n_domain_ids).astype(np.float64)
+        hits = np.bincount(
+            ed, weights=contribution[em], minlength=graph.n_domain_ids
+        )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            scores = np.where(total > 0, hits / total, 0.0)
+        # A known-malware domain trivially co-occurs with itself; callers
+        # score *unknown* domains, but keep the array total for debugging.
+        return scores

@@ -1,0 +1,214 @@
+"""An Exposure-style malicious-domain detector (Bilge et al. [4]).
+
+Exposure detects malicious domains from passive-DNS *time-series* and
+answer patterns: short-lived domains, bursty daily query behavior, low
+IP/registrant stability, and name shape.  Like Notos it never looks at
+which local machines query a domain — the structural gap Segugio's §I
+calls out for both systems ("they do not leverage the query behavior of
+the machines 'below' a local DNS server").
+
+Feature groups (adapted to the substrates available here; the original's
+TTL-based group has no counterpart because the trace substrate models
+per-day resolution sets, not record TTLs):
+
+* **time-based** — days active in the recency window, consecutive active
+  days, age since first pDNS appearance, activity span, fill ratio
+  (active days / span).
+* **answer-based** — distinct IPs in the pDNS window, distinct /24s,
+  IP churn (IPs per active day), co-hosted domain count.
+* **name-based** — length, label count, digit fraction, character entropy.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dns.activity import ActivityIndex
+from repro.dns.records import prefix24
+from repro.intel.blacklist import CncBlacklist
+from repro.intel.whitelist import DomainWhitelist
+from repro.ml.forest import RandomForestClassifier
+from repro.pdns.database import PassiveDNSDatabase
+from repro.utils.ids import Interner
+
+EXPOSURE_FEATURE_NAMES: List[str] = [
+    "time_days_active",
+    "time_consecutive_days",
+    "time_age_days",
+    "time_span_days",
+    "time_fill_ratio",
+    "answer_n_ips",
+    "answer_n_prefix24",
+    "answer_ip_churn",
+    "answer_cohosted",
+    "name_length",
+    "name_n_labels",
+    "name_digit_fraction",
+    "name_entropy",
+]
+
+
+class ExposureDetector:
+    """Train-once detector over pDNS time-series + name features."""
+
+    def __init__(
+        self,
+        pdns: PassiveDNSDatabase,
+        activity: ActivityIndex,
+        domains: Interner,
+        window_days: int = 150,
+        recency_window: int = 14,
+        n_estimators: int = 60,
+        seed: int = 0,
+    ) -> None:
+        self.pdns = pdns
+        self.activity = activity
+        self.domains = domains
+        self.window_days = int(window_days)
+        self.recency_window = int(recency_window)
+        self.n_estimators = int(n_estimators)
+        self.seed = int(seed)
+        self.classifier_: Optional[RandomForestClassifier] = None
+
+    # ------------------------------------------------------------------ #
+    # features
+    # ------------------------------------------------------------------ #
+
+    def _window_index(self, end_day: int) -> Dict[int, Tuple[np.ndarray, np.ndarray]]:
+        """domain id -> (active pDNS days, unique IPs) within the window."""
+        start = max(end_day - self.window_days + 1, 0)
+        days, dom, ips = self.pdns.window_records(start, end_day)
+        order = np.argsort(dom, kind="stable")
+        dom_sorted, days_sorted, ips_sorted = dom[order], days[order], ips[order]
+        index: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        boundaries = np.flatnonzero(np.diff(dom_sorted)) + 1
+        starts = np.concatenate([[0], boundaries])
+        ends = np.concatenate([boundaries, [dom_sorted.size]])
+        for lo, hi in zip(starts, ends):
+            if lo == hi:
+                continue
+            did = int(dom_sorted[lo])
+            index[did] = (
+                np.unique(days_sorted[lo:hi]),
+                np.unique(ips_sorted[lo:hi]),
+            )
+        # Shared-hosting density: count domains per IP once, globally.
+        self._domains_per_ip: Dict[int, int] = {}
+        pairs = np.unique(
+            np.stack([ips.astype(np.int64), dom.astype(np.int64)], axis=1), axis=0
+        )
+        if pairs.size:
+            unique_ips, counts = np.unique(pairs[:, 0], return_counts=True)
+            self._domains_per_ip = dict(
+                zip(unique_ips.tolist(), counts.tolist())
+            )
+        return index
+
+    def _name_features(self, name: str) -> Tuple[float, float, float, float]:
+        labels = name.split(".")
+        digits = sum(ch.isdigit() for ch in name)
+        counts = Counter(name)
+        total = len(name)
+        entropy = -sum((c / total) * math.log2(c / total) for c in counts.values())
+        return float(len(name)), float(len(labels)), digits / total, entropy
+
+    def feature_matrix(
+        self, domain_ids: Sequence[int], end_day: int
+    ) -> np.ndarray:
+        index = self._window_index(end_day)
+        X = np.zeros((len(domain_ids), len(EXPOSURE_FEATURE_NAMES)))
+        for row, domain_id in enumerate(domain_ids):
+            did = int(domain_id)
+            days_seen, ips = index.get(
+                did, (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.uint32))
+            )
+            days_active = self.activity.days_active(
+                did, end_day, self.recency_window
+            )
+            consecutive = self.activity.consecutive_days(
+                did, end_day, self.recency_window
+            )
+            if days_seen.size:
+                age = float(end_day - int(days_seen.min()))
+                span = float(days_seen.max() - days_seen.min() + 1)
+                fill = days_seen.size / span
+                churn = ips.size / days_seen.size
+            else:
+                age = span = fill = churn = 0.0
+            cohosted = float(
+                sum(self._domains_per_ip.get(int(ip), 1) - 1 for ip in ips)
+            )
+            length, n_labels, digit_frac, entropy = self._name_features(
+                self.domains.name(did)
+            )
+            X[row] = [
+                float(days_active),
+                float(consecutive),
+                age,
+                span,
+                fill,
+                float(ips.size),
+                float(np.unique(prefix24(ips)).size) if ips.size else 0.0,
+                churn,
+                cohosted,
+                length,
+                n_labels,
+                digit_frac,
+                entropy,
+            ]
+        return X
+
+    # ------------------------------------------------------------------ #
+    # train / score
+    # ------------------------------------------------------------------ #
+
+    def fit(
+        self,
+        train_day: int,
+        blacklist: CncBlacklist,
+        whitelist: DomainWhitelist,
+        max_benign: Optional[int] = None,
+    ) -> "ExposureDetector":
+        bad_ids = [
+            did
+            for name in sorted(blacklist.domains(as_of_day=train_day))
+            if (did := self.domains.lookup(name)) is not None
+        ]
+        benign_ids = [
+            did
+            for did in range(len(self.domains))
+            if whitelist.is_whitelisted(self.domains.name(did))
+        ]
+        if max_benign is not None and len(benign_ids) > max_benign:
+            rng = np.random.default_rng(self.seed)
+            benign_ids = sorted(
+                rng.choice(np.asarray(benign_ids), size=max_benign, replace=False)
+            )
+        if not bad_ids or not benign_ids:
+            raise ValueError("Exposure training needs both classes")
+        ids = list(bad_ids) + list(benign_ids)
+        y = np.concatenate(
+            [
+                np.ones(len(bad_ids), dtype=np.int64),
+                np.zeros(len(benign_ids), dtype=np.int64),
+            ]
+        )
+        X = self.feature_matrix(ids, train_day)
+        self.classifier_ = RandomForestClassifier(
+            n_estimators=self.n_estimators,
+            max_depth=12,
+            class_weight="balanced",
+            random_state=self.seed,
+        )
+        self.classifier_.fit(X, y)
+        return self
+
+    def score(self, domain_ids: Sequence[int], end_day: int) -> np.ndarray:
+        if self.classifier_ is None:
+            raise RuntimeError("ExposureDetector must be fitted first")
+        X = self.feature_matrix(domain_ids, end_day)
+        return self.classifier_.predict_proba(X)

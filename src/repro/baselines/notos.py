@@ -1,0 +1,322 @@
+"""A Notos-style dynamic domain-reputation system (Antonakakis et al. [3]).
+
+Notos assigns reputation from the *history* of a domain and of the IP space
+it resolves into, without looking at which local machines query it.  This
+reimplementation follows the same structure with three feature families
+computed from the passive-DNS database:
+
+* **network-based** — the diversity of the domain's historical resolutions:
+  distinct IPs, /24s and /16s over the evidence window.
+* **zone-based** — properties of the domain-name string itself: length,
+  label count, digit fraction, character entropy, e2LD length.
+* **evidence-based** — overlap of the domain's IP space with known-bad
+  infrastructure: fraction of its IPs (and /24s) historically pointed to by
+  blacklisted domains, co-hosted domain count, fraction of co-hosted
+  domains that are blacklisted, and sandbox contact evidence.
+
+A **reject option** mirrors the behavior the paper observed: a domain with
+no passive-DNS history in the evidence window is not classified at all
+(:meth:`NotosReputation.score` returns NaN for it), which is why Notos
+cannot reach 100% TPs even at the highest FP rates (Fig. 12a).
+
+The key structural difference from Segugio — no machine-behavior features,
+no domain-activity recency — is exactly what the §V comparison isolates.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dns.e2ld import E2ldIndex
+from repro.dns.records import prefix16, prefix24
+from repro.intel.blacklist import CncBlacklist
+from repro.intel.sandbox import SandboxTraceDB
+from repro.intel.whitelist import DomainWhitelist
+from repro.ml.forest import RandomForestClassifier
+from repro.pdns.database import PassiveDNSDatabase
+from repro.utils.ids import Interner
+
+NOTOS_FEATURE_NAMES: List[str] = [
+    "hist_n_ips",
+    "hist_n_prefix24",
+    "hist_n_prefix16",
+    "hist_n_days",
+    "evidence_frac_bad_ips",
+    "evidence_frac_bad_prefix24",
+    "evidence_cohosted_domains",
+    "evidence_frac_cohosted_blacklisted",
+    "evidence_sandbox_ip_contact",
+    "zone_name_length",
+    "zone_n_labels",
+    "zone_digit_fraction",
+    "zone_char_entropy",
+]
+
+
+@dataclass
+class _EvidenceIndex:
+    """Precomputed pDNS lookups for one (end_day, window)."""
+
+    ips_by_domain: Dict[int, np.ndarray]
+    days_by_domain: Dict[int, int]
+    domains_by_ip: Dict[int, np.ndarray]
+    bad_ips: np.ndarray
+    bad_prefix24: np.ndarray
+    blacklisted_ids: np.ndarray
+
+
+class NotosReputation:
+    """Train-once, score-anywhere domain reputation."""
+
+    def __init__(
+        self,
+        pdns: PassiveDNSDatabase,
+        domains: Interner,
+        e2ld_index: E2ldIndex,
+        sandbox: Optional[SandboxTraceDB] = None,
+        window_days: int = 150,
+        min_history_days: int = 4,
+        n_estimators: int = 60,
+        seed: int = 0,
+    ) -> None:
+        self.pdns = pdns
+        self.domains = domains
+        self.e2ld_index = e2ld_index
+        self.sandbox = sandbox
+        self.window_days = int(window_days)
+        self.min_history_days = int(min_history_days)
+        self.n_estimators = int(n_estimators)
+        self.seed = int(seed)
+        self.classifier_: Optional[RandomForestClassifier] = None
+
+    # ------------------------------------------------------------------ #
+    # evidence index
+    # ------------------------------------------------------------------ #
+
+    def _build_index(
+        self, end_day: int, blacklist: CncBlacklist, blacklist_day: Optional[int] = None
+    ) -> _EvidenceIndex:
+        """pDNS evidence window ends at *end_day*; the blacklist snapshot is
+        taken at *blacklist_day* (defaults to *end_day*) so that evidence
+        features never see ground truth published after training."""
+        start_day = max(end_day - self.window_days + 1, 0)
+        days, dom, ips = self.pdns.window_records(start_day, end_day)
+
+        snapshot_day = end_day if blacklist_day is None else blacklist_day
+        blacklisted_ids = np.asarray(
+            sorted(
+                did
+                for name in blacklist.domains(as_of_day=snapshot_day)
+                if (did := self.domains.lookup(name)) is not None
+            ),
+            dtype=np.int64,
+        )
+
+        order = np.argsort(dom, kind="stable")
+        dom_sorted = dom[order]
+        ips_sorted = ips[order]
+        days_sorted = days[order]
+        ips_by_domain: Dict[int, np.ndarray] = {}
+        days_by_domain: Dict[int, int] = {}
+        boundaries = np.flatnonzero(np.diff(dom_sorted)) + 1
+        starts = np.concatenate([[0], boundaries])
+        ends = np.concatenate([boundaries, [dom_sorted.size]])
+        for lo, hi in zip(starts, ends):
+            if lo == hi:
+                continue
+            did = int(dom_sorted[lo])
+            ips_by_domain[did] = np.unique(ips_sorted[lo:hi])
+            days_by_domain[did] = int(np.unique(days_sorted[lo:hi]).size)
+
+        order_ip = np.argsort(ips, kind="stable")
+        ip_sorted = ips[order_ip]
+        dom_by_ip_sorted = dom[order_ip]
+        domains_by_ip: Dict[int, np.ndarray] = {}
+        boundaries = np.flatnonzero(np.diff(ip_sorted.astype(np.int64))) + 1
+        starts = np.concatenate([[0], boundaries])
+        ends = np.concatenate([boundaries, [ip_sorted.size]])
+        for lo, hi in zip(starts, ends):
+            if lo == hi:
+                continue
+            domains_by_ip[int(ip_sorted[lo])] = np.unique(dom_by_ip_sorted[lo:hi])
+
+        in_blacklist = np.isin(dom, blacklisted_ids)
+        bad_ips = np.unique(ips[in_blacklist])
+        bad_prefix24 = np.unique(prefix24(bad_ips))
+        return _EvidenceIndex(
+            ips_by_domain=ips_by_domain,
+            days_by_domain=days_by_domain,
+            domains_by_ip=domains_by_ip,
+            bad_ips=bad_ips,
+            bad_prefix24=bad_prefix24,
+            blacklisted_ids=blacklisted_ids,
+        )
+
+    # ------------------------------------------------------------------ #
+    # features
+    # ------------------------------------------------------------------ #
+
+    def _zone_features(self, name: str) -> Tuple[float, float, float, float]:
+        labels = name.split(".")
+        digits = sum(ch.isdigit() for ch in name)
+        counts = Counter(name)
+        total = len(name)
+        entropy = -sum(
+            (c / total) * math.log2(c / total) for c in counts.values()
+        )
+        return float(len(name)), float(len(labels)), digits / total, entropy
+
+    def _features_for(
+        self, domain_id: int, index: _EvidenceIndex
+    ) -> Optional[np.ndarray]:
+        """One feature row, or None when the reject option triggers."""
+        ips = index.ips_by_domain.get(int(domain_id))
+        if ips is None or ips.size == 0:
+            return None  # reject: no pDNS history in the window
+        if index.days_by_domain.get(int(domain_id), 0) < self.min_history_days:
+            return None  # reject: not enough historic evidence to judge
+        prefixes24 = np.unique(prefix24(ips))
+        prefixes16 = np.unique(prefix16(ips))
+
+        bad_ip_hits = np.isin(ips, index.bad_ips).sum()
+        bad_p24_hits = np.isin(prefixes24, index.bad_prefix24).sum()
+
+        cohosted: set = set()
+        for ip in ips:
+            others = index.domains_by_ip.get(int(ip))
+            if others is not None:
+                cohosted.update(int(d) for d in others)
+        cohosted.discard(int(domain_id))
+        n_cohosted = len(cohosted)
+        if n_cohosted:
+            cohosted_arr = np.fromiter(cohosted, dtype=np.int64)
+            frac_cohosted_bad = float(
+                np.isin(cohosted_arr, index.blacklisted_ids).mean()
+            )
+        else:
+            frac_cohosted_bad = 0.0
+
+        sandbox_contact = 0.0
+        if self.sandbox is not None:
+            sandbox_contact = float(
+                any(self.sandbox.prefix24_contacted_by_malware(int(ip)) for ip in ips)
+            )
+
+        name = self.domains.name(int(domain_id))
+        length, n_labels, digit_frac, entropy = self._zone_features(name)
+
+        return np.asarray(
+            [
+                float(ips.size),
+                float(prefixes24.size),
+                float(prefixes16.size),
+                float(index.days_by_domain.get(int(domain_id), 0)),
+                bad_ip_hits / ips.size,
+                bad_p24_hits / prefixes24.size,
+                float(n_cohosted),
+                frac_cohosted_bad,
+                sandbox_contact,
+                length,
+                n_labels,
+                digit_frac,
+                entropy,
+            ],
+            dtype=np.float64,
+        )
+
+    def feature_matrix(
+        self,
+        domain_ids: Sequence[int],
+        end_day: int,
+        blacklist: CncBlacklist,
+        blacklist_day: Optional[int] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Rows plus a boolean 'classified' mask (False = rejected)."""
+        index = self._build_index(end_day, blacklist, blacklist_day)
+        rows = np.zeros((len(domain_ids), len(NOTOS_FEATURE_NAMES)))
+        ok = np.zeros(len(domain_ids), dtype=bool)
+        for i, domain_id in enumerate(domain_ids):
+            row = self._features_for(int(domain_id), index)
+            if row is not None:
+                rows[i] = row
+                ok[i] = True
+        return rows, ok
+
+    # ------------------------------------------------------------------ #
+    # train / score
+    # ------------------------------------------------------------------ #
+
+    def fit(
+        self,
+        train_day: int,
+        blacklist: CncBlacklist,
+        whitelist: DomainWhitelist,
+        max_benign: Optional[int] = None,
+    ) -> "NotosReputation":
+        """Train on the blacklist/whitelist as known at *train_day*.
+
+        The training whitelist is typically the top-100K list (paper §V);
+        benign training rows come from whitelisted e2LDs with pDNS history.
+        """
+        bad_names = sorted(blacklist.domains(as_of_day=train_day))
+        bad_ids = [
+            did for name in bad_names
+            if (did := self.domains.lookup(name)) is not None
+        ]
+        benign_ids = [
+            did
+            for did in range(len(self.domains))
+            if whitelist.is_whitelisted(self.domains.name(did))
+        ]
+        if max_benign is not None and len(benign_ids) > max_benign:
+            rng = np.random.default_rng(self.seed)
+            benign_ids = sorted(
+                rng.choice(np.asarray(benign_ids), size=max_benign, replace=False)
+            )
+
+        ids = list(bad_ids) + list(benign_ids)
+        y = np.concatenate(
+            [np.ones(len(bad_ids), dtype=np.int64), np.zeros(len(benign_ids), dtype=np.int64)]
+        )
+        X, ok = self.feature_matrix(ids, train_day, blacklist)
+        X, y = X[ok], y[ok]
+        if np.unique(y).size < 2:
+            raise ValueError("Notos training needs history for both classes")
+        self.classifier_ = RandomForestClassifier(
+            n_estimators=self.n_estimators,
+            max_depth=12,
+            class_weight="balanced",
+            random_state=self.seed,
+        )
+        self.classifier_.fit(X, y)
+        self._train_blacklist = blacklist
+        self._train_day = train_day
+        return self
+
+    def score(
+        self,
+        domain_ids: Sequence[int],
+        end_day: int,
+        blacklist: Optional[CncBlacklist] = None,
+    ) -> np.ndarray:
+        """Reputation scores in [0, 1]; NaN where the reject option fires.
+
+        The pDNS network history extends to *end_day* (the scoring day), but
+        the blacklist evidence is frozen at the training-day snapshot, so no
+        ground truth published after training leaks into the features.
+        """
+        if self.classifier_ is None:
+            raise RuntimeError("NotosReputation must be fitted first")
+        evidence = blacklist if blacklist is not None else self._train_blacklist
+        X, ok = self.feature_matrix(
+            domain_ids, end_day, evidence, blacklist_day=self._train_day
+        )
+        scores = np.full(len(domain_ids), np.nan)
+        if ok.any():
+            scores[ok] = self.classifier_.predict_proba(X[ok])
+        return scores

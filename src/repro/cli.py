@@ -1,0 +1,385 @@
+"""Command-line interface: run experiments, demos, and deployments.
+
+Examples::
+
+    segugio demo --seed 7
+    segugio experiment fig6 --scale small
+    segugio experiment table1 --scale benchmark
+    segugio track --days 3
+    segugio export-day /tmp/obs --day-offset 2
+    segugio classify-dir /tmp/obs
+    segugio list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.eval import experiments as E
+from repro.eval.figures import ascii_roc
+from repro.eval.reporting import ascii_table, histogram, roc_series_table
+from repro.synth.scenario import Scenario
+
+
+def _scenario(scale: str, seed: int) -> Scenario:
+    if scale == "small":
+        return Scenario.small(seed=seed)
+    if scale == "benchmark":
+        return Scenario.benchmark(seed=seed)
+    raise SystemExit(f"unknown scale {scale!r} (use small|benchmark)")
+
+
+def _run_demo(args: argparse.Namespace) -> None:
+    from repro import Segugio
+
+    scenario = _scenario(args.scale, args.seed)
+    train_ctx = scenario.context("isp1", scenario.eval_day(0))
+    test_ctx = scenario.context("isp1", scenario.eval_day(5))
+    model = Segugio().fit(train_ctx)
+    report = model.classify(test_ctx)
+    print(f"trained on day {train_ctx.day}: {model.training_set_}")
+    print(f"scored {len(report)} unknown domains on day {test_ctx.day}")
+    print("top detections:")
+    for name, score in report.detections(threshold=0.0)[:15]:
+        truth = "MALWARE" if scenario.is_true_malware(name) else "benign?"
+        print(f"  {score:6.3f}  {name:<40s} [{truth}]")
+
+
+def _run_experiment(args: argparse.Namespace) -> None:
+    scenario = _scenario(args.scale, args.seed)
+    name = args.name
+    if name == "table1":
+        rows = E.table1_dataset_summary(scenario)
+        print(
+            ascii_table(
+                list(rows[0].keys()),
+                [list(r.values()) for r in rows],
+                title="Table I: experiment data (before graph pruning)",
+            )
+        )
+    elif name == "fig3":
+        result = E.fig3_infection_behavior(scenario, "isp1", scenario.eval_day(0))
+        print("Fig. 3: malware domains queried per infected machine")
+        for count, n in result["counts"].items():
+            print(f"  {count:3d} domains: {n}")
+        print(f"  query >1 domain: {result['frac_query_more_than_one']:.1%}")
+    elif name == "pruning":
+        print(E.pruning_statistics(scenario))
+    elif name == "fig6":
+        results = E.fig6_cross_day_and_network(scenario)
+        curves = {e.name: e.roc for e in results.values()}
+        print(roc_series_table(curves, title="Fig. 6: cross-day / cross-network"))
+        print()
+        print(ascii_roc(curves, max_fpr=0.01))
+    elif name == "fig7":
+        results = E.fig7_feature_ablation(scenario)
+        print(
+            roc_series_table(
+                {label: e.roc for label, e in results.items()},
+                title="Fig. 7: feature ablation",
+            )
+        )
+    elif name == "fig8":
+        result = E.fig8_cross_family(scenario)
+        print(result.summary())
+    elif name == "fig10":
+        print(E.fig10_public_blacklist(scenario).summary())
+    elif name == "crossbl":
+        result = E.cross_blacklist_test(scenario)
+        print({k: v for k, v in result.items() if k != "roc"})
+    elif name == "fig11":
+        result = E.fig11_early_detection(scenario, n_days=2)
+        print(
+            histogram(
+                result["gaps"],
+                bins=list(range(0, 36, 5)),
+                title="Fig. 11: days from detection to blacklisting",
+            )
+        )
+    elif name == "fig12":
+        result = E.fig12_notos_comparison(scenario)
+        print(result.summary())
+        print("Table IV: Notos FP breakdown:", result.notos_fp_breakdown)
+        curves = {"Segugio": result.segugio_roc, "Notos": result.notos_roc}
+        if result.exposure_roc is not None:
+            curves["Exposure"] = result.exposure_roc
+        print()
+        print(ascii_roc(curves, max_fpr=0.05))
+    elif name == "lbp":
+        result = E.graph_inference_comparison(scenario)
+        print(
+            roc_series_table(
+                result["curves"], title="Graph-inference comparison"
+            )
+        )
+    elif name == "perf":
+        timing = E.performance_timing(scenario)
+        for phase, seconds in timing.items():
+            print(f"  {phase:<28s} {seconds:8.3f}s")
+    else:
+        raise SystemExit(f"unknown experiment {name!r}; try `segugio list`")
+
+
+EXPERIMENT_NAMES: List[str] = [
+    "table1",
+    "fig3",
+    "pruning",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig10",
+    "crossbl",
+    "fig11",
+    "fig12",
+    "lbp",
+    "perf",
+]
+
+
+def _run_list(_args: argparse.Namespace) -> None:
+    print("available experiments:")
+    for name in EXPERIMENT_NAMES:
+        print(f"  {name}")
+
+
+def _run_track(args: argparse.Namespace) -> None:
+    from repro.core.tracker import DomainTracker
+
+    scenario = _scenario(args.scale, args.seed)
+    tracker = DomainTracker(fp_target=args.fp_target)
+    for offset in range(args.days):
+        context = scenario.context(args.isp, scenario.eval_day(offset))
+        report = tracker.process_day(context)
+        print(report.summary())
+        for entry in report.new_detections[:5]:
+            truth = "MALWARE" if scenario.is_true_malware(entry.name) else "unknown"
+            print(f"    new: {entry.name:<42s} [{truth}]")
+    confirmed = tracker.confirmations(scenario.commercial_blacklist, horizon=35)
+    print(
+        f"\ntracked {len(tracker)} domains; {len(confirmed)} later entered "
+        f"the blacklist"
+    )
+    if confirmed:
+        mean_lead = sum(c.lead_days for c in confirmed) / len(confirmed)
+        print(f"mean lead over the feed: {mean_lead:.1f} days")
+
+
+def _run_report(args: argparse.Namespace) -> None:
+    from repro.eval.fullreport import SECTIONS, write_report
+
+    scenario = _scenario(args.scale, args.seed)
+    sections = args.sections.split(",") if args.sections else None
+    if sections is not None:
+        unknown = [s for s in sections if s not in SECTIONS]
+        if unknown:
+            raise SystemExit(
+                f"unknown sections {unknown}; options: {', '.join(SECTIONS)}"
+            )
+    write_report(scenario, args.out, sections)
+    print(f"wrote report to {args.out}")
+
+
+def _run_diagnose(args: argparse.Namespace) -> None:
+    from repro.synth.diagnostics import diagnose
+
+    scenario = _scenario(args.scale, args.seed)
+    result = diagnose(scenario, args.isp, scenario.eval_day(args.day_offset))
+    print(result.report())
+    if not result.healthy():
+        raise SystemExit("world diagnostics failed")
+
+
+def _run_graph_stats(args: argparse.Namespace) -> None:
+    from repro import Segugio
+    from repro.core.graph import BehaviorGraph
+    from repro.core.graphstats import degree_histogram, summarize
+
+    scenario = _scenario(args.scale, args.seed)
+    context = scenario.context(args.isp, scenario.eval_day(args.day_offset))
+    raw = BehaviorGraph.from_trace(context.trace)
+    model = Segugio()
+    pruned, labels, _, _ = model.prepare_day(context)
+    print("=== raw graph ===")
+    print(summarize(raw))
+    print("\n=== after pruning R1-R4 ===")
+    print(summarize(pruned, labels))
+    print(
+        "\ndomain degree histogram (pruned, <=15):",
+        degree_histogram(pruned, "domain", max_bucket=15),
+    )
+
+
+def _run_explain(args: argparse.Namespace) -> None:
+    from repro import Segugio
+    from repro.ml.metrics import threshold_for_fpr
+
+    scenario = _scenario(args.scale, args.seed)
+    context = scenario.context(args.isp, scenario.eval_day(args.day_offset))
+    model = Segugio().fit(context)
+    report = model.classify(context)
+
+    if args.domain is not None:
+        target = args.domain
+        score = report.score_of(target)
+        if score is None:
+            raise SystemExit(f"{target!r} was not scored (labeled or pruned)")
+    else:
+        training = model.training_set_
+        benign_scores = model.classifier_.predict_proba(
+            training.X[training.y == 0]
+        )
+        threshold = threshold_for_fpr(benign_scores, 0.005)
+        detections = report.detections(threshold)
+        if not detections:
+            raise SystemExit("no detections at the default threshold")
+        target, score = detections[0]
+
+    try:
+        rows = model.explain(context, target)
+    except KeyError as error:
+        raise SystemExit(str(error))
+    print(f"{target}: malware score {score:.3f}")
+    for row in rows[: args.top]:
+        print(
+            f"  {row['feature']:<24s} value={row['value']:8.2f} "
+            f"(typical {row['background_median']:6.2f})  "
+            f"contribution {row['contribution']:+.3f}"
+        )
+
+
+def _run_export_day(args: argparse.Namespace) -> None:
+    from repro.datasets.store import save_observation
+
+    scenario = _scenario(args.scale, args.seed)
+    context = scenario.context(args.isp, scenario.eval_day(args.day_offset))
+    save_observation(
+        args.directory,
+        context,
+        private_suffixes=scenario.universe.identified_services,
+    )
+    print(
+        f"wrote day {context.day} of {args.isp} "
+        f"({context.trace.n_edges} edges) to {args.directory}"
+    )
+
+
+def _run_classify_dir(args: argparse.Namespace) -> None:
+    from repro import Segugio
+    from repro.datasets.store import load_observation
+    from repro.ml.metrics import threshold_for_fpr
+
+    context = load_observation(args.directory)
+    model = Segugio().fit(context)
+    training = model.training_set_
+    benign_scores = model.classifier_.predict_proba(training.X[training.y == 0])
+    threshold = threshold_for_fpr(benign_scores, args.fp_target)
+    report = model.classify(context)
+    detections = report.detections(threshold)
+    print(
+        f"day {context.day}: {len(report)} unknown domains scored, "
+        f"{len(detections)} detected at <= {args.fp_target:.2%} training FPs"
+    )
+    for name, score in detections[: args.top]:
+        print(f"  {score:6.3f}  {name}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="segugio",
+        description="Segugio (DSN 2015) reproduction: experiments and demos",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="train + classify on a synthetic ISP")
+    demo.add_argument("--scale", default="small", choices=["small", "benchmark"])
+    demo.add_argument("--seed", type=int, default=7)
+    demo.set_defaults(func=_run_demo)
+
+    exp = sub.add_parser("experiment", help="run a named paper experiment")
+    exp.add_argument("name", help="experiment id (see `segugio list`)")
+    exp.add_argument("--scale", default="small", choices=["small", "benchmark"])
+    exp.add_argument("--seed", type=int, default=7)
+    exp.set_defaults(func=_run_experiment)
+
+    lst = sub.add_parser("list", help="list experiment names")
+    lst.set_defaults(func=_run_list)
+
+    track = sub.add_parser("track", help="day-by-day deployment tracking")
+    track.add_argument("--scale", default="small", choices=["small", "benchmark"])
+    track.add_argument("--seed", type=int, default=7)
+    track.add_argument("--isp", default="isp1")
+    track.add_argument("--days", type=int, default=3)
+    track.add_argument("--fp-target", type=float, default=0.001)
+    track.set_defaults(func=_run_track)
+
+    report = sub.add_parser(
+        "report", help="run experiments and write a Markdown report"
+    )
+    report.add_argument("--out", default="segugio-report.md")
+    report.add_argument("--scale", default="small", choices=["small", "benchmark"])
+    report.add_argument("--seed", type=int, default=7)
+    report.add_argument(
+        "--sections",
+        default=None,
+        help="comma-separated subset (default: all); see repro.eval.fullreport",
+    )
+    report.set_defaults(func=_run_report)
+
+    diag = sub.add_parser(
+        "diagnose", help="check the paper's preconditions on a world"
+    )
+    diag.add_argument("--scale", default="small", choices=["small", "benchmark"])
+    diag.add_argument("--seed", type=int, default=7)
+    diag.add_argument("--isp", default="isp1")
+    diag.add_argument("--day-offset", type=int, default=0)
+    diag.set_defaults(func=_run_diagnose)
+
+    stats = sub.add_parser("graph-stats", help="behavior-graph structure report")
+    stats.add_argument("--scale", default="small", choices=["small", "benchmark"])
+    stats.add_argument("--seed", type=int, default=7)
+    stats.add_argument("--isp", default="isp1")
+    stats.add_argument("--day-offset", type=int, default=0)
+    stats.set_defaults(func=_run_graph_stats)
+
+    explain = sub.add_parser(
+        "explain", help="feature attribution for a scored domain"
+    )
+    explain.add_argument("--domain", default=None, help="FQD to explain (default: top detection)")
+    explain.add_argument("--scale", default="small", choices=["small", "benchmark"])
+    explain.add_argument("--seed", type=int, default=7)
+    explain.add_argument("--isp", default="isp1")
+    explain.add_argument("--day-offset", type=int, default=0)
+    explain.add_argument("--top", type=int, default=6)
+    explain.set_defaults(func=_run_explain)
+
+    export = sub.add_parser(
+        "export-day", help="write one observation day to a directory"
+    )
+    export.add_argument("directory")
+    export.add_argument("--scale", default="small", choices=["small", "benchmark"])
+    export.add_argument("--seed", type=int, default=7)
+    export.add_argument("--isp", default="isp1")
+    export.add_argument("--day-offset", type=int, default=0)
+    export.set_defaults(func=_run_export_day)
+
+    classify = sub.add_parser(
+        "classify-dir", help="train + classify an exported observation day"
+    )
+    classify.add_argument("directory")
+    classify.add_argument("--fp-target", type=float, default=0.005)
+    classify.add_argument("--top", type=int, default=15)
+    classify.set_defaults(func=_run_classify_dir)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

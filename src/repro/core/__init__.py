@@ -1,0 +1,64 @@
+"""Segugio core: behavior graph, labeling, pruning, features, classifier.
+
+The modules here implement §II of the paper in order:
+
+* :mod:`repro.core.graph` — the machine-domain bipartite query-behavior graph
+  (§II-A1) with CSR adjacency in both directions.
+* :mod:`repro.core.labeling` — malware/benign/unknown node labeling and the
+  machine-label propagation rules, including incremental label hiding.
+* :mod:`repro.core.pruning` — the conservative filtering rules R1-R4 with
+  their two exceptions (§II-A2).
+* :mod:`repro.core.features` — the 11 statistical features in groups F1-F3
+  (§II-A3), fully vectorized.
+* :mod:`repro.core.training` — label-hiding training-set construction
+  (Fig. 5).
+* :mod:`repro.core.pipeline` — the end-to-end :class:`Segugio` system
+  (train on day t1, classify unknown domains of day t2).
+"""
+
+from repro.core.anomalies import (
+    ProbeHeuristics,
+    detect_probe_machines,
+    remove_probe_machines,
+)
+from repro.core.graph import BehaviorGraph
+from repro.core.labeling import (
+    BENIGN,
+    MALWARE,
+    UNKNOWN,
+    GraphLabels,
+    label_graph,
+)
+from repro.core.pruning import PruneConfig, PruneResult, prune_graph
+from repro.core.features import FEATURE_GROUPS, FEATURE_NAMES, FeatureExtractor
+from repro.core.training import TrainingSet, build_training_set
+from repro.core.pipeline import DetectionReport, ObservationContext, Segugio, SegugioConfig
+from repro.core.tracker import Confirmation, DayReport, DomainTracker, TrackedDomain
+
+__all__ = [
+    "BENIGN",
+    "BehaviorGraph",
+    "Confirmation",
+    "DayReport",
+    "DetectionReport",
+    "DomainTracker",
+    "FEATURE_GROUPS",
+    "FEATURE_NAMES",
+    "FeatureExtractor",
+    "GraphLabels",
+    "MALWARE",
+    "ObservationContext",
+    "ProbeHeuristics",
+    "PruneConfig",
+    "PruneResult",
+    "Segugio",
+    "SegugioConfig",
+    "TrackedDomain",
+    "TrainingSet",
+    "UNKNOWN",
+    "build_training_set",
+    "detect_probe_machines",
+    "label_graph",
+    "prune_graph",
+    "remove_probe_machines",
+]

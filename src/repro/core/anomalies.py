@@ -1,0 +1,95 @@
+"""Heuristics for "anomalous" clients (paper §VI, last paragraph).
+
+Some ISP clients run security tooling that continuously probes long lists
+of known malware-related domains (to check blacklisting status, resolved
+IPs, and so on).  Such probes are labeled *malware* by the propagation rule
+— they do query C&C domains — but they are not infections, and they inject
+edges that inflate the machine-behavior features of every domain they
+touch.  The paper reports using "a set of heuristics to verify that our
+filtered graphs did not seem to contain such anomalous clients"; this
+module implements those heuristics:
+
+* an infected machine's daily C&C query count is small (Fig. 3: almost
+  never above twenty), while probes enumerate feeds with hundreds of
+  entries — flag machines whose *known-malware degree* exceeds a cap;
+* real infections query the family's *currently active* domains, while
+  probes also hit long-dead blacklist entries — flag machines whose
+  queried malware domains are mostly inactive (no recent activity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.graph import BehaviorGraph
+from repro.core.labeling import MALWARE, GraphLabels
+from repro.dns.activity import ActivityIndex
+
+
+@dataclass(frozen=True)
+class ProbeHeuristics:
+    """Thresholds for probe-client detection."""
+
+    max_malware_degree: int = 20
+    """Fig. 3 bound: infected machines essentially never query more than
+    twenty malware domains in a day."""
+
+    max_dead_fraction: float = 0.3
+    """Flag when more than this fraction of a machine's queried malware
+    domains showed no activity in the lookback window (feed enumeration
+    hits long-dead entries; live infections essentially never do)."""
+
+    activity_window: int = 14
+
+
+def detect_probe_machines(
+    graph: BehaviorGraph,
+    labels: GraphLabels,
+    fqd_activity: ActivityIndex,
+    heuristics: ProbeHeuristics = ProbeHeuristics(),
+) -> np.ndarray:
+    """Global machine ids flagged as probe/scanner clients.
+
+    Only machines currently labeled MALWARE are candidates (a probe is by
+    construction querying blacklisted names).
+    """
+    flagged = []
+    candidates = np.flatnonzero(
+        (labels.machine_labels == MALWARE)
+        & (labels.machine_malware_degree > heuristics.max_malware_degree)
+    )
+    day = graph.day
+    window = heuristics.activity_window
+    for machine_id in candidates:
+        queried = graph.domains_of_machine(int(machine_id))
+        malware_queried = queried[
+            labels.domain_labels[queried] == MALWARE
+        ]
+        if malware_queried.size == 0:
+            continue
+        dead = sum(
+            1
+            for domain_id in malware_queried
+            if fqd_activity.days_active(int(domain_id), day, window) == 0
+        )
+        if dead / malware_queried.size > heuristics.max_dead_fraction:
+            flagged.append(int(machine_id))
+    return np.asarray(sorted(flagged), dtype=np.int64)
+
+
+def remove_probe_machines(
+    graph: BehaviorGraph,
+    labels: GraphLabels,
+    fqd_activity: ActivityIndex,
+    heuristics: ProbeHeuristics = ProbeHeuristics(),
+) -> BehaviorGraph:
+    """Graph with flagged probe clients' edges removed."""
+    probes = detect_probe_machines(graph, labels, fqd_activity, heuristics)
+    if probes.size == 0:
+        return graph
+    keep_machines = np.ones(graph.n_machine_ids, dtype=bool)
+    keep_machines[probes] = False
+    keep_domains = np.ones(graph.n_domain_ids, dtype=bool)
+    return graph.subgraph(keep_machines, keep_domains)

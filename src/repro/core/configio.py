@@ -1,0 +1,73 @@
+"""SegugioConfig persistence (JSON).
+
+Deployments pin their pipeline configuration in version control; these
+helpers serialize :class:`repro.core.pipeline.SegugioConfig` (including
+the nested :class:`repro.core.pruning.PruneConfig`) to plain JSON and
+back, refusing unknown keys so config drift fails loudly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, TextIO, Union
+
+from repro.core.pipeline import SegugioConfig
+from repro.core.pruning import PruneConfig
+
+FORMAT_VERSION = 1
+
+
+def config_to_dict(config: SegugioConfig) -> Dict[str, Any]:
+    payload = dataclasses.asdict(config)
+    payload["format_version"] = FORMAT_VERSION
+    if payload.get("feature_columns") is not None:
+        payload["feature_columns"] = list(payload["feature_columns"])
+    return payload
+
+
+def config_from_dict(payload: Dict[str, Any]) -> SegugioConfig:
+    payload = dict(payload)
+    version = payload.pop("format_version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported config format version: {version}")
+
+    prune_payload = payload.pop("prune", None)
+    prune_fields = {f.name for f in dataclasses.fields(PruneConfig)}
+    if prune_payload is not None:
+        unknown = set(prune_payload) - prune_fields
+        if unknown:
+            raise ValueError(f"unknown prune config keys: {sorted(unknown)}")
+        prune = PruneConfig(**prune_payload)
+    else:
+        prune = PruneConfig()
+
+    config_fields = {f.name for f in dataclasses.fields(SegugioConfig)}
+    unknown = set(payload) - config_fields
+    if unknown:
+        raise ValueError(f"unknown config keys: {sorted(unknown)}")
+    if payload.get("feature_columns") is not None:
+        payload["feature_columns"] = tuple(payload["feature_columns"])
+    return SegugioConfig(prune=prune, **payload)
+
+
+def save_config(
+    config: SegugioConfig, stream_or_path: Union[str, TextIO]
+) -> None:
+    own = isinstance(stream_or_path, str)
+    stream = open(stream_or_path, "w") if own else stream_or_path
+    try:
+        json.dump(config_to_dict(config), stream, indent=2)
+    finally:
+        if own:
+            stream.close()
+
+
+def load_config(stream_or_path: Union[str, TextIO]) -> SegugioConfig:
+    own = isinstance(stream_or_path, str)
+    stream = open(stream_or_path) if own else stream_or_path
+    try:
+        return config_from_dict(json.load(stream))
+    finally:
+        if own:
+            stream.close()

@@ -1,0 +1,183 @@
+"""Node labeling and machine-label propagation (paper §II-A1, Fig. 1).
+
+Domains are labeled:
+
+* ``MALWARE`` when the entire FQD string matches the C&C blacklist (as of
+  the observation day),
+* ``BENIGN`` when the FQD's effective 2LD is in the whitelist,
+* ``UNKNOWN`` otherwise.
+
+Machine labels are then *derived*: a machine is ``MALWARE`` if it queries at
+least one malware domain, ``BENIGN`` if it queries exclusively benign
+domains, and ``UNKNOWN`` otherwise.
+
+For training-set construction (Fig. 5) and for unbiased evaluation, the
+label of one or more domains must be *hidden*; hiding changes the derived
+machine labels.  :class:`GraphLabels` precomputes per-machine counts of
+malware/benign neighbors so that
+
+* hiding a whole test set is one vectorized recomputation
+  (:meth:`GraphLabels.with_hidden`), and
+* the per-training-domain single-domain hiding needed for feature
+  measurement is O(1) per affected machine (see
+  :func:`repro.core.features.FeatureExtractor`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.core.graph import BehaviorGraph
+from repro.dns.publicsuffix import PublicSuffixList
+from repro.intel.blacklist import CncBlacklist
+from repro.intel.whitelist import DomainWhitelist
+
+UNKNOWN: int = 0
+BENIGN: int = 1
+MALWARE: int = 2
+
+LABEL_NAMES = {UNKNOWN: "unknown", BENIGN: "benign", MALWARE: "malware"}
+
+
+@dataclass
+class GraphLabels:
+    """Node labels plus the per-machine neighbor-label counts.
+
+    Attributes:
+        domain_labels: int8 array indexed by global domain id.
+        machine_labels: int8 array indexed by global machine id.
+        machine_malware_degree: per machine, number of MALWARE domains queried.
+        machine_benign_degree: per machine, number of BENIGN domains queried.
+        machine_total_degree: per machine, number of domains queried.
+    """
+
+    domain_labels: np.ndarray
+    machine_labels: np.ndarray
+    machine_malware_degree: np.ndarray
+    machine_benign_degree: np.ndarray
+    machine_total_degree: np.ndarray
+
+    def domain_ids_with_label(self, label: int) -> np.ndarray:
+        return np.flatnonzero(self.domain_labels == label)
+
+    def machine_ids_with_label(self, label: int) -> np.ndarray:
+        return np.flatnonzero(self.machine_labels == label)
+
+    def counts(self, graph: BehaviorGraph) -> Dict[str, int]:
+        """Label tallies restricted to nodes present in *graph*."""
+        present_domains = graph.domain_ids()
+        present_machines = graph.machine_ids()
+        dlab = self.domain_labels[present_domains]
+        mlab = self.machine_labels[present_machines]
+        return {
+            "domains_total": int(present_domains.size),
+            "domains_benign": int(np.count_nonzero(dlab == BENIGN)),
+            "domains_malware": int(np.count_nonzero(dlab == MALWARE)),
+            "domains_unknown": int(np.count_nonzero(dlab == UNKNOWN)),
+            "machines_total": int(present_machines.size),
+            "machines_malware": int(np.count_nonzero(mlab == MALWARE)),
+            "machines_benign": int(np.count_nonzero(mlab == BENIGN)),
+        }
+
+    def with_hidden(
+        self, graph: BehaviorGraph, hidden_domain_ids: Iterable[int]
+    ) -> "GraphLabels":
+        """Labels after setting the given domains to UNKNOWN.
+
+        This is the evaluation procedure of §IV-A: hide all test-set domain
+        labels *first*, then rederive machine labels, so no test ground truth
+        leaks into feature measurement.
+        """
+        hidden = np.fromiter(
+            (int(d) for d in hidden_domain_ids), dtype=np.int64
+        )
+        new_domain_labels = self.domain_labels.copy()
+        if hidden.size:
+            new_domain_labels[hidden] = UNKNOWN
+        return derive_machine_labels(graph, new_domain_labels)
+
+
+def label_domains(
+    graph: BehaviorGraph,
+    blacklist: CncBlacklist,
+    whitelist: DomainWhitelist,
+    as_of_day: Optional[int] = None,
+) -> np.ndarray:
+    """Label every domain id in the graph's id space.
+
+    Blacklist matching is on the whole FQD string; whitelist matching is on
+    the effective 2LD (both per §III).  ``as_of_day`` restricts the blacklist
+    to entries already published by that day (defaults to the graph's day),
+    which is what makes cross-day experiments honest: a domain blacklisted
+    *after* the training day is still unknown at training time.
+    """
+    if as_of_day is None:
+        as_of_day = graph.day
+    labels = np.zeros(graph.n_domain_ids, dtype=np.int8)
+    for domain_id in graph.domain_ids():
+        name = graph.domains.name(int(domain_id))
+        if blacklist.contains(name, as_of_day=as_of_day):
+            labels[domain_id] = MALWARE
+        elif whitelist.is_whitelisted(name):
+            labels[domain_id] = BENIGN
+    return labels
+
+
+def derive_machine_labels(
+    graph: BehaviorGraph, domain_labels: np.ndarray
+) -> GraphLabels:
+    """Propagate domain labels to machines (vectorized over the edge list)."""
+    edge_domain_labels = domain_labels[graph.edge_domains]
+    n_machines = graph.n_machine_ids
+
+    malware_degree = np.bincount(
+        graph.edge_machines,
+        weights=(edge_domain_labels == MALWARE).astype(np.float64),
+        minlength=n_machines,
+    ).astype(np.int64)
+    benign_degree = np.bincount(
+        graph.edge_machines,
+        weights=(edge_domain_labels == BENIGN).astype(np.float64),
+        minlength=n_machines,
+    ).astype(np.int64)
+    total_degree = graph.machine_degrees()
+
+    machine_labels = np.zeros(n_machines, dtype=np.int8)
+    machine_labels[(total_degree > 0) & (benign_degree == total_degree)] = BENIGN
+    machine_labels[malware_degree > 0] = MALWARE
+
+    return GraphLabels(
+        domain_labels=np.asarray(domain_labels, dtype=np.int8),
+        machine_labels=machine_labels,
+        machine_malware_degree=malware_degree,
+        machine_benign_degree=benign_degree,
+        machine_total_degree=total_degree,
+    )
+
+
+def label_graph(
+    graph: BehaviorGraph,
+    blacklist: CncBlacklist,
+    whitelist: DomainWhitelist,
+    as_of_day: Optional[int] = None,
+) -> GraphLabels:
+    """Full labeling pass: domains from ground truth, machines derived."""
+    domain_labels = label_domains(graph, blacklist, whitelist, as_of_day)
+    return derive_machine_labels(graph, domain_labels)
+
+
+# Re-exported for callers that only need e2LD computation alongside labels.
+__all__ = [
+    "BENIGN",
+    "GraphLabels",
+    "LABEL_NAMES",
+    "MALWARE",
+    "PublicSuffixList",
+    "UNKNOWN",
+    "derive_machine_labels",
+    "label_domains",
+    "label_graph",
+]

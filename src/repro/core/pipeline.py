@@ -1,0 +1,374 @@
+"""The end-to-end Segugio system (paper Fig. 2).
+
+:class:`ObservationContext` bundles everything Segugio can observe about one
+network on one day: the day's DNS trace, the rolling activity indices, the
+passive-DNS history, and the ground-truth feeds (blacklist + whitelist).
+
+:class:`Segugio` is the deployable system:
+
+* :meth:`Segugio.fit` — build the behavior graph for the training day, label
+  and prune it, measure hidden-label features for every known domain, and
+  train the malware-score classifier.
+* :meth:`Segugio.classify` — build the graph for a (different) day and score
+  all *unknown* domains, returning a :class:`DetectionReport`.
+
+Evaluation protocols (cross-day, cross-network, cross-family, ...) layer on
+top via the ``exclude_domains`` / ``hide_domains`` hooks, which implement the
+paper's rigorous ground-truth hiding: held-out test domains are relabeled
+*unknown* before machine labels, pruning, or features are computed, so their
+ground truth can never leak into the measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.features import (
+    DEFAULT_ACTIVITY_WINDOW,
+    FEATURE_NAMES,
+    FeatureExtractor,
+)
+from repro.core.graph import BehaviorGraph
+from repro.core.labeling import (
+    MALWARE,
+    UNKNOWN,
+    GraphLabels,
+    derive_machine_labels,
+    label_domains,
+)
+from repro.core.pruning import PruneConfig, prune_graph
+from repro.core.training import TrainingSet, build_training_set
+from repro.dns.activity import ActivityIndex
+from repro.dns.e2ld import E2ldIndex
+from repro.dns.trace import DayTrace
+from repro.intel.blacklist import CncBlacklist
+from repro.intel.whitelist import DomainWhitelist
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.logistic import LogisticRegression
+from repro.pdns.abuse import AbuseOracle
+from repro.pdns.database import PassiveDNSDatabase
+from repro.utils.timing import Stopwatch
+
+DEFAULT_PDNS_WINDOW_DAYS = 150  # ~ the paper's five months
+
+
+@dataclass
+class ObservationContext:
+    """One network, one observation day, and all side information."""
+
+    day: int
+    trace: DayTrace
+    fqd_activity: ActivityIndex
+    e2ld_activity: ActivityIndex
+    e2ld_index: E2ldIndex
+    pdns: PassiveDNSDatabase
+    blacklist: CncBlacklist
+    whitelist: DomainWhitelist
+
+    def domain_id(self, name: str) -> Optional[int]:
+        """Global id of a domain name in this network's id space."""
+        return self.trace.domains.lookup(name)
+
+    def domain_ids(self, names: Iterable[str]) -> np.ndarray:
+        """Ids for the names known to this network (unknown names skipped)."""
+        ids = [self.trace.domains.lookup(name) for name in names]
+        return np.asarray(
+            sorted(i for i in ids if i is not None), dtype=np.int64
+        )
+
+
+@dataclass(frozen=True)
+class SegugioConfig:
+    """Tunable knobs; defaults follow the paper's deployment."""
+
+    activity_window: int = DEFAULT_ACTIVITY_WINDOW
+    pdns_window_days: int = DEFAULT_PDNS_WINDOW_DAYS
+    prune: PruneConfig = field(default_factory=PruneConfig)
+    filter_probes: bool = False
+    """Apply the §VI anomalous-client heuristics before pruning: machines
+    that enumerate long lists of mostly-dead blacklisted domains (security
+    probes/scanners) are removed from the graph so they neither pollute
+    machine labels nor inflate F1 features."""
+
+    classifier: str = "forest"  # "forest" | "logistic"
+    n_estimators: int = 60
+    max_depth: int = 14
+    max_bins: int = 64
+    feature_columns: Optional[Tuple[int, ...]] = None  # None = all 11
+    max_benign_train: Optional[int] = None
+    seed: int = 0
+
+    def make_classifier(self):
+        if self.classifier == "forest":
+            return RandomForestClassifier(
+                n_estimators=self.n_estimators,
+                max_depth=self.max_depth,
+                max_bins=self.max_bins,
+                class_weight="balanced",
+                random_state=self.seed,
+            )
+        if self.classifier == "logistic":
+            return LogisticRegression(class_weight="balanced")
+        raise ValueError(f"unknown classifier {self.classifier!r}")
+
+    def columns(self) -> List[int]:
+        if self.feature_columns is None:
+            return list(range(len(FEATURE_NAMES)))
+        return list(self.feature_columns)
+
+
+@dataclass
+class DetectionReport:
+    """Scored unknown domains of one classified day."""
+
+    day: int
+    domain_ids: np.ndarray
+    scores: np.ndarray
+    graph: BehaviorGraph
+    labels: GraphLabels
+
+    def score_map(self) -> Dict[int, float]:
+        return {int(d): float(s) for d, s in zip(self.domain_ids, self.scores)}
+
+    def score_of(self, domain_name: str) -> Optional[float]:
+        domain_id = self.graph.domains.lookup(domain_name)
+        if domain_id is None:
+            return None
+        hits = np.flatnonzero(self.domain_ids == domain_id)
+        return float(self.scores[hits[0]]) if hits.size else None
+
+    def detected_ids(self, threshold: float) -> np.ndarray:
+        return self.domain_ids[self.scores >= threshold]
+
+    def detections(self, threshold: float) -> List[Tuple[str, float]]:
+        """(domain, score) pairs at/above threshold, highest score first."""
+        mask = self.scores >= threshold
+        ids = self.domain_ids[mask]
+        scores = self.scores[mask]
+        order = np.argsort(-scores)
+        return [
+            (self.graph.domains.name(int(ids[i])), float(scores[i]))
+            for i in order
+        ]
+
+    def infected_machines(self, threshold: float) -> List[str]:
+        """Machines querying any detected domain (paper §VI: Segugio
+        "can detect both malware-control domains and the infected machines
+        that query them at the same time")."""
+        detected = self.detected_ids(threshold)
+        if detected.size == 0:
+            return []
+        machines: set = set()
+        for domain_id in detected:
+            machines.update(
+                int(m) for m in self.graph.machines_of_domain(int(domain_id))
+            )
+        return sorted(self.graph.machines.name(m) for m in machines)
+
+    def __len__(self) -> int:
+        return int(self.domain_ids.size)
+
+
+class Segugio:
+    """Behavior-based tracker of malware-control domains."""
+
+    def __init__(self, config: Optional[SegugioConfig] = None) -> None:
+        self.config = config if config is not None else SegugioConfig()
+        self.classifier_ = None
+        self.training_set_: Optional[TrainingSet] = None
+        self.train_stats_: Dict[str, float] = {}
+        self.timings_: Stopwatch = Stopwatch()
+
+    # ------------------------------------------------------------------ #
+    # shared graph preparation
+    # ------------------------------------------------------------------ #
+
+    def prepare_day(
+        self,
+        context: ObservationContext,
+        hide_domains: Optional[Iterable[int]] = None,
+        watch: Optional[Stopwatch] = None,
+    ) -> Tuple[BehaviorGraph, GraphLabels, FeatureExtractor, Dict[str, float]]:
+        """Graph -> labels (with optional hiding) -> pruning -> extractor.
+
+        ``hide_domains`` (global domain ids) are relabeled UNKNOWN before
+        machine labels are derived, before pruning, and before any feature
+        is measured — the paper's leak-free evaluation procedure (§IV-A).
+        """
+        watch = watch if watch is not None else Stopwatch()
+        with watch.phase("build_graph"):
+            graph = BehaviorGraph.from_trace(context.trace)
+        with watch.phase("label_nodes"):
+            domain_labels = label_domains(
+                graph, context.blacklist, context.whitelist, as_of_day=context.day
+            )
+            if hide_domains is not None:
+                hidden = np.asarray(list(hide_domains), dtype=np.int64)
+                if hidden.size:
+                    domain_labels[hidden] = UNKNOWN
+            labels = derive_machine_labels(graph, domain_labels)
+        if self.config.filter_probes:
+            with watch.phase("filter_probes"):
+                from repro.core.anomalies import remove_probe_machines
+
+                graph = remove_probe_machines(
+                    graph, labels, context.fqd_activity
+                )
+                labels = derive_machine_labels(graph, domain_labels)
+        with watch.phase("prune_graph"):
+            result = prune_graph(graph, labels, context.e2ld_index, self.config.prune)
+            pruned = result.graph
+            # Degrees changed; rederive machine labels on the pruned graph.
+            labels = derive_machine_labels(pruned, domain_labels)
+        with watch.phase("build_abuse_oracle"):
+            known_malware = np.flatnonzero(domain_labels == MALWARE)
+            from repro.core.labeling import BENIGN  # narrow import
+
+            known_benign = np.flatnonzero(domain_labels == BENIGN)
+            oracle = AbuseOracle(
+                context.pdns,
+                end_day=context.day - 1,
+                window_days=self.config.pdns_window_days,
+                malware_domain_ids=known_malware,
+                benign_domain_ids=known_benign,
+            )
+        extractor = FeatureExtractor(
+            pruned,
+            labels,
+            context.fqd_activity,
+            context.e2ld_activity,
+            context.e2ld_index,
+            oracle,
+            activity_window=self.config.activity_window,
+        )
+        return pruned, labels, extractor, result.stats
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+
+    def fit(
+        self,
+        context: ObservationContext,
+        exclude_domains: Optional[Iterable[int]] = None,
+    ) -> "Segugio":
+        """Train the malware-score classifier on one day of traffic.
+
+        ``exclude_domains`` — global ids whose ground truth must not be used
+        at all (the cross-day test sets): they are hidden before labeling,
+        so they neither enter the training set nor influence machine labels.
+        """
+        watch = self.timings_ = Stopwatch()
+        graph, labels, extractor, prune_stats = self.prepare_day(
+            context, hide_domains=exclude_domains, watch=watch
+        )
+        with watch.phase("measure_training_features"):
+            rng = np.random.default_rng(self.config.seed)
+            training = build_training_set(
+                extractor,
+                graph,
+                labels,
+                max_benign=self.config.max_benign_train,
+                rng=rng,
+            )
+        columns = self.config.columns()
+        training = training.select_columns(columns)
+        with watch.phase("train_classifier"):
+            classifier = self.config.make_classifier()
+            classifier.fit(training.X, training.y)
+        self.classifier_ = classifier
+        self.training_set_ = training
+        self.train_stats_ = dict(prune_stats)
+        self.train_stats_.update(
+            n_train_malware=float(training.n_malware),
+            n_train_benign=float(training.n_benign),
+        )
+        return self
+
+    # ------------------------------------------------------------------ #
+    # classification
+    # ------------------------------------------------------------------ #
+
+    def classify(
+        self,
+        context: ObservationContext,
+        hide_domains: Optional[Iterable[int]] = None,
+    ) -> DetectionReport:
+        """Score every unknown domain in the day's pruned graph.
+
+        ``hide_domains`` forces known test domains to be treated as unknown
+        (evaluation mode); in deployment it is None and only genuinely
+        unlabeled domains are scored.
+        """
+        if self.classifier_ is None:
+            raise RuntimeError("Segugio must be fitted before classify()")
+        watch = self.timings_
+        graph, labels, extractor, _ = self.prepare_day(
+            context, hide_domains=hide_domains, watch=watch
+        )
+        with watch.phase("measure_test_features"):
+            present = graph.domain_ids()
+            unknown_ids = present[
+                labels.domain_labels[present] == UNKNOWN
+            ]
+            X = extractor.feature_matrix(unknown_ids, hide_labels=False)
+        with watch.phase("score_domains"):
+            X = X[:, self.config.columns()]
+            scores = (
+                self.classifier_.predict_proba(X)
+                if unknown_ids.size
+                else np.empty(0, dtype=np.float64)
+            )
+        return DetectionReport(
+            day=context.day,
+            domain_ids=unknown_ids,
+            scores=scores,
+            graph=graph,
+            labels=labels,
+        )
+
+    # ------------------------------------------------------------------ #
+    # convenience
+    # ------------------------------------------------------------------ #
+
+    def explain(
+        self,
+        context: ObservationContext,
+        domain: str,
+        hide_domains: Optional[Iterable[int]] = None,
+    ) -> List[Dict[str, object]]:
+        """Feature attribution for one domain's malware score.
+
+        Measures the domain's features on *context* (with the same optional
+        hiding used at classification time) and attributes the classifier's
+        score to individual features by ablating each to the training-set
+        median (see :func:`repro.ml.importance.local_attribution`).  Rows
+        come back sorted by absolute contribution.
+        """
+        if self.classifier_ is None or self.training_set_ is None:
+            raise RuntimeError("Segugio must be fitted before explain()")
+        domain_id = context.domain_id(domain)
+        if domain_id is None:
+            raise KeyError(f"unknown domain {domain!r} in this network")
+        from repro.ml.importance import local_attribution
+
+        _, _, extractor, _ = self.prepare_day(context, hide_domains=hide_domains)
+        columns = self.config.columns()
+        x = extractor.feature_matrix([domain_id])[0][columns]
+        return local_attribution(
+            self.classifier_,
+            self.training_set_.X,
+            x,
+            feature_names=self.training_set_.feature_names,
+        )
+
+    def with_feature_columns(self, columns: Sequence[int]) -> "Segugio":
+        """A fresh (unfitted) Segugio restricted to the given feature columns."""
+        return Segugio(replace(self.config, feature_columns=tuple(columns)))
+
+    def __repr__(self) -> str:
+        fitted = self.classifier_ is not None
+        return f"Segugio(classifier={self.config.classifier!r}, fitted={fitted})"

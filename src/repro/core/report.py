@@ -1,0 +1,129 @@
+"""Detection-report export: JSON and CSV for downstream consumers.
+
+A deployment's output feeds ticketing, blocking, and vetting pipelines
+(§IV-D: "care should be taken (e.g., via an additional vetting process)
+before the discovered domains are deployed to block malware-control
+communications").  These helpers flatten a
+:class:`repro.core.pipeline.DetectionReport` into analyst-facing rows:
+domain, score, the querying machines, and the key feature context
+(fraction of infected queriers, activity recency, abused-IP overlap) that
+a vetting analyst reads first.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Optional, TextIO, Union
+
+import numpy as np
+
+from repro.core.features import FeatureExtractor
+from repro.core.pipeline import DetectionReport
+
+
+def detection_rows(
+    report: DetectionReport,
+    threshold: float,
+    extractor: Optional[FeatureExtractor] = None,
+    max_machines: int = 20,
+) -> List[Dict[str, object]]:
+    """Flatten detections at/above *threshold* into sortable dicts.
+
+    With an *extractor* (built over the same pruned graph/labels the
+    report came from) each row also carries the vetting context features.
+    """
+    mask = report.scores >= threshold
+    ids = report.domain_ids[mask]
+    scores = report.scores[mask]
+    order = np.argsort(-scores)
+    ids, scores = ids[order], scores[order]
+
+    features = None
+    if extractor is not None and ids.size:
+        features = extractor.feature_matrix(ids)
+
+    rows: List[Dict[str, object]] = []
+    for i, (domain_id, score) in enumerate(zip(ids, scores)):
+        machines = report.graph.machines_of_domain(int(domain_id))
+        machine_names = [
+            report.graph.machines.name(int(m)) for m in machines[:max_machines]
+        ]
+        row: Dict[str, object] = {
+            "domain": report.graph.domains.name(int(domain_id)),
+            "score": round(float(score), 6),
+            "day": report.day,
+            "n_machines": int(machines.size),
+            "machines": machine_names,
+        }
+        if features is not None:
+            row.update(
+                frac_infected_machines=round(float(features[i, 0]), 4),
+                days_active=int(features[i, 3]),
+                consecutive_days_active=int(features[i, 4]),
+                frac_abused_ips=round(float(features[i, 7]), 4),
+                frac_abused_prefixes=round(float(features[i, 8]), 4),
+            )
+        rows.append(row)
+    return rows
+
+
+def write_json(
+    report: DetectionReport,
+    threshold: float,
+    stream_or_path: Union[str, TextIO],
+    extractor: Optional[FeatureExtractor] = None,
+) -> None:
+    """Write detections as a JSON document with a small header."""
+    rows = detection_rows(report, threshold, extractor)
+    payload = {
+        "day": report.day,
+        "threshold": threshold,
+        "n_scored": len(report),
+        "n_detections": len(rows),
+        "detections": rows,
+    }
+    own = isinstance(stream_or_path, str)
+    stream = open(stream_or_path, "w") if own else stream_or_path
+    try:
+        json.dump(payload, stream, indent=2)
+    finally:
+        if own:
+            stream.close()
+
+
+def write_csv(
+    report: DetectionReport,
+    threshold: float,
+    stream_or_path: Union[str, TextIO],
+    extractor: Optional[FeatureExtractor] = None,
+) -> None:
+    """Write detections as CSV (machines joined with '|')."""
+    rows = detection_rows(report, threshold, extractor)
+    own = isinstance(stream_or_path, str)
+    stream = open(stream_or_path, "w", newline="") if own else stream_or_path
+    try:
+        if not rows:
+            stream.write("domain,score,day,n_machines,machines\n")
+            return
+        fieldnames = list(rows[0].keys())
+        writer = csv.DictWriter(stream, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in rows:
+            flat = dict(row)
+            flat["machines"] = "|".join(row["machines"])
+            writer.writerow(flat)
+    finally:
+        if own:
+            stream.close()
+
+
+def to_json_text(
+    report: DetectionReport,
+    threshold: float,
+    extractor: Optional[FeatureExtractor] = None,
+) -> str:
+    buffer = io.StringIO()
+    write_json(report, threshold, buffer, extractor)
+    return buffer.getvalue()

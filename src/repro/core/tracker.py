@@ -1,0 +1,176 @@
+"""Multi-day deployment: track malware-control domains as they appear.
+
+The paper's deployment mode (§IV-F) retrains Segugio on each day's traffic,
+sets the detection threshold from a target false-positive rate on the
+training-day benign scores, and flags the day's unknown domains.
+:class:`DomainTracker` runs that loop statefully across days:
+
+* per day it reports the *new* detections (first sighting) and the
+  machines implicated,
+* it maintains a ledger of every tracked domain (first/last detection day,
+  sighting count, best score),
+* :meth:`DomainTracker.confirmations` checks the ledger against a
+  blacklist feed — how many tracked domains the feed later confirmed, and
+  with what lead time (the Fig. 11 measurement, as an operational API).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.pipeline import ObservationContext, Segugio, SegugioConfig
+from repro.intel.blacklist import CncBlacklist
+from repro.ml.metrics import threshold_for_fpr
+
+
+@dataclass
+class TrackedDomain:
+    """Ledger entry for one detected domain."""
+
+    name: str
+    first_detected_day: int
+    last_detected_day: int
+    sightings: int = 1
+    best_score: float = 0.0
+
+    def update(self, day: int, score: float) -> None:
+        self.last_detected_day = max(self.last_detected_day, day)
+        self.sightings += 1
+        self.best_score = max(self.best_score, score)
+
+
+@dataclass
+class DayReport:
+    """What one tracked day produced."""
+
+    day: int
+    threshold: float
+    n_scored: int
+    new_detections: List[TrackedDomain] = field(default_factory=list)
+    repeat_detections: List[str] = field(default_factory=list)
+    implicated_machines: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (
+            f"day {self.day}: scored {self.n_scored} unknown domains, "
+            f"{len(self.new_detections)} new + "
+            f"{len(self.repeat_detections)} repeat detections, "
+            f"{len(self.implicated_machines)} machines implicated"
+        )
+
+
+@dataclass
+class Confirmation:
+    """A tracked domain later confirmed by a blacklist feed."""
+
+    name: str
+    detected_day: int
+    blacklisted_day: int
+
+    @property
+    def lead_days(self) -> int:
+        return self.blacklisted_day - self.detected_day
+
+
+class DomainTracker:
+    """Stateful day-by-day malware-control domain tracking."""
+
+    def __init__(
+        self,
+        config: Optional[SegugioConfig] = None,
+        fp_target: float = 0.001,
+    ) -> None:
+        if not 0 < fp_target < 1:
+            raise ValueError("fp_target must be in (0, 1)")
+        self.config = config if config is not None else SegugioConfig()
+        self.fp_target = fp_target
+        self.tracked: Dict[str, TrackedDomain] = {}
+        self.days_processed: List[int] = []
+
+    # ------------------------------------------------------------------ #
+
+    def process_day(self, context: ObservationContext) -> DayReport:
+        """Train on *context*, detect, and fold results into the ledger."""
+        if self.days_processed and context.day <= self.days_processed[-1]:
+            raise ValueError(
+                f"days must be processed in order; got {context.day} after "
+                f"{self.days_processed[-1]}"
+            )
+        model = Segugio(self.config)
+        model.fit(context)
+
+        training = model.training_set_
+        benign_scores = model.classifier_.predict_proba(
+            training.X[training.y == 0]
+        )
+        threshold = threshold_for_fpr(benign_scores, self.fp_target)
+
+        report = model.classify(context)
+        detections = report.detections(threshold)
+
+        day_report = DayReport(
+            day=context.day,
+            threshold=threshold,
+            n_scored=len(report),
+            implicated_machines=report.infected_machines(threshold),
+        )
+        for name, score in detections:
+            entry = self.tracked.get(name)
+            if entry is None:
+                entry = TrackedDomain(
+                    name=name,
+                    first_detected_day=context.day,
+                    last_detected_day=context.day,
+                    best_score=score,
+                )
+                self.tracked[name] = entry
+                day_report.new_detections.append(entry)
+            else:
+                entry.update(context.day, score)
+                day_report.repeat_detections.append(name)
+        self.days_processed.append(context.day)
+        return day_report
+
+    # ------------------------------------------------------------------ #
+
+    def confirmations(
+        self, blacklist: CncBlacklist, horizon: Optional[int] = None
+    ) -> List[Confirmation]:
+        """Tracked domains the feed confirmed *after* we detected them.
+
+        ``horizon`` caps the considered lead time in days (Fig. 11 uses 35).
+        """
+        confirmed: List[Confirmation] = []
+        for entry in self.tracked.values():
+            added = blacklist.added_day(entry.name)
+            if added is None or added <= entry.first_detected_day:
+                continue
+            lead = added - entry.first_detected_day
+            if horizon is not None and lead > horizon:
+                continue
+            confirmed.append(
+                Confirmation(
+                    name=entry.name,
+                    detected_day=entry.first_detected_day,
+                    blacklisted_day=added,
+                )
+            )
+        return sorted(confirmed, key=lambda c: (c.detected_day, c.name))
+
+    def persistent_domains(self, min_sightings: int = 2) -> List[TrackedDomain]:
+        """Domains detected on several days (stable C&C, prime takedown
+        candidates)."""
+        return sorted(
+            (e for e in self.tracked.values() if e.sightings >= min_sightings),
+            key=lambda e: -e.sightings,
+        )
+
+    def __len__(self) -> int:
+        return len(self.tracked)
+
+    def __repr__(self) -> str:
+        return (
+            f"DomainTracker(days={len(self.days_processed)}, "
+            f"tracked={len(self.tracked)})"
+        )

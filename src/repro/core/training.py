@@ -1,0 +1,109 @@
+"""Training-set construction with label hiding (paper Fig. 5).
+
+For every known *malware* or *benign* domain in the (pruned) training graph,
+its ground-truth label is temporarily hidden, its 11 features are measured
+as if it were unknown, and the feature vector is tagged with the original
+label.  The hidden-label semantics live in
+:meth:`repro.core.features.FeatureExtractor.feature_matrix`; this module
+assembles the dataset, optionally rebalancing the (heavily benign-skewed)
+classes by subsampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.features import FEATURE_NAMES, FeatureExtractor
+from repro.core.graph import BehaviorGraph
+from repro.core.labeling import BENIGN, MALWARE, GraphLabels
+
+
+@dataclass
+class TrainingSet:
+    """A labeled feature dataset ready for a classifier.
+
+    ``y`` is 1 for malware-control domains, 0 for benign domains.
+    """
+
+    X: np.ndarray
+    y: np.ndarray
+    domain_ids: np.ndarray
+    feature_names: List[str] = field(default_factory=lambda: list(FEATURE_NAMES))
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.y.shape[0])
+
+    @property
+    def n_malware(self) -> int:
+        return int(np.count_nonzero(self.y == 1))
+
+    @property
+    def n_benign(self) -> int:
+        return int(np.count_nonzero(self.y == 0))
+
+    def select_columns(self, columns: List[int]) -> "TrainingSet":
+        """A view of the dataset restricted to the given feature columns."""
+        return TrainingSet(
+            X=self.X[:, columns],
+            y=self.y,
+            domain_ids=self.domain_ids,
+            feature_names=[self.feature_names[i] for i in columns],
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TrainingSet(samples={self.n_samples}, malware={self.n_malware}, "
+            f"benign={self.n_benign}, features={self.X.shape[1]})"
+        )
+
+
+def build_training_set(
+    extractor: FeatureExtractor,
+    graph: BehaviorGraph,
+    labels: GraphLabels,
+    max_benign: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> TrainingSet:
+    """Measure hidden-label features for every known domain in *graph*.
+
+    Args:
+        extractor: Feature extractor built over the (pruned) training graph.
+        graph: The pruned training graph.
+        labels: Labels consistent with *graph*.
+        max_benign: Optional cap on the number of benign samples; when the
+            graph has more, a uniform random subsample of this size is used
+            (malware samples are never subsampled).
+        rng: Generator for the benign subsample (required when *max_benign*
+            triggers).
+
+    Raises:
+        ValueError: if either class is absent from the graph.
+    """
+    present = graph.domain_ids()
+    present_labels = labels.domain_labels[present]
+    malware_ids = present[present_labels == MALWARE]
+    benign_ids = present[present_labels == BENIGN]
+    if malware_ids.size == 0:
+        raise ValueError("training graph contains no known malware domains")
+    if benign_ids.size == 0:
+        raise ValueError("training graph contains no known benign domains")
+
+    if max_benign is not None and benign_ids.size > max_benign:
+        if rng is None:
+            raise ValueError("rng is required when subsampling benign domains")
+        benign_ids = rng.choice(benign_ids, size=max_benign, replace=False)
+        benign_ids.sort()
+
+    ids = np.concatenate([malware_ids, benign_ids])
+    X = extractor.feature_matrix(ids, hide_labels=True)
+    y = np.concatenate(
+        [
+            np.ones(malware_ids.size, dtype=np.int64),
+            np.zeros(benign_ids.size, dtype=np.int64),
+        ]
+    )
+    return TrainingSet(X=X, y=y, domain_ids=ids)

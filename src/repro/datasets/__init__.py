@@ -1,0 +1,13 @@
+"""Dataset persistence: observation days as on-disk directories.
+
+A deployment feeds Segugio from live infrastructure; experiments and
+hand-offs need the same inputs as files.  :mod:`repro.datasets.store`
+writes and reads a complete :class:`repro.core.pipeline.ObservationContext`
+— trace, feeds, activity index, passive-DNS history, PSL augmentation —
+as one self-describing directory, preserving the global domain-id space so
+models and reports transfer exactly.
+"""
+
+from repro.datasets.store import load_observation, save_observation
+
+__all__ = ["load_observation", "save_observation"]

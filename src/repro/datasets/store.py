@@ -1,0 +1,187 @@
+"""Serialize an observation day to a directory and back.
+
+Layout (one directory per observation)::
+
+    meta.json          format version, day, PSL private suffixes, counts
+    domains.txt        global domain interner, one name per id-ordered line
+    machines.txt       machine interner, same encoding
+    trace.tsv          the day's deduplicated edges + resolutions
+    blacklist.tsv      C&C feed (domain, added_day, family)
+    whitelist.txt      benign e2LDs
+    pdns.npz           passive-DNS columns (days, domain ids, ips)
+    activity.npz       (day, key) activity pairs for FQDs and e2LDs
+
+Ids are positional: ``domains.txt`` line *k* is the name of global domain
+id *k*, so a context loaded from disk reproduces the exact feature values
+and scores of the context that was saved (asserted by the round-trip
+tests).  The activity and pDNS stores are windowed at save time to what
+the pipeline can ever read for this day (activity window + pDNS window),
+keeping exports compact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.features import DEFAULT_ACTIVITY_WINDOW
+from repro.core.pipeline import DEFAULT_PDNS_WINDOW_DAYS, ObservationContext
+from repro.dns.activity import ActivityIndex
+from repro.dns.e2ld import E2ldIndex
+from repro.dns.publicsuffix import PublicSuffixList
+from repro.dns.trace import DayTrace
+from repro.intel.blacklist import CncBlacklist
+from repro.intel.whitelist import DomainWhitelist
+from repro.pdns.database import PassiveDNSDatabase
+from repro.utils.ids import Interner
+
+FORMAT_VERSION = 1
+
+
+def _activity_pairs(
+    index: ActivityIndex, keys: range, start_day: int, end_day: int
+) -> np.ndarray:
+    """(day, key) rows for every key active within [start_day, end_day]."""
+    rows: List[List[int]] = []
+    for key in keys:
+        if key not in index:
+            continue
+        for day in range(start_day, end_day + 1):
+            if index.is_active(key, day):
+                rows.append([day, key])
+    if not rows:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.asarray(rows, dtype=np.int64)
+
+
+def save_observation(
+    directory: str,
+    context: ObservationContext,
+    private_suffixes: Optional[List[str]] = None,
+    activity_window: int = DEFAULT_ACTIVITY_WINDOW,
+    pdns_window: int = DEFAULT_PDNS_WINDOW_DAYS,
+) -> None:
+    """Write *context* to *directory* (created if missing).
+
+    ``private_suffixes`` are the dynamic-DNS/free-hosting zones the PSL was
+    augmented with; they are required to recompute e2LDs identically at
+    load time.
+    """
+    os.makedirs(directory, exist_ok=True)
+    day = context.day
+
+    with open(os.path.join(directory, "domains.txt"), "w") as stream:
+        for name in context.trace.domains:
+            stream.write(name + "\n")
+    with open(os.path.join(directory, "machines.txt"), "w") as stream:
+        for name in context.trace.machines:
+            stream.write(name + "\n")
+
+    context.trace.save(os.path.join(directory, "trace.tsv"))
+    context.blacklist.save(os.path.join(directory, "blacklist.tsv"))
+    context.whitelist.save(os.path.join(directory, "whitelist.txt"))
+
+    pdns_start = max(day - pdns_window, 0)
+    days, domains, ips = context.pdns.window_records(pdns_start, day)
+    np.savez_compressed(
+        os.path.join(directory, "pdns.npz"),
+        days=days,
+        domains=domains,
+        ips=ips,
+    )
+
+    act_start = max(day - activity_window + 1, 0)
+    fqd_pairs = _activity_pairs(
+        context.fqd_activity,
+        range(len(context.trace.domains)),
+        act_start,
+        day,
+    )
+    e2ld_pairs = _activity_pairs(
+        context.e2ld_activity,
+        range(len(context.e2ld_index)),  # forces the e2LD mapping
+        act_start,
+        day,
+    )
+    np.savez_compressed(
+        os.path.join(directory, "activity.npz"),
+        fqd=fqd_pairs,
+        e2ld=e2ld_pairs,
+    )
+
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "day": day,
+        "private_suffixes": sorted(private_suffixes or []),
+        "n_domains": len(context.trace.domains),
+        "n_machines": len(context.trace.machines),
+        "n_edges": context.trace.n_edges,
+        "activity_window": activity_window,
+        "pdns_window": pdns_window,
+    }
+    with open(os.path.join(directory, "meta.json"), "w") as stream:
+        json.dump(meta, stream, indent=2)
+
+
+def load_observation(directory: str) -> ObservationContext:
+    """Read a directory written by :func:`save_observation`."""
+    with open(os.path.join(directory, "meta.json")) as stream:
+        meta = json.load(stream)
+    version = meta.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported dataset format version: {version}")
+    day = int(meta["day"])
+
+    with open(os.path.join(directory, "domains.txt")) as stream:
+        domains = Interner(line.rstrip("\n") for line in stream if line.strip())
+    with open(os.path.join(directory, "machines.txt")) as stream:
+        machines = Interner(line.rstrip("\n") for line in stream if line.strip())
+    if len(domains) != meta["n_domains"]:
+        raise ValueError("domains.txt does not match meta.json")
+    if len(machines) != meta["n_machines"]:
+        raise ValueError("machines.txt does not match meta.json")
+
+    trace = DayTrace.load(
+        os.path.join(directory, "trace.tsv"), machines=machines, domains=domains
+    )
+    blacklist = CncBlacklist.load(os.path.join(directory, "blacklist.tsv"))
+
+    psl = PublicSuffixList()
+    psl.add_private_suffixes(meta["private_suffixes"])
+    whitelist = DomainWhitelist.load(
+        os.path.join(directory, "whitelist.txt"), psl=psl
+    )
+    e2ld_index = E2ldIndex(domains, psl)
+
+    pdns = PassiveDNSDatabase()
+    with np.load(os.path.join(directory, "pdns.npz")) as payload:
+        days = payload["days"]
+        dom = payload["domains"]
+        ips = payload["ips"]
+    for unique_day in np.unique(days):
+        mask = days == unique_day
+        pdns.observe_day(int(unique_day), dom[mask], ips[mask])
+
+    fqd_activity = ActivityIndex()
+    e2ld_activity = ActivityIndex()
+    with np.load(os.path.join(directory, "activity.npz")) as payload:
+        for target, key in ((fqd_activity, "fqd"), (e2ld_activity, "e2ld")):
+            pairs = payload[key]
+            for unique_day in np.unique(pairs[:, 0]) if pairs.size else []:
+                target.record(
+                    int(unique_day), pairs[pairs[:, 0] == unique_day, 1]
+                )
+
+    return ObservationContext(
+        day=day,
+        trace=trace,
+        fqd_activity=fqd_activity,
+        e2ld_activity=e2ld_activity,
+        e2ld_index=e2ld_index,
+        pdns=pdns,
+        blacklist=blacklist,
+        whitelist=whitelist,
+    )

@@ -1,0 +1,32 @@
+"""DNS substrate: domain names, the public-suffix list, traces, activity.
+
+This package models the slice of the DNS ecosystem Segugio observes: A-record
+responses between ISP customers and the local resolver (``trace``), effective
+second-level domain computation via the public-suffix list (``publicsuffix``),
+and the rolling index of *when* each domain was queried (``activity``), which
+feeds the paper's F2 "domain activity" features.
+"""
+
+from repro.dns.activity import ActivityIndex
+from repro.dns.names import is_valid_domain, normalize_domain
+from repro.dns.publicsuffix import PublicSuffixList
+from repro.dns.records import (
+    AResponse,
+    format_ipv4,
+    parse_ipv4,
+    prefix24,
+)
+from repro.dns.trace import DayTrace, DayTraceBuilder
+
+__all__ = [
+    "ActivityIndex",
+    "AResponse",
+    "DayTrace",
+    "DayTraceBuilder",
+    "PublicSuffixList",
+    "format_ipv4",
+    "is_valid_domain",
+    "normalize_domain",
+    "parse_ipv4",
+    "prefix24",
+]

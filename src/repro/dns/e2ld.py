@@ -1,0 +1,66 @@
+"""Incremental domain-id -> effective-2LD-id mapping.
+
+Several parts of the system reason at e2LD granularity: pruning rule R4
+("discard domains whose effective 2LD is queried by >= theta_m machines"),
+the e2LD half of the F2 activity features, and the false-positive analysis
+of Table III.  Computing e2LDs through the PSL is string work, so this index
+does it once per distinct FQD and exposes the result as a dense int array
+aligned with the domain interner — NumPy-indexable like every other per-node
+annotation.
+
+The index grows lazily as the shared domain interner grows (new domains
+appear every day), and e2LDs get their own interner/id space.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.dns.publicsuffix import PublicSuffixList
+from repro.utils.ids import Interner
+
+
+class E2ldIndex:
+    """Dense mapping from FQD ids to e2LD ids, kept in sync with an interner."""
+
+    def __init__(
+        self, domains: Interner, psl: Optional[PublicSuffixList] = None
+    ) -> None:
+        self._domains = domains
+        self._psl = psl if psl is not None else PublicSuffixList()
+        self.e2lds = Interner()
+        self._mapping: list = []
+
+    def _ensure(self, n: int) -> None:
+        """Extend the mapping to cover domain ids < n."""
+        for domain_id in range(len(self._mapping), n):
+            name = self._domains.name(domain_id)
+            e2ld = self._psl.e2ld_or_self(name)
+            self._mapping.append(self.e2lds.intern(e2ld))
+
+    def e2ld_id_of(self, domain_id: int) -> int:
+        """The e2LD id for one FQD id."""
+        self._ensure(domain_id + 1)
+        return self._mapping[domain_id]
+
+    def e2ld_of(self, domain_id: int) -> str:
+        """The e2LD string for one FQD id."""
+        return self.e2lds.name(self.e2ld_id_of(domain_id))
+
+    def map_array(self) -> np.ndarray:
+        """int64 array aligned with the domain interner: FQD id -> e2LD id."""
+        self._ensure(len(self._domains))
+        return np.asarray(self._mapping, dtype=np.int64)
+
+    @property
+    def psl(self) -> PublicSuffixList:
+        return self._psl
+
+    def __len__(self) -> int:
+        self._ensure(len(self._domains))
+        return len(self.e2lds)
+
+    def __repr__(self) -> str:
+        return f"E2ldIndex(domains={len(self._domains)}, e2lds={len(self.e2lds)})"

@@ -1,0 +1,56 @@
+"""Domain-name normalization and validation.
+
+All domain strings entering the system pass through :func:`normalize_domain`
+so that graph nodes, blacklist entries, and whitelist entries agree on a
+canonical form (lowercase, no trailing dot).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+_LABEL_RE = re.compile(r"^[a-z0-9_]([a-z0-9_-]{0,61}[a-z0-9_])?$")
+
+MAX_DOMAIN_LENGTH = 253
+MAX_LABEL_LENGTH = 63
+
+
+def normalize_domain(domain: str) -> str:
+    """Return the canonical form of *domain*.
+
+    Lowercases and strips surrounding whitespace and a single trailing dot
+    (the DNS root).  Raises ``ValueError`` for empty input.
+    """
+    if not isinstance(domain, str):
+        raise TypeError(f"domain must be a string, got {type(domain).__name__}")
+    cleaned = domain.strip().lower().rstrip(".")
+    if not cleaned:
+        raise ValueError(f"empty domain name: {domain!r}")
+    return cleaned
+
+
+def domain_labels(domain: str) -> List[str]:
+    """Split a (normalized) domain into its dot-separated labels."""
+    return domain.split(".")
+
+
+def is_valid_domain(domain: str) -> bool:
+    """Check RFC-style syntactic validity of a normalized domain name."""
+    if not domain or len(domain) > MAX_DOMAIN_LENGTH:
+        return False
+    labels = domain.split(".")
+    if any(len(label) > MAX_LABEL_LENGTH for label in labels):
+        return False
+    return all(_LABEL_RE.match(label) for label in labels)
+
+
+def parent_domains(domain: str) -> List[str]:
+    """All proper parents, shortest last: ``a.b.c`` -> ``['b.c', 'c']``."""
+    labels = domain_labels(domain)
+    return [".".join(labels[i:]) for i in range(1, len(labels))]
+
+
+def subdomain_of(domain: str, ancestor: str) -> bool:
+    """True if *domain* equals *ancestor* or lies underneath it."""
+    return domain == ancestor or domain.endswith("." + ancestor)

@@ -1,0 +1,163 @@
+"""The local-resolver vantage point: caching resolution with TTLs.
+
+Segugio watches the DNS traffic between customer machines and the ISP's
+local resolver and uses "only authoritative DNS responses that map a
+domain to a set of valid IP addresses" (§II-A1).  Two consequences this
+module makes concrete:
+
+* **Caching** — the resolver answers repeat queries from cache within the
+  record's TTL; the *client-side* stream (Segugio's vantage) still sees
+  every query-response pair, cached or not, which is why a per-day
+  machine-domain edge exists regardless of upstream cache state.
+* **NXDOMAIN filtering** — queries for names with no authoritative answer
+  (e.g. the miss-storm of DGA malware, the signal Pleiades [11] uses)
+  produce no valid mapping and therefore never become graph edges;
+  :func:`valid_a_responses` is that boundary.
+
+:class:`StaticAuthority` is the authoritative side (a domain -> (IPs, TTL)
+table); :class:`CachingResolver` implements lookup with positive and
+negative caching and records hit/miss statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+import numpy as np
+
+NOERROR = "NOERROR"
+NXDOMAIN = "NXDOMAIN"
+
+
+@dataclass(frozen=True)
+class DnsAnswer:
+    """One resolver response as seen by the querying client."""
+
+    domain: str
+    status: str
+    ips: Tuple[int, ...] = ()
+    ttl: int = 0
+    from_cache: bool = False
+
+    @property
+    def is_valid_mapping(self) -> bool:
+        """True when this answer maps the name to at least one IP —
+        the only kind of response Segugio's graph is built from."""
+        return self.status == NOERROR and bool(self.ips)
+
+
+class StaticAuthority:
+    """Authoritative records: domain -> (IPs, TTL)."""
+
+    def __init__(self, default_ttl: int = 300) -> None:
+        if default_ttl <= 0:
+            raise ValueError("default_ttl must be positive")
+        self.default_ttl = default_ttl
+        self._records: Dict[str, Tuple[Tuple[int, ...], int]] = {}
+
+    def add_record(
+        self, domain: str, ips: Iterable[int], ttl: Optional[int] = None
+    ) -> None:
+        ip_tuple = tuple(int(ip) for ip in ips)
+        if not ip_tuple:
+            raise ValueError("a record needs at least one IP")
+        self._records[domain] = (ip_tuple, ttl or self.default_ttl)
+
+    def remove_record(self, domain: str) -> None:
+        self._records.pop(domain, None)
+
+    def lookup(self, domain: str) -> Optional[Tuple[Tuple[int, ...], int]]:
+        return self._records.get(domain)
+
+    def __contains__(self, domain: str) -> bool:
+        return domain in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+@dataclass
+class _CacheEntry:
+    expires_at: float
+    ips: Tuple[int, ...]
+    ttl: int
+
+
+@dataclass
+class ResolverStats:
+    queries: int = 0
+    cache_hits: int = 0
+    upstream_lookups: int = 0
+    nxdomain: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.queries if self.queries else 0.0
+
+
+class CachingResolver:
+    """A local resolver with positive and negative TTL caching."""
+
+    def __init__(
+        self, authority: StaticAuthority, negative_ttl: int = 60
+    ) -> None:
+        if negative_ttl <= 0:
+            raise ValueError("negative_ttl must be positive")
+        self.authority = authority
+        self.negative_ttl = negative_ttl
+        self._cache: Dict[str, _CacheEntry] = {}
+        self._negative: Dict[str, float] = {}
+        self.stats = ResolverStats()
+
+    def resolve(self, domain: str, now: float) -> DnsAnswer:
+        """Answer a client query at wall-clock *now* (seconds)."""
+        self.stats.queries += 1
+
+        entry = self._cache.get(domain)
+        if entry is not None and entry.expires_at > now:
+            self.stats.cache_hits += 1
+            return DnsAnswer(domain, NOERROR, entry.ips, entry.ttl, from_cache=True)
+
+        negative_until = self._negative.get(domain)
+        if negative_until is not None and negative_until > now:
+            self.stats.cache_hits += 1
+            self.stats.nxdomain += 1
+            return DnsAnswer(domain, NXDOMAIN, from_cache=True)
+
+        self.stats.upstream_lookups += 1
+        record = self.authority.lookup(domain)
+        if record is None:
+            self.stats.nxdomain += 1
+            self._negative[domain] = now + self.negative_ttl
+            return DnsAnswer(domain, NXDOMAIN)
+        ips, ttl = record
+        self._cache[domain] = _CacheEntry(now + ttl, ips, ttl)
+        return DnsAnswer(domain, NOERROR, ips, ttl)
+
+    def flush(self) -> None:
+        self._cache.clear()
+        self._negative.clear()
+
+
+def valid_a_responses(answers: Iterable[DnsAnswer]) -> Iterator[DnsAnswer]:
+    """The graph-construction boundary: keep only valid A mappings.
+
+    NXDOMAIN responses (DGA misses and typos) and empty answers are
+    dropped here — they never become machine-domain edges (paper §II-A1),
+    which is also why Segugio and Pleiades [11] see disjoint signals.
+    """
+    for answer in answers:
+        if answer.is_valid_mapping:
+            yield answer
+
+
+def authority_from_table(
+    domains: Iterable[Tuple[str, np.ndarray]], default_ttl: int = 300
+) -> StaticAuthority:
+    """Build an authority from (name, ip-array) pairs (scenario IP table)."""
+    authority = StaticAuthority(default_ttl=default_ttl)
+    for name, ips in domains:
+        if len(ips):
+            authority.add_record(name, (int(ip) for ip in ips))
+    return authority

@@ -1,0 +1,309 @@
+"""One day of observed DNS traffic: the *who-queried-what* edge list.
+
+A :class:`DayTrace` is the raw material for the machine-domain behavior
+graph (paper §II-A1).  It stores, for one observation window (one day):
+
+* the set of (machine, domain) query edges, deduplicated, as parallel NumPy
+  id arrays, and
+* the set of IPv4 addresses each queried domain resolved to during the day.
+
+Machine and domain names are interned through shared :class:`Interner`
+instances so that traces from different days of the same network live in a
+common id space, which is what lets the activity index and passive-DNS
+database reference domains across days without string comparisons.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Iterable, Optional, TextIO, Tuple, Union
+
+import numpy as np
+
+from repro.dns.records import AResponse, format_ipv4, parse_ipv4
+from repro.utils.ids import Interner
+
+
+class DayTrace:
+    """Deduplicated machine-domain query edges plus per-domain resolutions."""
+
+    def __init__(
+        self,
+        day: int,
+        machines: Interner,
+        domains: Interner,
+        edge_machines: np.ndarray,
+        edge_domains: np.ndarray,
+        resolutions: Dict[int, np.ndarray],
+    ) -> None:
+        if edge_machines.shape != edge_domains.shape:
+            raise ValueError("edge arrays must be parallel")
+        self.day = int(day)
+        self.machines = machines
+        self.domains = domains
+        self.edge_machines = np.asarray(edge_machines, dtype=np.int64)
+        self.edge_domains = np.asarray(edge_domains, dtype=np.int64)
+        self.resolutions = resolutions
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(
+        cls,
+        day: int,
+        machines: Interner,
+        domains: Interner,
+        edge_machines: Union[np.ndarray, Iterable[int]],
+        edge_domains: Union[np.ndarray, Iterable[int]],
+        resolutions: Optional[Dict[int, np.ndarray]] = None,
+    ) -> "DayTrace":
+        """Build a trace from possibly-duplicated edge id arrays."""
+        em = np.asarray(list(edge_machines) if not isinstance(edge_machines, np.ndarray) else edge_machines, dtype=np.int64)
+        ed = np.asarray(list(edge_domains) if not isinstance(edge_domains, np.ndarray) else edge_domains, dtype=np.int64)
+        if em.shape != ed.shape:
+            raise ValueError("edge arrays must be parallel")
+        em, ed = _dedupe_edges(em, ed)
+        return cls(day, machines, domains, em, ed, resolutions or {})
+
+    @classmethod
+    def from_responses(
+        cls,
+        day: int,
+        responses: Iterable[AResponse],
+        machines: Optional[Interner] = None,
+        domains: Optional[Interner] = None,
+    ) -> "DayTrace":
+        """Aggregate raw A responses into a deduplicated day trace."""
+        machines = machines if machines is not None else Interner()
+        domains = domains if domains is not None else Interner()
+        edge_m, edge_d = [], []
+        resolved: Dict[int, set] = {}
+        for response in responses:
+            if response.day != day:
+                raise ValueError(
+                    f"response for day {response.day} fed to trace of day {day}"
+                )
+            mid = machines.intern(response.machine)
+            did = domains.intern(response.domain)
+            edge_m.append(mid)
+            edge_d.append(did)
+            resolved.setdefault(did, set()).update(response.ips)
+        resolutions = {
+            did: np.array(sorted(ips), dtype=np.uint32)
+            for did, ips in resolved.items()
+        }
+        return cls.build(day, machines, domains, edge_m, edge_d, resolutions)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.edge_machines.shape[0])
+
+    def unique_machine_ids(self) -> np.ndarray:
+        return np.unique(self.edge_machines)
+
+    def unique_domain_ids(self) -> np.ndarray:
+        return np.unique(self.edge_domains)
+
+    def resolved_ips(self, domain_id: int) -> np.ndarray:
+        """IPs the domain resolved to this day (empty array if none seen)."""
+        ips = self.resolutions.get(domain_id)
+        if ips is None:
+            return np.empty(0, dtype=np.uint32)
+        return ips
+
+    # ------------------------------------------------------------------ #
+    # serialization (TSV: machine, domain, comma-joined IPs)
+    # ------------------------------------------------------------------ #
+
+    def save(self, stream_or_path: Union[str, TextIO]) -> None:
+        """Write the trace as TSV lines ``machine\\tdomain\\tip1,ip2``."""
+        own = isinstance(stream_or_path, str)
+        stream = open(stream_or_path, "w") if own else stream_or_path
+        try:
+            stream.write(f"# day {self.day}\n")
+            for mid, did in zip(self.edge_machines, self.edge_domains):
+                ips = ",".join(format_ipv4(int(ip)) for ip in self.resolved_ips(int(did)))
+                stream.write(
+                    f"{self.machines.name(int(mid))}\t"
+                    f"{self.domains.name(int(did))}\t{ips}\n"
+                )
+        finally:
+            if own:
+                stream.close()
+
+    @classmethod
+    def load(
+        cls,
+        stream_or_path: Union[str, TextIO],
+        machines: Optional[Interner] = None,
+        domains: Optional[Interner] = None,
+    ) -> "DayTrace":
+        """Read a trace previously written by :meth:`save`."""
+        own = isinstance(stream_or_path, str)
+        stream = open(stream_or_path) if own else stream_or_path
+        machines = machines if machines is not None else Interner()
+        domains = domains if domains is not None else Interner()
+        try:
+            day = 0
+            edge_m, edge_d = [], []
+            resolutions: Dict[int, set] = {}
+            for line in stream:
+                line = line.rstrip("\n")
+                if not line:
+                    continue
+                if line.startswith("#"):
+                    parts = line[1:].split()
+                    if len(parts) == 2 and parts[0] == "day":
+                        day = int(parts[1])
+                    continue
+                machine, domain, ips_text = line.split("\t")
+                mid = machines.intern(machine)
+                did = domains.intern(domain)
+                edge_m.append(mid)
+                edge_d.append(did)
+                if ips_text:
+                    resolutions.setdefault(did, set()).update(
+                        parse_ipv4(ip) for ip in ips_text.split(",")
+                    )
+            packed = {
+                did: np.array(sorted(ips), dtype=np.uint32)
+                for did, ips in resolutions.items()
+            }
+            return cls.build(day, machines, domains, edge_m, edge_d, packed)
+        finally:
+            if own:
+                stream.close()
+
+    def to_tsv(self) -> str:
+        buffer = io.StringIO()
+        self.save(buffer)
+        return buffer.getvalue()
+
+    def __repr__(self) -> str:
+        return (
+            f"DayTrace(day={self.day}, edges={self.n_edges}, "
+            f"machines={len(self.unique_machine_ids())}, "
+            f"domains={len(self.unique_domain_ids())})"
+        )
+
+
+class DayTraceBuilder:
+    """Incremental construction of a day trace from collector chunks.
+
+    Real collectors emit traffic in chunks (hourly files, streaming
+    batches); the builder accumulates edges and resolutions across any
+    number of :meth:`add_edges` / :meth:`add_responses` calls and
+    deduplicates once at :meth:`build` time.  Interners may be shared with
+    other days, exactly like :meth:`DayTrace.build`.
+    """
+
+    def __init__(
+        self,
+        day: int,
+        machines: Optional[Interner] = None,
+        domains: Optional[Interner] = None,
+    ) -> None:
+        self.day = int(day)
+        self.machines = machines if machines is not None else Interner()
+        self.domains = domains if domains is not None else Interner()
+        self._machine_chunks: list = []
+        self._domain_chunks: list = []
+        self._resolved: Dict[int, set] = {}
+        self._built = False
+
+    def add_edges(
+        self,
+        edge_machines: Union[np.ndarray, Iterable[int]],
+        edge_domains: Union[np.ndarray, Iterable[int]],
+    ) -> "DayTraceBuilder":
+        """Append a chunk of (machine id, domain id) pairs."""
+        self._check_open()
+        em = np.asarray(
+            list(edge_machines)
+            if not isinstance(edge_machines, np.ndarray)
+            else edge_machines,
+            dtype=np.int64,
+        )
+        ed = np.asarray(
+            list(edge_domains)
+            if not isinstance(edge_domains, np.ndarray)
+            else edge_domains,
+            dtype=np.int64,
+        )
+        if em.shape != ed.shape:
+            raise ValueError("edge arrays must be parallel")
+        self._machine_chunks.append(em)
+        self._domain_chunks.append(ed)
+        return self
+
+    def add_responses(self, responses: Iterable[AResponse]) -> "DayTraceBuilder":
+        """Append a chunk of raw A responses (names interned here)."""
+        self._check_open()
+        em, ed = [], []
+        for response in responses:
+            if response.day != self.day:
+                raise ValueError(
+                    f"response for day {response.day} fed to builder of day "
+                    f"{self.day}"
+                )
+            mid = self.machines.intern(response.machine)
+            did = self.domains.intern(response.domain)
+            em.append(mid)
+            ed.append(did)
+            self._resolved.setdefault(did, set()).update(response.ips)
+        if em:
+            self.add_edges(em, ed)
+        return self
+
+    def add_resolution(self, domain_id: int, ips: Iterable[int]) -> "DayTraceBuilder":
+        """Record resolved IPs for a domain id (unioned across chunks)."""
+        self._check_open()
+        self._resolved.setdefault(int(domain_id), set()).update(
+            int(ip) for ip in ips
+        )
+        return self
+
+    @property
+    def n_pending_edges(self) -> int:
+        return int(sum(chunk.size for chunk in self._machine_chunks))
+
+    def build(self) -> DayTrace:
+        """Deduplicate everything accumulated and seal the builder."""
+        self._check_open()
+        self._built = True
+        if self._machine_chunks:
+            em = np.concatenate(self._machine_chunks)
+            ed = np.concatenate(self._domain_chunks)
+        else:
+            em = np.empty(0, dtype=np.int64)
+            ed = np.empty(0, dtype=np.int64)
+        resolutions = {
+            did: np.array(sorted(ips), dtype=np.uint32)
+            for did, ips in self._resolved.items()
+        }
+        return DayTrace.build(
+            self.day, self.machines, self.domains, em, ed, resolutions
+        )
+
+    def _check_open(self) -> None:
+        if self._built:
+            raise RuntimeError("builder already built; create a new one")
+
+
+def _dedupe_edges(
+    edge_machines: np.ndarray, edge_domains: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Deduplicate parallel (machine, domain) arrays, preserving pairs."""
+    if edge_machines.size == 0:
+        return edge_machines, edge_domains
+    # Pack each pair into one int64 key; ids are dense and far below 2**31.
+    max_domain = int(edge_domains.max()) + 1
+    keys = edge_machines * max_domain + edge_domains
+    unique_keys = np.unique(keys)
+    return unique_keys // max_domain, unique_keys % max_domain

@@ -1,0 +1,207 @@
+"""Adversarial-evasion experiments (paper §VI, "Limitations").
+
+The paper discusses three evasion avenues; each driver here builds a
+world where the attacker actually plays that strategy and measures what it
+buys them:
+
+* **fast rotation** — "malware operators may try to change their malware
+  C&C domains more frequently than the observation window."  Families
+  rotate domains with much shorter lifetimes and higher arrival rates.
+* **domain sharding** — each bot contacts only a small slice of the
+  family's active set, thinning every domain's querier count (pushing
+  domains under pruning rule R3 and weakening the F1 features).
+* **popular-domain cover** — C&C channels ride whitelisted free-hosting
+  e2LDs ("the malware owner may build a C&C channel within some social
+  network profile"), making them invisible to blacklist/whitelist
+  labeling.
+
+Every driver compares a baseline world against the evasion world built
+from the same seed, at test scale (each variant requires regenerating
+the traces).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.graph import BehaviorGraph
+from repro.core.labeling import BENIGN, label_domains
+from repro.core.pipeline import SegugioConfig
+from repro.eval.harness import RocExperiment, cross_day_experiment
+from repro.synth.config import ScenarioConfig, small_scenario_config
+from repro.synth.scenario import Scenario
+
+
+def _world(config: ScenarioConfig) -> Scenario:
+    return Scenario(config)
+
+
+def _accuracy(
+    scenario: Scenario,
+    gap: int,
+    config: Optional[SegugioConfig],
+    seed: int,
+) -> RocExperiment:
+    return cross_day_experiment(
+        scenario.context("isp1", scenario.eval_day(0)),
+        scenario.context("isp1", scenario.eval_day(gap)),
+        config=config,
+        seed=seed,
+    )
+
+
+def _oracle_detection(
+    scenario: Scenario,
+    day_offset: int,
+    config: Optional[SegugioConfig],
+) -> Dict[str, float]:
+    """Deployment-mode detection measured against the *synthetic oracle*.
+
+    Fast rotation starves the blacklist (domains die before the feed
+    catches them), which shrinks the blacklist-based *test set* — but the
+    oracle knows every C&C name, so detection of unknown-but-truly-
+    malicious domains remains measurable regardless of feed lag.
+    """
+    from repro.core.pipeline import Segugio
+    from repro.ml.metrics import roc_curve
+
+    context = scenario.context("isp1", scenario.eval_day(day_offset))
+    model = Segugio(config)
+    model.fit(context)
+    report = model.classify(context)
+    names = [report.graph.domains.name(int(d)) for d in report.domain_ids]
+    y = np.asarray(
+        [1 if scenario.is_true_malware(n) else 0 for n in names], dtype=np.int64
+    )
+    if y.sum() == 0 or y.sum() == y.size:
+        return {"oracle_tp_at_1pct": float("nan"), "n_true_cnc_scored": int(y.sum())}
+    roc = roc_curve(y, report.scores)
+    return {
+        "oracle_tp_at_1pct": float(roc.tpr_at(0.01)),
+        "n_true_cnc_scored": int(y.sum()),
+    }
+
+
+def evasion_fast_rotation(
+    seed: int = 7,
+    gap: int = 8,
+    config: Optional[SegugioConfig] = None,
+    experiment_seed: int = 1,
+) -> Dict[str, object]:
+    """Baseline vs. fast-rotating families (≈2-5 day lifetimes, no
+    long-lived backbone, doubled arrival rate).
+
+    Fast rotation's main effect is starving *blacklist-based* evaluation
+    and tracking (domains die before the feed lists them); the
+    oracle-based deployment metric shows whether Segugio itself still
+    ranks the live C&C correctly.
+    """
+    base_config = small_scenario_config(seed)
+    fast_malware = dataclasses.replace(
+        base_config.malware,
+        domain_lifetime=(2, 5),
+        long_lived_fraction=0.0,
+        new_domain_rate=base_config.malware.new_domain_rate * 2.0,
+    )
+    fast_config = dataclasses.replace(base_config, malware=fast_malware)
+
+    base_world = _world(base_config)
+    baseline = _accuracy(base_world, gap, config, experiment_seed)
+    fast_world = _world(fast_config)
+    fast = _accuracy(fast_world, gap, config, experiment_seed)
+    baseline_oracle = _oracle_detection(base_world, gap, config)
+    fast_oracle = _oracle_detection(fast_world, gap, config)
+    return {
+        "baseline": baseline,
+        "evasion": fast,
+        "baseline_tp_at_1pct": baseline.roc.tpr_at(0.01),
+        "evasion_tp_at_1pct": fast.roc.tpr_at(0.01),
+        "baseline_oracle": baseline_oracle,
+        "evasion_oracle": fast_oracle,
+        "note": (
+            "fast rotation shrinks the blacklist-testable set; the oracle "
+            "metric shows live C&C is still ranked correctly, and the "
+            "detection-day reports still enumerate the infected machines "
+            "(§VI: infections can still be remediated)"
+        ),
+    }
+
+
+def evasion_domain_sharding(
+    seed: int = 7,
+    gap: int = 8,
+    config: Optional[SegugioConfig] = None,
+    experiment_seed: int = 1,
+) -> Dict[str, object]:
+    """Baseline vs. sharded call-homes (bot_query_prob cut to a quarter)."""
+    base_config = small_scenario_config(seed)
+    sharded_malware = dataclasses.replace(
+        base_config.malware,
+        bot_query_prob=base_config.malware.bot_query_prob / 4.0,
+        new_domain_rate=base_config.malware.new_domain_rate * 2.0,
+    )
+    sharded_config = dataclasses.replace(base_config, malware=sharded_malware)
+
+    baseline = _accuracy(_world(base_config), gap, config, experiment_seed)
+    sharded_world = _world(sharded_config)
+    sharded = _accuracy(sharded_world, gap, config, experiment_seed)
+
+    # How much C&C went invisible: active malware domains with < 2 queriers
+    # cannot survive pruning once unknown.
+    day = sharded_world.eval_day(gap)
+    graph = BehaviorGraph.from_trace(sharded_world.trace("isp1", day))
+    degrees = graph.domain_degrees()
+    active = sharded_world.malware.active_mask(day)
+    active_ids = sharded_world.malware.fqd_ids[active]
+    thin = int(np.count_nonzero(degrees[active_ids] < 2))
+    return {
+        "baseline": baseline,
+        "evasion": sharded,
+        "baseline_tp_at_1pct": baseline.roc.tpr_at(0.01),
+        "evasion_tp_at_1pct": sharded.roc.tpr_at(0.01),
+        "n_active_cnc": int(active_ids.size),
+        "n_under_r3": thin,
+    }
+
+
+def evasion_popular_cover(
+    seed: int = 7,
+    config: Optional[SegugioConfig] = None,
+    cover_fraction: float = 0.5,
+) -> Dict[str, object]:
+    """How much C&C escapes *labeling* when it hides under whitelisted
+    free-hosting e2LDs (it can still be detected, but counts as FP)."""
+    base_config = small_scenario_config(seed)
+    cover_malware = dataclasses.replace(
+        base_config.malware, free_hosting_cnc_fraction=cover_fraction
+    )
+    cover_config = dataclasses.replace(base_config, malware=cover_malware)
+    world = _world(cover_config)
+
+    day = world.eval_day(5)
+    context = world.context("isp1", day)
+    graph = BehaviorGraph.from_trace(context.trace)
+    labels = label_domains(
+        graph, context.blacklist, context.whitelist, as_of_day=day
+    )
+    active = world.malware.active_mask(day)
+    active_ids = world.malware.fqd_ids[active]
+    present = active_ids[graph.domain_degrees()[active_ids] > 0]
+    n_whitelisted_cover = int(
+        np.count_nonzero(labels[present] == BENIGN)
+    )
+    return {
+        "n_active_cnc_in_traffic": int(present.size),
+        "n_labeled_benign": n_whitelisted_cover,
+        "cover_success_rate": (
+            n_whitelisted_cover / present.size if present.size else 0.0
+        ),
+        "note": (
+            "covered C&C is mislabeled benign by the whitelist; when scored "
+            "(hidden) it surfaces as the paper's Table III 'false positives "
+            "that may very well be actual malware-control domains'"
+        ),
+    }

@@ -1,0 +1,250 @@
+"""One-shot reproduction report: every experiment, one Markdown file.
+
+``generate_report`` runs a configurable subset of the paper's experiments
+on a scenario and writes a self-contained Markdown report with the same
+paper-vs-measured framing as EXPERIMENTS.md — the single command a
+reviewer runs to regenerate the evaluation:
+
+    segugio report --out report.md --scale benchmark
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.eval import experiments as E
+from repro.eval.reporting import ascii_table, histogram, roc_series_table
+from repro.synth.diagnostics import diagnose
+from repro.synth.scenario import Scenario
+
+SECTIONS: List[str] = [
+    "diagnostics",
+    "table1",
+    "fig3",
+    "pruning",
+    "fig6",
+    "fig7",
+    "fig8",
+    "table3",
+    "fig10",
+    "crossbl",
+    "fig11",
+    "perf",
+    "fig12",
+    "lbp",
+]
+
+
+def _section_diagnostics(scenario: Scenario) -> str:
+    result = diagnose(scenario, "isp1", scenario.eval_day(0))
+    return "```\n" + result.report() + "\n```"
+
+
+def _section_table1(scenario: Scenario) -> str:
+    rows = E.table1_dataset_summary(scenario, days_per_isp=2, gap=5)
+    return "```\n" + ascii_table(
+        list(rows[0].keys()), [list(r.values()) for r in rows]
+    ) + "\n```"
+
+
+def _section_fig3(scenario: Scenario) -> str:
+    result = E.fig3_infection_behavior(scenario, "isp1", scenario.eval_day(0))
+    return (
+        f"{result['frac_query_more_than_one']:.0%} of infected machines "
+        f"query more than one C&C domain (paper: ~70%); "
+        f"{result['frac_query_more_than_twenty']:.1%} query more than "
+        f"twenty (paper: extremely unlikely)."
+    )
+
+
+def _section_pruning(scenario: Scenario) -> str:
+    stats = E.pruning_statistics(scenario, days_per_isp=1)
+    return (
+        f"R1-R4 removed {stats['avg_domains_removed_pct']:.1f}% of domains "
+        f"(paper −26.55%), {stats['avg_machines_removed_pct']:.1f}% of "
+        f"machines (paper −13.85%), {stats['avg_edges_removed_pct']:.1f}% of "
+        f"edges (paper −26.59%)."
+    )
+
+
+def _section_fig6(scenario: Scenario) -> str:
+    results = E.fig6_cross_day_and_network(scenario)
+    table = roc_series_table({e.name: e.roc for e in results.values()})
+    return "Paper: consistently >=92% TP @ 0.1% FP.\n\n```\n" + table + "\n```"
+
+
+def _section_fig7(scenario: Scenario) -> str:
+    results = E.fig7_feature_ablation(scenario)
+    table = roc_series_table({n: e.roc for n, e in results.items()})
+    return (
+        "Paper: 'No IP' stays >80% TP at <0.2% FP; removing the machine-"
+        "behavior group costs the low-FP region.\n\n```\n" + table + "\n```"
+    )
+
+
+def _section_fig8(scenario: Scenario) -> str:
+    result = E.fig8_cross_family(scenario)
+    return (
+        f"{result.summary()} (paper: >85% TP @ 0.1% FP on never-trained "
+        f"families)."
+    )
+
+
+def _section_table3(scenario: Scenario) -> str:
+    experiment = E.cross_day_experiment(
+        scenario.context("isp1", scenario.eval_day(0)),
+        scenario.context("isp1", scenario.eval_day(13)),
+        keep_model=True,
+    )
+    analysis = E.table3_fp_analysis(
+        scenario, experiment, scenario.context("isp1", scenario.eval_day(13)),
+        fp_budget=0.005,
+    )
+    rows = [
+        ["TP rate at threshold", f"{analysis['tp_rate']:.3f}"],
+        ["FP FQDs / e2LDs", f"{analysis['fp_fqds']} / {analysis['fp_e2lds']}"],
+        [">90% infected queriers", f"{analysis['frac_over_90pct_infected']:.0%}"],
+        ["past abused IPs", f"{analysis['frac_past_abused_ips']:.0%}"],
+        ["active <= 3 days", f"{analysis['frac_active_3days_or_less']:.0%}"],
+        ["queried by sandboxed malware", f"{analysis['frac_sandbox_queried']:.0%}"],
+        ["actually malware (oracle)", f"{analysis['frac_actually_malware']:.0%}"],
+    ]
+    return "```\n" + ascii_table(["quantity", "measured"], rows) + "\n```"
+
+
+def _section_fig10(scenario: Scenario) -> str:
+    experiment = E.fig10_public_blacklist(scenario)
+    return f"{experiment.summary()} (paper: >94% TP @ 0.1% FP)."
+
+
+def _section_crossbl(scenario: Scenario) -> str:
+    result = E.cross_blacklist_test(scenario)
+    points = result["operating_points"]
+    return (
+        f"{result['n_public_only']} public-only domains in traffic "
+        f"(paper: 53); TP @ (0.1%, 0.5%, 0.9%) FP = "
+        f"({points[0.001]:.2f}, {points[0.005]:.2f}, {points[0.009]:.2f}) "
+        f"(paper: 0.57, 0.74, 0.77)."
+    )
+
+
+def _section_fig11(scenario: Scenario) -> str:
+    result = E.fig11_early_detection(scenario, n_days=2)
+    block = histogram(result["gaps"], bins=[1, 3, 5, 8, 12, 20, 36])
+    return (
+        f"{result['n_domains_later_blacklisted']} detections later entered "
+        f"the blacklist; mean lead {result['mean_gap_days']:.1f} days "
+        f"(paper: 38 domains over 8 ISP-days, many flagged days-to-weeks "
+        f"early).\n\n```\n" + block + "\n```"
+    )
+
+
+def _section_perf(scenario: Scenario) -> str:
+    timing = E.performance_timing(scenario, n_days=1)
+    return (
+        f"learning {timing['train_total']:.1f}s, classification "
+        f"{timing['test_total']:.1f}s per day at this scale (paper: ~60 min "
+        f"and ~3 min on 320M-edge graphs)."
+    )
+
+
+def _section_fig12(scenario: Scenario) -> str:
+    result = E.fig12_notos_comparison(scenario)
+    curves = {"Segugio": result.segugio_roc, "Notos-style": result.notos_roc}
+    if result.exposure_roc is not None:
+        curves["Exposure-style"] = result.exposure_roc
+    table = roc_series_table(curves, fpr_grid=(0.001, 0.007, 0.01, 0.05))
+    breakdown = ascii_table(
+        ["evidence", "count"], list(result.notos_fp_breakdown.items())
+    )
+    return (
+        f"{result.summary()}\n\n```\n{table}\n```\n\nNotos FP breakdown "
+        f"(Table IV):\n\n```\n{breakdown}\n```"
+    )
+
+
+def _section_lbp(scenario: Scenario) -> str:
+    result = E.graph_inference_comparison(scenario)
+    table = roc_series_table(result["curves"])
+    pauc = result["partial_auc_at_1pct"]
+    gain = (pauc["Segugio"] - pauc["Loopy BP"]) / max(pauc["Loopy BP"], 1e-9)
+    return (
+        f"Segugio vs loopy BP: +{gain:.0%} partial AUC @1% FP "
+        f"(paper: ~45% better on average); LBP ran in "
+        f"{result['lbp_seconds']:.2f}s here vs tens of hours at ISP scale.\n\n"
+        f"```\n{table}\n```"
+    )
+
+
+_RENDERERS: Dict[str, Callable[[Scenario], str]] = {
+    "diagnostics": _section_diagnostics,
+    "table1": _section_table1,
+    "fig3": _section_fig3,
+    "pruning": _section_pruning,
+    "fig6": _section_fig6,
+    "fig7": _section_fig7,
+    "fig8": _section_fig8,
+    "table3": _section_table3,
+    "fig10": _section_fig10,
+    "crossbl": _section_crossbl,
+    "fig11": _section_fig11,
+    "perf": _section_perf,
+    "fig12": _section_fig12,
+    "lbp": _section_lbp,
+}
+
+_TITLES: Dict[str, str] = {
+    "diagnostics": "World diagnostics (preconditions)",
+    "table1": "Table I — dataset summary",
+    "fig3": "Fig. 3 — C&C domains per infected machine",
+    "pruning": "§III — graph pruning",
+    "fig6": "Table II + Fig. 6 — cross-day & cross-network",
+    "fig7": "Fig. 7 — feature ablation",
+    "fig8": "Fig. 8 — cross-malware-family",
+    "table3": "Table III — false-positive analysis",
+    "fig10": "Fig. 10 — public blacklists",
+    "crossbl": "§IV-E — cross-blacklist",
+    "fig11": "Fig. 11 — early detection",
+    "perf": "§IV-G — efficiency",
+    "fig12": "Fig. 12 + Table IV — vs. Notos",
+    "lbp": "§I pilot — vs. loopy BP",
+}
+
+
+def generate_report(
+    scenario: Scenario,
+    sections: Optional[Sequence[str]] = None,
+) -> str:
+    """Render the chosen *sections* (default: all) to Markdown text."""
+    chosen = list(sections) if sections is not None else list(SECTIONS)
+    unknown = [s for s in chosen if s not in _RENDERERS]
+    if unknown:
+        raise ValueError(f"unknown report sections: {unknown}")
+
+    lines = [
+        "# Segugio reproduction report",
+        "",
+        f"world: `{scenario!r}`",
+        "",
+    ]
+    for section in chosen:
+        start = time.perf_counter()
+        body = _RENDERERS[section](scenario)
+        elapsed = time.perf_counter() - start
+        lines.append(f"## {_TITLES[section]}")
+        lines.append("")
+        lines.append(body)
+        lines.append("")
+        lines.append(f"*(section generated in {elapsed:.1f}s)*")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    scenario: Scenario,
+    path: str,
+    sections: Optional[Sequence[str]] = None,
+) -> None:
+    with open(path, "w") as stream:
+        stream.write(generate_report(scenario, sections))

@@ -1,0 +1,76 @@
+"""ASCII rendering of tables, ROC series, and histograms.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.ml.metrics import RocCurve
+
+DEFAULT_FPR_GRID = (0.0005, 0.001, 0.002, 0.005, 0.01)
+
+
+def ascii_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: Optional[str] = None
+) -> str:
+    """Render a fixed-width table with a separator under the header."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def roc_series_table(
+    curves: Dict[str, RocCurve],
+    fpr_grid: Sequence[float] = DEFAULT_FPR_GRID,
+    title: Optional[str] = None,
+) -> str:
+    """TPR of each named curve at a grid of FPR operating points."""
+    headers = ["series"] + [f"TP@{fpr:.2%}FP" for fpr in fpr_grid] + ["AUC"]
+    rows = []
+    for name, curve in curves.items():
+        rows.append(
+            [name]
+            + [f"{curve.tpr_at(fpr):.3f}" for fpr in fpr_grid]
+            + [f"{curve.auc():.4f}"]
+        )
+    return ascii_table(headers, rows, title=title)
+
+
+def histogram(
+    values: Sequence[float],
+    bins: Sequence[float],
+    title: Optional[str] = None,
+    width: int = 40,
+) -> str:
+    """A horizontal bar histogram (counts per bin)."""
+    counts, edges = np.histogram(np.asarray(values, dtype=np.float64), bins=bins)
+    peak = max(int(counts.max()), 1)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"[{lo:6.1f}, {hi:6.1f})  {count:6d}  {bar}")
+    return "\n".join(lines)
+
+
+def fraction(numerator: int, denominator: int) -> str:
+    if denominator == 0:
+        return "n/a"
+    return f"{numerator} ({100.0 * numerator / denominator:.0f}%)"

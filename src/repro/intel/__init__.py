@@ -1,0 +1,22 @@
+"""Ground-truth substrates: C&C blacklists, domain whitelists, sandbox traces.
+
+The paper seeds Segugio's graph labels from (a) a commercial C&C blacklist
+with malware-family labels and time-stamped additions, (b) public blacklists
+(abuse.ch trackers etc.), and (c) an Alexa-derived whitelist of effective
+2LDs that stayed in the top-1M list for a full year.  A sandbox-trace
+database is used to vet false positives (Table III / Table IV).  This package
+implements each of those as a first-class substrate, populated either from
+files or from the synthetic scenario generator.
+"""
+
+from repro.intel.blacklist import BlacklistEntry, CncBlacklist
+from repro.intel.sandbox import SandboxTraceDB
+from repro.intel.whitelist import DomainWhitelist, RankingArchive
+
+__all__ = [
+    "BlacklistEntry",
+    "CncBlacklist",
+    "DomainWhitelist",
+    "RankingArchive",
+    "SandboxTraceDB",
+]

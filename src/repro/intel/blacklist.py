@@ -1,0 +1,185 @@
+"""Malware C&C domain blacklists.
+
+Models both the commercial blacklist the paper uses (tens of thousands of
+vetted C&C domains with malware-family labels, each with the day it was
+added) and the smaller public blacklists (§IV-E).  Matching is on the entire
+fully-qualified domain-name string, exactly as in the paper ("we check if its
+entire domain name string matches a domain in our C&C blacklist").
+
+Time-stamped additions are what enable the early-detection experiment
+(Fig. 11): a domain can be an *eventual* blacklist entry while still being
+unknown to any ``as_of_day`` snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Set, TextIO, Union
+
+from repro.dns.names import normalize_domain
+
+
+@dataclass(frozen=True)
+class BlacklistEntry:
+    """One blacklisted C&C domain.
+
+    Attributes:
+        domain: Normalized FQD.
+        family: Malware family (or finer-grained criminal-group) label, if
+            the feed provides one.
+        added_day: Absolute day the entry appeared in the feed.
+    """
+
+    domain: str
+    family: Optional[str]
+    added_day: int
+
+
+class CncBlacklist:
+    """A time-stamped, family-labeled C&C domain blacklist."""
+
+    def __init__(self, name: str = "blacklist") -> None:
+        self.name = name
+        self._entries: Dict[str, BlacklistEntry] = {}
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+
+    def add(
+        self, domain: str, added_day: int, family: Optional[str] = None
+    ) -> None:
+        """Add an entry; the earliest addition day wins on duplicates."""
+        domain = normalize_domain(domain)
+        existing = self._entries.get(domain)
+        if existing is None or added_day < existing.added_day:
+            self._entries[domain] = BlacklistEntry(domain, family, added_day)
+
+    def snapshot(self, as_of_day: int, name: Optional[str] = None) -> "CncBlacklist":
+        """A frozen copy containing only entries published by *as_of_day*.
+
+        Used by comparison experiments that must pin a system's ground-truth
+        knowledge to its training day (paper §V: "both Notos and Segugio
+        were trained using only ground truth gathered before t_train").
+        """
+        frozen = CncBlacklist(name or f"{self.name}@{as_of_day}")
+        for entry in self:
+            if entry.added_day <= as_of_day:
+                frozen.add(entry.domain, entry.added_day, entry.family)
+        return frozen
+
+    def union(self, other: "CncBlacklist", name: Optional[str] = None) -> "CncBlacklist":
+        """Merge two blacklists (earliest addition day wins per domain)."""
+        merged = CncBlacklist(name or f"{self.name}+{other.name}")
+        for entry in self:
+            merged.add(entry.domain, entry.added_day, entry.family)
+        for entry in other:
+            merged.add(entry.domain, entry.added_day, entry.family)
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def contains(self, domain: str, as_of_day: Optional[int] = None) -> bool:
+        """Whole-string match; restricted to the feed snapshot *as_of_day*."""
+        entry = self._entries.get(normalize_domain(domain))
+        if entry is None:
+            return False
+        return as_of_day is None or entry.added_day <= as_of_day
+
+    def entry(self, domain: str) -> Optional[BlacklistEntry]:
+        return self._entries.get(normalize_domain(domain))
+
+    def added_day(self, domain: str) -> Optional[int]:
+        entry = self.entry(domain)
+        return None if entry is None else entry.added_day
+
+    def family_of(self, domain: str) -> Optional[str]:
+        entry = self.entry(domain)
+        return None if entry is None else entry.family
+
+    def domains(self, as_of_day: Optional[int] = None) -> Set[str]:
+        """All blacklisted domains known by *as_of_day* (or ever)."""
+        if as_of_day is None:
+            return set(self._entries)
+        return {
+            domain
+            for domain, entry in self._entries.items()
+            if entry.added_day <= as_of_day
+        }
+
+    def families(self) -> Set[str]:
+        """Distinct family labels present in the feed."""
+        return {
+            entry.family
+            for entry in self._entries.values()
+            if entry.family is not None
+        }
+
+    def domains_by_family(self) -> Dict[str, List[str]]:
+        """Map family label -> sorted list of its domains (labeled only)."""
+        grouped: Dict[str, List[str]] = {}
+        for entry in self._entries.values():
+            if entry.family is not None:
+                grouped.setdefault(entry.family, []).append(entry.domain)
+        for domains in grouped.values():
+            domains.sort()
+        return grouped
+
+    def restricted_to_families(
+        self, families: Iterable[str], name: Optional[str] = None
+    ) -> "CncBlacklist":
+        """A copy containing only entries of the given families."""
+        wanted = set(families)
+        subset = CncBlacklist(name or f"{self.name}[families]")
+        for entry in self._entries.values():
+            if entry.family in wanted:
+                subset.add(entry.domain, entry.added_day, entry.family)
+        return subset
+
+    # ------------------------------------------------------------------ #
+    # serialization (TSV: domain, added_day, family)
+    # ------------------------------------------------------------------ #
+
+    def save(self, stream_or_path: Union[str, TextIO]) -> None:
+        own = isinstance(stream_or_path, str)
+        stream = open(stream_or_path, "w") if own else stream_or_path
+        try:
+            for entry in sorted(self._entries.values(), key=lambda e: e.domain):
+                family = entry.family if entry.family is not None else ""
+                stream.write(f"{entry.domain}\t{entry.added_day}\t{family}\n")
+        finally:
+            if own:
+                stream.close()
+
+    @classmethod
+    def load(
+        cls, stream_or_path: Union[str, TextIO], name: str = "blacklist"
+    ) -> "CncBlacklist":
+        own = isinstance(stream_or_path, str)
+        stream = open(stream_or_path) if own else stream_or_path
+        blacklist = cls(name)
+        try:
+            for line in stream:
+                line = line.rstrip("\n")
+                if not line or line.startswith("#"):
+                    continue
+                domain, added_day, family = line.split("\t")
+                blacklist.add(domain, int(added_day), family or None)
+            return blacklist
+        finally:
+            if own:
+                stream.close()
+
+    def __contains__(self, domain: str) -> bool:
+        return self.contains(domain)
+
+    def __iter__(self) -> Iterator[BlacklistEntry]:
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"CncBlacklist(name={self.name!r}, entries={len(self)})"

@@ -1,0 +1,172 @@
+"""Popular-domain whitelists derived from a daily ranking archive.
+
+The paper's benign ground truth (§III) is built in three steps:
+
+1. Collect the Alexa top-1M list every day for one year.
+2. Keep only effective 2LDs that appeared in the top list *every* day
+   ("consistently top"), which filters out briefly-popular malicious domains.
+3. Remove e2LDs that offer free registration of subdomains (dynamic DNS,
+   blog hosting, ...), whose subdomains are routinely abused — while
+   acknowledging that this filtering is imperfect and some noise remains
+   (the source of the false-positive analysis in Table III).
+
+:class:`RankingArchive` models step 1-2; :class:`DomainWhitelist` models the
+final filtered e2LD set and FQD membership checks via the public-suffix list.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Set, TextIO, Union
+
+from repro.dns.names import normalize_domain
+from repro.dns.publicsuffix import PublicSuffixList
+
+
+class RankingArchive:
+    """An archive of daily popular-e2LD snapshots (an Alexa-style feed)."""
+
+    def __init__(self) -> None:
+        self._days: Dict[int, Set[str]] = {}
+
+    def record_day(self, day: int, e2lds: Iterable[str]) -> None:
+        """Store the top list observed on *day* (replaces a prior snapshot)."""
+        self._days[day] = {normalize_domain(d) for d in e2lds}
+
+    def days(self) -> Set[int]:
+        return set(self._days)
+
+    def snapshot(self, day: int) -> Set[str]:
+        if day not in self._days:
+            raise KeyError(f"no ranking snapshot for day {day}")
+        return set(self._days[day])
+
+    def consistent_top(self, min_days: Optional[int] = None) -> Set[str]:
+        """e2LDs present in (at least) *min_days* snapshots.
+
+        With the default ``min_days=None`` an e2LD must appear in *every*
+        snapshot, reproducing the paper's "consistently appeared in the top
+        one-million list for the entire year" criterion.
+        """
+        if not self._days:
+            return set()
+        required = len(self._days) if min_days is None else min_days
+        counts: Dict[str, int] = {}
+        for snapshot in self._days.values():
+            for e2ld in snapshot:
+                counts[e2ld] = counts.get(e2ld, 0) + 1
+        return {e2ld for e2ld, count in counts.items() if count >= required}
+
+    def __len__(self) -> int:
+        return len(self._days)
+
+    def __repr__(self) -> str:
+        return f"RankingArchive(days={len(self._days)})"
+
+
+class DomainWhitelist:
+    """A set of benign effective 2LDs with FQD membership checks."""
+
+    def __init__(
+        self,
+        e2lds: Iterable[str],
+        psl: Optional[PublicSuffixList] = None,
+        name: str = "whitelist",
+    ) -> None:
+        self.name = name
+        self._psl = psl if psl is not None else PublicSuffixList()
+        self._e2lds = {normalize_domain(d) for d in e2lds}
+
+    @classmethod
+    def from_archive(
+        cls,
+        archive: RankingArchive,
+        free_registration_e2lds: Iterable[str] = (),
+        psl: Optional[PublicSuffixList] = None,
+        min_days: Optional[int] = None,
+        name: str = "whitelist",
+    ) -> "DomainWhitelist":
+        """Build the paper's whitelist: consistent-top minus free-registration.
+
+        ``free_registration_e2lds`` is the (deliberately incomplete, in the
+        synthetic scenarios) list of known subdomain-hosting services to
+        exclude.
+        """
+        consistent = archive.consistent_top(min_days=min_days)
+        excluded = {normalize_domain(d) for d in free_registration_e2lds}
+        return cls(consistent - excluded, psl=psl, name=name)
+
+    @property
+    def e2lds(self) -> Set[str]:
+        return set(self._e2lds)
+
+    def contains_e2ld(self, e2ld: str) -> bool:
+        return normalize_domain(e2ld) in self._e2lds
+
+    def is_whitelisted(self, fqd: str) -> bool:
+        """True when the FQD's effective 2LD is in the whitelist.
+
+        Mirrors the paper's example: ``www.bbc.co.uk`` is whitelisted because
+        its e2LD ``bbc.co.uk`` is in the list.
+        """
+        e2ld = self._psl.e2ld_or_self(fqd)
+        return e2ld in self._e2lds
+
+    def remove(self, e2lds: Iterable[str]) -> "DomainWhitelist":
+        """A copy with the given e2LDs removed (used by the Notos setup)."""
+        removed = {normalize_domain(d) for d in e2lds}
+        return DomainWhitelist(
+            self._e2lds - removed, psl=self._psl, name=self.name
+        )
+
+    def restrict_to(self, e2lds: Iterable[str]) -> "DomainWhitelist":
+        """A copy intersected with the given e2LDs (e.g. top-100K only)."""
+        kept = {normalize_domain(d) for d in e2lds}
+        return DomainWhitelist(
+            self._e2lds & kept, psl=self._psl, name=self.name
+        )
+
+    # ------------------------------------------------------------------ #
+    # serialization (one e2LD per line)
+    # ------------------------------------------------------------------ #
+
+    def save(self, stream_or_path: Union[str, TextIO]) -> None:
+        own = isinstance(stream_or_path, str)
+        stream = open(stream_or_path, "w") if own else stream_or_path
+        try:
+            for e2ld in sorted(self._e2lds):
+                stream.write(e2ld + "\n")
+        finally:
+            if own:
+                stream.close()
+
+    @classmethod
+    def load(
+        cls,
+        stream_or_path: Union[str, TextIO],
+        psl: Optional[PublicSuffixList] = None,
+        name: str = "whitelist",
+    ) -> "DomainWhitelist":
+        own = isinstance(stream_or_path, str)
+        stream = open(stream_or_path) if own else stream_or_path
+        try:
+            e2lds = [
+                line.strip()
+                for line in stream
+                if line.strip() and not line.startswith("#")
+            ]
+            return cls(e2lds, psl=psl, name=name)
+        finally:
+            if own:
+                stream.close()
+
+    def __contains__(self, fqd: str) -> bool:
+        return self.is_whitelisted(fqd)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._e2lds)
+
+    def __len__(self) -> int:
+        return len(self._e2lds)
+
+    def __repr__(self) -> str:
+        return f"DomainWhitelist(name={self.name!r}, e2lds={len(self)})"

@@ -1,0 +1,57 @@
+"""From-scratch statistical learning substrate.
+
+The paper trains its behavior-based classifier with Random Forest [9] (and
+mentions logistic regression [10] as an alternative).  Neither is available
+offline here, so this package implements them:
+
+* :mod:`repro.ml.preprocessing` — quantile bin mapping (shared by all trees
+  of a forest) and feature standardization.
+* :mod:`repro.ml.tree` — histogram-based CART decision trees (Gini).
+* :mod:`repro.ml.forest` — bagged random forests with feature subsampling
+  and class-balanced bootstrap weighting.
+* :mod:`repro.ml.logistic` — L2-regularized logistic regression via L-BFGS.
+* :mod:`repro.ml.metrics` — ROC curves, AUC, TP@FP operating points.
+* :mod:`repro.ml.folds` — stratified and family-grouped cross-validation
+  folds (the latter drives the cross-malware-family experiment, Fig. 8).
+"""
+
+from repro.ml.calibration import FprCalibrator, IsotonicCalibrator
+from repro.ml.drift import ScoreDriftMonitor, population_stability_index
+from repro.ml.folds import family_balanced_folds, stratified_kfold
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.importance import permutation_importance
+from repro.ml.logistic import LogisticRegression
+from repro.ml.metrics import (
+    RocCurve,
+    auc,
+    confusion_at_threshold,
+    roc_curve,
+    threshold_for_fpr,
+    tpr_at_fpr,
+)
+from repro.ml.preprocessing import BinMapper, StandardScaler
+from repro.ml.serialization import load_forest, save_forest
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = [
+    "BinMapper",
+    "DecisionTreeClassifier",
+    "FprCalibrator",
+    "IsotonicCalibrator",
+    "LogisticRegression",
+    "RandomForestClassifier",
+    "ScoreDriftMonitor",
+    "RocCurve",
+    "StandardScaler",
+    "auc",
+    "confusion_at_threshold",
+    "family_balanced_folds",
+    "load_forest",
+    "permutation_importance",
+    "population_stability_index",
+    "roc_curve",
+    "save_forest",
+    "stratified_kfold",
+    "threshold_for_fpr",
+    "tpr_at_fpr",
+]

@@ -1,0 +1,118 @@
+"""Score-distribution drift monitoring for deployed models.
+
+The paper's answer to model staleness is daily retraining (§IV-G makes it
+cheap).  A deployment that retrains less often needs to know *when* the
+model has aged out: this module compares the benign score distribution a
+model produces today against the distribution at training time using the
+population stability index (PSI) — the standard drift statistic.
+
+Rule-of-thumb thresholds (industry convention): PSI < 0.1 stable,
+0.1-0.25 moderate shift (watch), > 0.25 significant shift (retrain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+PSI_WATCH = 0.10
+PSI_RETRAIN = 0.25
+
+
+def population_stability_index(
+    reference: np.ndarray,
+    current: np.ndarray,
+    n_bins: int = 10,
+) -> float:
+    """PSI between a reference and a current sample of scores.
+
+    Bins are deciles of the *reference* distribution (ties collapsed);
+    empty bins are floored at a small epsilon so the index stays finite.
+    """
+    reference = np.asarray(reference, dtype=np.float64)
+    current = np.asarray(current, dtype=np.float64)
+    if reference.size == 0 or current.size == 0:
+        raise ValueError("both samples must be non-empty")
+    if n_bins < 2:
+        raise ValueError("n_bins must be >= 2")
+
+    quantiles = np.linspace(0, 1, n_bins + 1)[1:-1]
+    edges = np.unique(np.quantile(reference, quantiles))
+    ref_counts = np.bincount(
+        np.searchsorted(edges, reference, side="left"),
+        minlength=edges.size + 1,
+    ).astype(np.float64)
+    cur_counts = np.bincount(
+        np.searchsorted(edges, current, side="left"),
+        minlength=edges.size + 1,
+    ).astype(np.float64)
+
+    eps = 1e-6
+    ref_frac = np.maximum(ref_counts / ref_counts.sum(), eps)
+    cur_frac = np.maximum(cur_counts / cur_counts.sum(), eps)
+    return float(np.sum((cur_frac - ref_frac) * np.log(cur_frac / ref_frac)))
+
+
+@dataclass
+class DriftCheck:
+    """Result of one drift check."""
+
+    day: int
+    psi: float
+
+    @property
+    def status(self) -> str:
+        if self.psi >= PSI_RETRAIN:
+            return "retrain"
+        if self.psi >= PSI_WATCH:
+            return "watch"
+        return "stable"
+
+
+class ScoreDriftMonitor:
+    """Tracks a deployed model's benign-score drift day over day.
+
+    Feed it the training-day benign scores once, then each deployment
+    day's scores (any mix — at ISP scale the overwhelming majority of
+    scored unknowns is benign, so the bulk distribution tracks the benign
+    population).
+    """
+
+    def __init__(
+        self, reference_scores: np.ndarray, n_bins: int = 10
+    ) -> None:
+        reference = np.asarray(reference_scores, dtype=np.float64)
+        if reference.size == 0:
+            raise ValueError("reference scores must be non-empty")
+        self._reference = reference
+        self.n_bins = int(n_bins)
+        self.history: List[DriftCheck] = []
+
+    def check(self, day: int, scores: np.ndarray) -> DriftCheck:
+        """Record and return the drift check for one day's scores."""
+        psi = population_stability_index(
+            self._reference, scores, n_bins=self.n_bins
+        )
+        result = DriftCheck(day=int(day), psi=psi)
+        self.history.append(result)
+        return result
+
+    def needs_retraining(self) -> bool:
+        """True when the most recent check crossed the retrain threshold."""
+        return bool(self.history) and self.history[-1].psi >= PSI_RETRAIN
+
+    def trend(self) -> Optional[str]:
+        """'rising' / 'falling' / 'flat' over the last three checks."""
+        if len(self.history) < 3:
+            return None
+        last = [check.psi for check in self.history[-3:]]
+        if last[2] > last[1] > last[0]:
+            return "rising"
+        if last[2] < last[1] < last[0]:
+            return "falling"
+        return "flat"
+
+    def __len__(self) -> int:
+        return len(self.history)

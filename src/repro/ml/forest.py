@@ -1,0 +1,132 @@
+"""Random Forest classifier (Breiman [9]) over histogram CART trees.
+
+Bootstrap-bagged :class:`repro.ml.tree.DecisionTreeClassifier` ensemble with
+per-split feature subsampling.  The malware/benign training sets of this
+problem are heavily skewed (hundreds of thousands of benign e2LDs vs. a few
+thousand C&C domains), so the forest supports ``class_weight="balanced"``,
+which reweights each bootstrap sample inversely to its class frequency.
+
+The model's score for a domain is the mean over trees of the leaf
+P(malware) — the "malware score" thresholded by the deployment (paper
+§II-A3, "Classifier Operation").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.ml.preprocessing import BinMapper
+from repro.ml.tree import DecisionTreeClassifier
+from repro.utils.validation import as_1d_int_array, as_2d_float_array, check_same_length
+
+
+class RandomForestClassifier:
+    """Bagged histogram-CART ensemble returning P(malware) scores."""
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        max_depth: int = 14,
+        min_samples_leaf: int = 1,
+        max_features: Union[str, int, None] = "sqrt",
+        max_bins: int = 255,
+        class_weight: Optional[str] = "balanced",
+        bootstrap: bool = True,
+        random_state: int = 0,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        if class_weight not in (None, "balanced"):
+            raise ValueError('class_weight must be None or "balanced"')
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.max_bins = max_bins
+        self.class_weight = class_weight
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+
+        self.trees_: List[DecisionTreeClassifier] = []
+        self.bin_mapper_: Optional[BinMapper] = None
+        self.n_features_: Optional[int] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        X = as_2d_float_array(X)
+        y = as_1d_int_array(y)
+        check_same_length(X, y)
+        classes = np.unique(y)
+        if not np.isin(classes, (0, 1)).all():
+            raise ValueError("labels must be binary (0/1)")
+        if classes.size < 2:
+            raise ValueError("training data must contain both classes")
+
+        self.n_features_ = X.shape[1]
+        self.bin_mapper_ = BinMapper(max_bins=self.max_bins)
+        X_binned = self.bin_mapper_.fit_transform(X)
+
+        base_weight = np.ones(y.shape[0], dtype=np.float64)
+        if self.class_weight == "balanced":
+            n = y.shape[0]
+            n_pos = int(np.count_nonzero(y == 1))
+            n_neg = n - n_pos
+            base_weight[y == 1] = n / (2.0 * n_pos)
+            base_weight[y == 0] = n / (2.0 * n_neg)
+
+        root_rng = np.random.default_rng(self.random_state)
+        seeds = root_rng.integers(0, 2**63 - 1, size=self.n_estimators)
+        self.trees_ = []
+        n = y.shape[0]
+        for seed in seeds:
+            rng = np.random.default_rng(int(seed))
+            if self.bootstrap:
+                sample = rng.integers(0, n, size=n)
+            else:
+                sample = np.arange(n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                rng=rng,
+            )
+            tree.fit(X_binned[sample], y[sample], base_weight[sample])
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Mean leaf P(malware) over the ensemble, shape (n_samples,)."""
+        if not self.trees_ or self.bin_mapper_ is None:
+            raise RuntimeError("forest is not fitted")
+        X = as_2d_float_array(X)
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"expected {self.n_features_} features, got {X.shape[1]}"
+            )
+        X_binned = self.bin_mapper_.transform(X)
+        scores = np.zeros(X.shape[0], dtype=np.float64)
+        for tree in self.trees_:
+            scores += tree.predict_proba_binned(X_binned)
+        return scores / len(self.trees_)
+
+    def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Hard labels at the given malware-score threshold."""
+        return (self.predict_proba(X) >= threshold).astype(np.int64)
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """Total split gain per feature, normalized to sum to 1."""
+        if not self.trees_:
+            raise RuntimeError("forest is not fitted")
+        gains = np.zeros(self.n_features_, dtype=np.float64)
+        for tree in self.trees_:
+            gains += tree.feature_gain_
+        total = gains.sum()
+        return gains / total if total > 0 else gains
+
+    def __repr__(self) -> str:
+        return (
+            f"RandomForestClassifier(n_estimators={self.n_estimators}, "
+            f"max_depth={self.max_depth}, fitted={bool(self.trees_)})"
+        )

@@ -1,0 +1,141 @@
+"""Detection metrics: ROC curves, AUC, and TP@FP operating points.
+
+Every accuracy claim in the paper is an ROC statement ("94% TPs at less than
+0.1% FPs"), so the evaluation harness works in terms of :class:`RocCurve`
+objects and the :func:`tpr_at_fpr` operating-point query.  The paper's ROC
+figures plot FPs over a restricted range (e.g. [0, 0.01]); curves here carry
+the full range and the reporting layer restricts as needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.utils.validation import as_1d_int_array, check_same_length
+
+
+@dataclass
+class RocCurve:
+    """An ROC curve: parallel FPR/TPR arrays plus the score thresholds."""
+
+    fpr: np.ndarray
+    tpr: np.ndarray
+    thresholds: np.ndarray
+
+    def auc(self) -> float:
+        return float(np.trapezoid(self.tpr, self.fpr))
+
+    def partial_auc(self, max_fpr: float) -> float:
+        """AUC restricted to fpr <= max_fpr, normalized to [0, 1]."""
+        if not 0 < max_fpr <= 1:
+            raise ValueError("max_fpr must be in (0, 1]")
+        fpr, tpr = self.fpr, self.tpr
+        mask = fpr <= max_fpr
+        fpr_cut = np.append(fpr[mask], max_fpr)
+        tpr_cut = np.append(tpr[mask], np.interp(max_fpr, fpr, tpr))
+        return float(np.trapezoid(tpr_cut, fpr_cut) / max_fpr)
+
+    def tpr_at(self, max_fpr: float) -> float:
+        """Highest achievable TPR with FPR <= max_fpr."""
+        mask = self.fpr <= max_fpr
+        if not mask.any():
+            return 0.0
+        return float(self.tpr[mask].max())
+
+    def threshold_at(self, max_fpr: float) -> float:
+        """Score threshold realizing :meth:`tpr_at` for the given FPR cap."""
+        mask = self.fpr <= max_fpr
+        if not mask.any():
+            return float(np.inf)
+        candidates = np.flatnonzero(mask)
+        best = candidates[np.argmax(self.tpr[candidates])]
+        return float(self.thresholds[best])
+
+    def points(self, max_fpr: float = 1.0) -> List[Tuple[float, float]]:
+        """(fpr, tpr) pairs with fpr <= max_fpr, for plotting/reporting."""
+        mask = self.fpr <= max_fpr
+        return list(zip(self.fpr[mask].tolist(), self.tpr[mask].tolist()))
+
+
+def roc_curve(y_true: np.ndarray, scores: np.ndarray) -> RocCurve:
+    """Compute the ROC curve of binary labels vs. continuous scores.
+
+    Ties in score are collapsed into single curve points (standard
+    construction); the returned thresholds are the distinct score values in
+    decreasing order, prefixed with +inf for the (0, 0) corner.
+    """
+    y_true = as_1d_int_array(y_true)
+    scores = np.asarray(scores, dtype=np.float64)
+    check_same_length(y_true, scores, "y_true, scores")
+    if y_true.size == 0:
+        raise ValueError("cannot compute ROC of an empty sample")
+    n_pos = int(np.count_nonzero(y_true == 1))
+    n_neg = y_true.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("ROC requires both positive and negative samples")
+
+    order = np.argsort(-scores, kind="stable")
+    sorted_scores = scores[order]
+    sorted_labels = y_true[order]
+
+    # Indices where the score changes: curve vertices.
+    distinct = np.flatnonzero(np.diff(sorted_scores))
+    cut_points = np.append(distinct, y_true.size - 1)
+
+    tp_cum = np.cumsum(sorted_labels == 1)[cut_points]
+    fp_cum = np.cumsum(sorted_labels == 0)[cut_points]
+
+    tpr = np.concatenate([[0.0], tp_cum / n_pos])
+    fpr = np.concatenate([[0.0], fp_cum / n_neg])
+    thresholds = np.concatenate([[np.inf], sorted_scores[cut_points]])
+    return RocCurve(fpr=fpr, tpr=tpr, thresholds=thresholds)
+
+
+def auc(y_true: np.ndarray, scores: np.ndarray) -> float:
+    return roc_curve(y_true, scores).auc()
+
+
+def tpr_at_fpr(y_true: np.ndarray, scores: np.ndarray, max_fpr: float) -> float:
+    """Best TPR achievable at FPR <= max_fpr (a paper-style operating point)."""
+    return roc_curve(y_true, scores).tpr_at(max_fpr)
+
+
+def threshold_for_fpr(
+    benign_scores: np.ndarray, max_fpr: float
+) -> float:
+    """Smallest threshold whose FP rate on *benign_scores* is <= max_fpr.
+
+    This is how the deployment experiments pick their detection threshold
+    ("we set the detection threshold to obtain <= 0.1% false positives",
+    §IV-F) — using benign-labeled traffic only, no test ground truth.
+    """
+    scores = np.sort(np.asarray(benign_scores, dtype=np.float64))
+    if scores.size == 0:
+        raise ValueError("need at least one benign score")
+    if not 0 <= max_fpr <= 1:
+        raise ValueError("max_fpr must be in [0, 1]")
+    allowed_fp = int(np.floor(max_fpr * scores.size))
+    if allowed_fp == 0:
+        return float(np.nextafter(scores[-1], np.inf))
+    # Threshold just above the (allowed_fp)-th highest benign score.
+    return float(np.nextafter(scores[-allowed_fp], np.inf))
+
+
+def confusion_at_threshold(
+    y_true: np.ndarray, scores: np.ndarray, threshold: float
+) -> Dict[str, int]:
+    """TP/FP/TN/FN counts with detection rule ``score >= threshold``."""
+    y_true = as_1d_int_array(y_true)
+    scores = np.asarray(scores, dtype=np.float64)
+    check_same_length(y_true, scores, "y_true, scores")
+    detected = scores >= threshold
+    pos = y_true == 1
+    return {
+        "tp": int(np.count_nonzero(detected & pos)),
+        "fp": int(np.count_nonzero(detected & ~pos)),
+        "tn": int(np.count_nonzero(~detected & ~pos)),
+        "fn": int(np.count_nonzero(~detected & pos)),
+    }

@@ -1,0 +1,127 @@
+"""Model persistence: forests (and their bin mappers) to/from JSON.
+
+A Segugio deployment trains once per day but may classify on many
+collector nodes; serializing the fitted classifier lets the model travel
+without retraining (the paper's cross-network result — train at one ISP,
+deploy at another — is operationally exactly this).
+
+The format is plain JSON (lists + scalars) with a version tag; NumPy
+arrays are stored as nested lists.  Only fitted models serialize.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, TextIO, Union
+
+import numpy as np
+
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.preprocessing import BinMapper
+from repro.ml.tree import DecisionTreeClassifier
+
+FORMAT_VERSION = 1
+
+
+def tree_to_dict(tree: DecisionTreeClassifier) -> Dict[str, Any]:
+    if tree.node_feature_ is None:
+        raise ValueError("cannot serialize an unfitted tree")
+    return {
+        "max_depth": tree.max_depth,
+        "n_features": tree.n_features_,
+        "feature": tree.node_feature_.tolist(),
+        "threshold": tree.node_threshold_.tolist(),
+        "left": tree.node_left_.tolist(),
+        "right": tree.node_right_.tolist(),
+        "value": tree.node_value_.tolist(),
+        "feature_gain": tree.feature_gain_.tolist(),
+    }
+
+
+def tree_from_dict(payload: Dict[str, Any]) -> DecisionTreeClassifier:
+    tree = DecisionTreeClassifier(max_depth=payload["max_depth"])
+    tree.n_features_ = payload["n_features"]
+    tree.node_feature_ = np.asarray(payload["feature"], dtype=np.int64)
+    tree.node_threshold_ = np.asarray(payload["threshold"], dtype=np.int64)
+    tree.node_left_ = np.asarray(payload["left"], dtype=np.int64)
+    tree.node_right_ = np.asarray(payload["right"], dtype=np.int64)
+    tree.node_value_ = np.asarray(payload["value"], dtype=np.float64)
+    tree.feature_gain_ = np.asarray(payload["feature_gain"], dtype=np.float64)
+    return tree
+
+
+def bin_mapper_to_dict(mapper: BinMapper) -> Dict[str, Any]:
+    if mapper.bin_edges_ is None:
+        raise ValueError("cannot serialize an unfitted BinMapper")
+    return {
+        "max_bins": mapper.max_bins,
+        "bin_edges": [edges.tolist() for edges in mapper.bin_edges_],
+    }
+
+
+def bin_mapper_from_dict(payload: Dict[str, Any]) -> BinMapper:
+    mapper = BinMapper(max_bins=payload["max_bins"])
+    mapper.bin_edges_ = [
+        np.asarray(edges, dtype=np.float64) for edges in payload["bin_edges"]
+    ]
+    return mapper
+
+
+def forest_to_dict(forest: RandomForestClassifier) -> Dict[str, Any]:
+    if not forest.trees_ or forest.bin_mapper_ is None:
+        raise ValueError("cannot serialize an unfitted forest")
+    return {
+        "format_version": FORMAT_VERSION,
+        "model": "random_forest",
+        "n_estimators": forest.n_estimators,
+        "max_depth": forest.max_depth,
+        "max_features": forest.max_features,
+        "max_bins": forest.max_bins,
+        "class_weight": forest.class_weight,
+        "n_features": forest.n_features_,
+        "bin_mapper": bin_mapper_to_dict(forest.bin_mapper_),
+        "trees": [tree_to_dict(tree) for tree in forest.trees_],
+    }
+
+
+def forest_from_dict(payload: Dict[str, Any]) -> RandomForestClassifier:
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported model format version: {version}")
+    if payload.get("model") != "random_forest":
+        raise ValueError(f"not a random forest payload: {payload.get('model')}")
+    forest = RandomForestClassifier(
+        n_estimators=payload["n_estimators"],
+        max_depth=payload["max_depth"],
+        max_features=payload["max_features"],
+        max_bins=payload["max_bins"],
+        class_weight=payload["class_weight"],
+    )
+    forest.n_features_ = payload["n_features"]
+    forest.bin_mapper_ = bin_mapper_from_dict(payload["bin_mapper"])
+    forest.trees_ = [tree_from_dict(t) for t in payload["trees"]]
+    return forest
+
+
+def save_forest(
+    forest: RandomForestClassifier, stream_or_path: Union[str, TextIO]
+) -> None:
+    """Write a fitted forest as JSON to a path or text stream."""
+    own = isinstance(stream_or_path, str)
+    stream = open(stream_or_path, "w") if own else stream_or_path
+    try:
+        json.dump(forest_to_dict(forest), stream)
+    finally:
+        if own:
+            stream.close()
+
+
+def load_forest(stream_or_path: Union[str, TextIO]) -> RandomForestClassifier:
+    """Read a forest previously written by :func:`save_forest`."""
+    own = isinstance(stream_or_path, str)
+    stream = open(stream_or_path) if own else stream_or_path
+    try:
+        return forest_from_dict(json.load(stream))
+    finally:
+        if own:
+            stream.close()

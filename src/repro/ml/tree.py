@@ -1,0 +1,309 @@
+"""Histogram-based CART decision trees (Gini impurity).
+
+Trees operate on pre-binned uint8 feature codes (see
+:class:`repro.ml.preprocessing.BinMapper`).  At each node the split search
+builds, per candidate feature, a weighted class histogram over the bins with
+``np.bincount`` and scans all cut points with cumulative sums — O(bins)
+rather than O(samples log samples) per feature, and all in NumPy.
+
+The fitted tree is stored as flat arrays (feature, threshold bin, children,
+leaf value) so prediction is a vectorized level-by-level descent over all
+query rows at once.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.utils.validation import as_1d_int_array, check_same_length
+
+_NO_FEATURE = -1
+
+
+def _resolve_max_features(option: Union[str, int, None], n_features: int) -> int:
+    if option is None:
+        return n_features
+    if option == "sqrt":
+        return max(1, int(np.sqrt(n_features)))
+    if option == "log2":
+        return max(1, int(np.log2(n_features))) if n_features > 1 else 1
+    if isinstance(option, int):
+        if not 1 <= option <= n_features:
+            raise ValueError(
+                f"max_features={option} out of range [1, {n_features}]"
+            )
+        return option
+    raise ValueError(f"unsupported max_features: {option!r}")
+
+
+class DecisionTreeClassifier:
+    """Binary CART on binned features; leaf values are P(class 1).
+
+    Args:
+        max_depth: Maximum tree depth (root = depth 0).
+        min_samples_split: Do not split nodes with fewer (weighted count
+            uses raw sample counts, not weights).
+        min_samples_leaf: Reject splits producing a smaller child.
+        max_features: Features examined per split: "sqrt", "log2", an int,
+            or None for all.
+        rng: Generator for the per-node feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 14,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Union[str, int, None] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+        # Flat representation, filled by fit().
+        self.node_feature_: Optional[np.ndarray] = None
+        self.node_threshold_: Optional[np.ndarray] = None
+        self.node_left_: Optional[np.ndarray] = None
+        self.node_right_: Optional[np.ndarray] = None
+        self.node_value_: Optional[np.ndarray] = None
+        self.n_features_: Optional[int] = None
+        self.feature_gain_: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # fitting
+    # ------------------------------------------------------------------ #
+
+    def fit(
+        self,
+        X_binned: np.ndarray,
+        y: np.ndarray,
+        sample_weight: Optional[np.ndarray] = None,
+    ) -> "DecisionTreeClassifier":
+        """Fit on uint8 bin codes and binary labels."""
+        if X_binned.dtype != np.uint8:
+            raise TypeError("X_binned must be uint8 bin codes (use BinMapper)")
+        y = as_1d_int_array(y)
+        check_same_length(X_binned, y, "X_binned, y")
+        if not np.isin(y, (0, 1)).all():
+            raise ValueError("labels must be binary (0/1)")
+        if sample_weight is None:
+            sample_weight = np.ones(y.shape[0], dtype=np.float64)
+        else:
+            sample_weight = np.asarray(sample_weight, dtype=np.float64)
+            check_same_length(sample_weight, y, "sample_weight, y")
+            if (sample_weight < 0).any():
+                raise ValueError("sample_weight must be non-negative")
+
+        self.n_features_ = X_binned.shape[1]
+        self.feature_gain_ = np.zeros(self.n_features_, dtype=np.float64)
+        n_subset = _resolve_max_features(self.max_features, self.n_features_)
+
+        features: List[int] = []
+        thresholds: List[int] = []
+        lefts: List[int] = []
+        rights: List[int] = []
+        values: List[float] = []
+
+        def new_node() -> int:
+            features.append(_NO_FEATURE)
+            thresholds.append(0)
+            lefts.append(-1)
+            rights.append(-1)
+            values.append(0.0)
+            return len(features) - 1
+
+        root = new_node()
+        # Depth-first growth with an explicit stack of (node, row indices,
+        # depth) — recursion depth is bounded by the data, not Python.
+        stack: List[Tuple[int, np.ndarray, int]] = [
+            (root, np.arange(y.shape[0]), 0)
+        ]
+        while stack:
+            node, idx, depth = stack.pop()
+            w = sample_weight[idx]
+            w_total = w.sum()
+            w_pos = w[y[idx] == 1].sum()
+            prob = (w_pos / w_total) if w_total > 0 else 0.0
+            values[node] = float(prob)
+
+            if (
+                depth >= self.max_depth
+                or idx.size < self.min_samples_split
+                or prob == 0.0
+                or prob == 1.0
+            ):
+                continue
+
+            split = self._best_split(X_binned, y, idx, w, n_subset)
+            if split is None:
+                continue
+            feature, threshold, gain = split
+            go_left = X_binned[idx, feature] <= threshold
+            left_idx = idx[go_left]
+            right_idx = idx[~go_left]
+            if (
+                left_idx.size < self.min_samples_leaf
+                or right_idx.size < self.min_samples_leaf
+            ):
+                continue
+
+            self.feature_gain_[feature] += gain * w_total
+            features[node] = feature
+            thresholds[node] = int(threshold)
+            left = new_node()
+            right = new_node()
+            lefts[node] = left
+            rights[node] = right
+            stack.append((left, left_idx, depth + 1))
+            stack.append((right, right_idx, depth + 1))
+
+        self.node_feature_ = np.asarray(features, dtype=np.int64)
+        self.node_threshold_ = np.asarray(thresholds, dtype=np.int64)
+        self.node_left_ = np.asarray(lefts, dtype=np.int64)
+        self.node_right_ = np.asarray(rights, dtype=np.int64)
+        self.node_value_ = np.asarray(values, dtype=np.float64)
+        return self
+
+    def _best_split(
+        self,
+        X_binned: np.ndarray,
+        y: np.ndarray,
+        idx: np.ndarray,
+        w: np.ndarray,
+        n_subset: int,
+    ) -> Optional[Tuple[int, int, float]]:
+        """Scan a random feature subset; return (feature, bin, gini gain)."""
+        y_node = y[idx]
+        w_pos = w * (y_node == 1)
+        total_w = w.sum()
+        total_pos = w_pos.sum()
+        if total_w <= 0:
+            return None
+        parent_gini = _gini(total_pos, total_w)
+
+        candidates = self._rng.permutation(self.n_features_)
+        best: Optional[Tuple[int, int, float]] = None
+        examined = 0
+        for feature in candidates:
+            if examined >= n_subset and best is not None:
+                break
+            examined += 1
+            codes = X_binned[idx, feature].astype(np.int64)
+            n_bins = int(codes.max()) + 1
+            if n_bins < 2:
+                continue
+            hist_w = np.bincount(codes, weights=w, minlength=n_bins)
+            hist_pos = np.bincount(codes, weights=w_pos, minlength=n_bins)
+            cum_w = np.cumsum(hist_w)[:-1]  # left side for cut after bin b
+            cum_pos = np.cumsum(hist_pos)[:-1]
+            right_w = total_w - cum_w
+            right_pos = total_pos - cum_pos
+            valid = (cum_w > 0) & (right_w > 0)
+            if not valid.any():
+                continue
+            children = (
+                cum_w * _gini_vec(cum_pos, cum_w)
+                + right_w * _gini_vec(right_pos, right_w)
+            ) / total_w
+            children[~valid] = np.inf
+            cut = int(np.argmin(children))
+            gain = parent_gini - children[cut]
+            if gain <= 1e-12:
+                continue
+            if best is None or gain > best[2]:
+                best = (int(feature), cut, float(gain))
+        return best
+
+    # ------------------------------------------------------------------ #
+    # prediction
+    # ------------------------------------------------------------------ #
+
+    def predict_proba_binned(self, X_binned: np.ndarray) -> np.ndarray:
+        """P(class 1) for pre-binned rows, via vectorized tree descent."""
+        if self.node_feature_ is None:
+            raise RuntimeError("tree is not fitted")
+        nodes = np.zeros(X_binned.shape[0], dtype=np.int64)
+        for _ in range(self.max_depth + 1):
+            feature = self.node_feature_[nodes]
+            internal = feature != _NO_FEATURE
+            if not internal.any():
+                break
+            rows = np.flatnonzero(internal)
+            f = feature[rows]
+            thr = self.node_threshold_[nodes[rows]]
+            go_left = X_binned[rows, f] <= thr
+            nodes[rows] = np.where(
+                go_left,
+                self.node_left_[nodes[rows]],
+                self.node_right_[nodes[rows]],
+            )
+        return self.node_value_[nodes]
+
+    def to_text(
+        self,
+        feature_names: Optional[List[str]] = None,
+        max_depth: Optional[int] = None,
+    ) -> str:
+        """Indented rule dump of the fitted tree (debugging/audit aid).
+
+        Thresholds are *bin indices* (the tree operates on binned codes);
+        map through the owning forest's :class:`BinMapper` edges when raw
+        values are needed.
+        """
+        if self.node_feature_ is None:
+            raise RuntimeError("tree is not fitted")
+
+        lines: List[str] = []
+
+        def walk(node: int, depth: int) -> None:
+            indent = "  " * depth
+            feature = int(self.node_feature_[node])
+            if feature == _NO_FEATURE or (
+                max_depth is not None and depth >= max_depth
+            ):
+                lines.append(
+                    f"{indent}leaf: P(malware)={self.node_value_[node]:.3f}"
+                )
+                return
+            name = (
+                feature_names[feature]
+                if feature_names is not None
+                else f"f{feature}"
+            )
+            threshold = int(self.node_threshold_[node])
+            lines.append(f"{indent}{name} <= bin {threshold}:")
+            walk(int(self.node_left_[node]), depth + 1)
+            lines.append(f"{indent}{name} >  bin {threshold}:")
+            walk(int(self.node_right_[node]), depth + 1)
+
+        walk(0, 0)
+        return "\n".join(lines)
+
+    @property
+    def n_nodes(self) -> int:
+        return 0 if self.node_feature_ is None else int(self.node_feature_.size)
+
+    def __repr__(self) -> str:
+        return f"DecisionTreeClassifier(nodes={self.n_nodes}, max_depth={self.max_depth})"
+
+
+def _gini(pos: float, total: float) -> float:
+    p = pos / total
+    return 2.0 * p * (1.0 - p)
+
+
+def _gini_vec(pos: np.ndarray, total: np.ndarray) -> np.ndarray:
+    with np.errstate(divide="ignore", invalid="ignore"):
+        p = np.where(total > 0, pos / total, 0.0)
+    return 2.0 * p * (1.0 - p)

@@ -1,0 +1,13 @@
+"""Passive-DNS substrate: historical domain->IP resolution records.
+
+The paper's F3 "IP abuse" features consult "a large passive DNS database"
+covering the five months before the observation day.  ``database`` stores the
+(day, domain, ip) history; ``abuse`` precomputes, for a given window and
+ground-truth snapshot, the abused IP/prefix sets so that per-candidate
+feature queries are cheap set intersections.
+"""
+
+from repro.pdns.abuse import AbuseOracle
+from repro.pdns.database import PassiveDNSDatabase
+
+__all__ = ["AbuseOracle", "PassiveDNSDatabase"]

@@ -1,0 +1,45 @@
+"""Synthetic ISP DNS-traffic generator (the paper's data substrate).
+
+The paper evaluates on DNS traces from two large US ISPs (1.6M-4M machines
+per day) plus a commercial C&C blacklist, a one-year Alexa archive, a
+passive-DNS database, and a sandbox-trace database — none of which are
+obtainable.  This package generates a coherent synthetic equivalent:
+
+* :mod:`repro.synth.hosting` — the IPv4 hosting landscape: clean blocks,
+  "dirty" shared-hosting blocks, and bulletproof blocks recycled by malware.
+* :mod:`repro.synth.internet` — the benign domain universe with Zipf
+  popularity, subdomain structure, free-subdomain-hosting services, and the
+  Alexa-style ranking archive from which the whitelist is derived.
+* :mod:`repro.synth.malware` — malware families with agile C&C domain
+  rotation, blacklist feeds with discovery lag, and sandbox runs.
+* :mod:`repro.synth.machines` — ISP machine populations: normal/heavy users,
+  inactive hosts, proxy meganodes, probe clients, and infections.
+* :mod:`repro.synth.scenario` — the orchestrator producing per-day
+  :class:`repro.core.pipeline.ObservationContext` objects.
+
+Everything is driven by one root seed through
+:class:`repro.utils.rng.RngFactory`: the same config + seed always produces
+bit-identical traces, blacklists, and histories.
+"""
+
+from repro.synth.config import (
+    HostingConfig,
+    IspConfig,
+    MalwareConfig,
+    ScenarioConfig,
+    UniverseConfig,
+    benchmark_scenario_config,
+    small_scenario_config,
+)
+from repro.synth.scenario import Scenario
+
+__all__ = [
+    "HostingConfig",
+    "IspConfig",
+    "MalwareConfig",
+    "Scenario",
+    "ScenarioConfig",
+    "UniverseConfig",
+    "benchmark_scenario_config",
+    "small_scenario_config",
+]

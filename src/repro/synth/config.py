@@ -1,0 +1,288 @@
+"""Configuration dataclasses for the synthetic scenario generator.
+
+Two presets are provided:
+
+* :func:`small_scenario_config` — a few hundred machines; fast enough for
+  unit/integration tests.
+* :func:`benchmark_scenario_config` — tens of thousands of machines and a
+  ~100k-domain universe; the scale used by the benchmark harness to
+  regenerate the paper's tables and figures.
+
+The *shape* parameters (infection rate, Zipf exponent, C&C agility,
+blacklist coverage/lag) are identical between presets; only population sizes
+differ, so behaviors observed at benchmark scale hold in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class HostingConfig:
+    """The IPv4 hosting landscape.
+
+    Blocks are /24s.  ``dirty`` blocks host low-reputation-but-benign
+    content (the adult/"dirty network" domains behind 13.6% of Notos's FPs)
+    *and* are occasionally used by malware; ``bulletproof`` blocks are the
+    recycled malware hosting the F3 features key on; ``fresh`` blocks are
+    previously unused space new C&C domains sometimes move into.
+    """
+
+    n_clean_blocks: int = 600
+    n_dirty_blocks: int = 40
+    n_bulletproof_blocks: int = 25
+    n_fresh_blocks: int = 2500
+    ips_per_block: int = 256
+
+
+@dataclass(frozen=True)
+class UniverseConfig:
+    """The benign domain universe and the whitelist derivation."""
+
+    n_core_e2lds: int = 4000
+    """Consistently popular e2LDs (the paper's 458,564, scaled down)."""
+
+    n_tail_e2lds: int = 12000
+    """Long-tail benign e2LDs; never consistently top, so never whitelisted."""
+
+    n_adult_e2lds: int = 400
+    """Benign-but-low-reputation e2LDs hosted in dirty blocks."""
+
+    n_free_hosting_services: int = 12
+    """e2LDs offering free subdomain registration (blog/dyndns style)."""
+
+    known_free_hosting_fraction: float = 0.5
+    """Fraction of free-hosting services the whitelist filter knows about.
+
+    The unidentified remainder stays whitelisted, reproducing the paper's
+    residual whitelist noise (Table III / Fig. 9)."""
+
+    subdomains_per_core: Tuple[str, ...] = ("", "www", "cdn", "api")
+    """FQDs generated under each core e2LD ('' = the e2LD itself)."""
+
+    free_hosting_sites: int = 400
+    """Registered user sites (subdomains) per free-hosting service."""
+
+    zipf_exponent: float = 1.05
+    """Popularity decay across benign FQDs."""
+
+    ranking_snapshots: int = 24
+    """Snapshots in the Alexa-style archive (the paper uses a daily year)."""
+
+    ranking_churn: float = 0.02
+    """Per-snapshot probability that a core e2LD drops out of the top list
+    (such an e2LD fails the 'consistently top' filter)."""
+
+    tail_activity_prob: float = 0.55
+    """Per-day probability a tail FQD is queried somewhere globally."""
+
+
+@dataclass(frozen=True)
+class MalwareConfig:
+    """Malware families and their C&C agility."""
+
+    n_families: int = 60
+    family_size_mean: float = 40.0
+    """Mean infected machines per family per ISP (lognormal-ish spread)."""
+
+    initial_domains: Tuple[int, int] = (2, 6)
+    """Active C&C domains per family at its start (uniform range)."""
+
+    new_domain_rate: float = 0.45
+    """Expected new C&C domains per family per day (network agility)."""
+
+    domain_lifetime: Tuple[int, int] = (4, 25)
+    """Days a fast-rotating C&C domain stays active (uniform range)."""
+
+    long_lived_fraction: float = 0.25
+    """Fraction of C&C domains that are long-lived backbone infrastructure.
+
+    Lifetimes are heavy-tailed in reality: alongside fast-rotating
+    throwaway names, families keep a backbone of control domains alive for
+    weeks or months — which is also why a weeks-old blacklist still labels
+    infected machines (the precondition for tracking infections across the
+    paper's 13-24 day train/test gaps)."""
+
+    long_lifetime: Tuple[int, int] = (30, 120)
+    """Days a long-lived C&C domain stays active (uniform range)."""
+
+    bot_query_prob: float = 0.62
+    """Probability a bot queries each of its family's active domains on a
+    day it is online (drives the Fig. 3 distribution)."""
+
+    bot_online_prob: float = 0.85
+    """Probability an infected machine is online on a given day."""
+
+    free_hosting_cnc_fraction: float = 0.06
+    """Fraction of C&C domains registered under free-hosting services."""
+
+    bulletproof_fraction: float = 0.5
+    """Probability a C&C domain points into bulletproof space (else dirty
+    or fresh space)."""
+
+    dirty_fraction: float = 0.15
+    """Probability a (non-bulletproof) C&C domain points into dirty space."""
+
+    commercial_coverage: float = 0.8
+    """Probability a C&C domain eventually enters the commercial blacklist."""
+
+    commercial_lag_mean: float = 6.0
+    """Mean days from first activity to commercial blacklisting."""
+
+    public_coverage: float = 0.22
+    """Probability a C&C domain eventually enters the public blacklists."""
+
+    public_lag_mean: float = 9.0
+    public_noise_entries: int = 3
+    """Benign domains mislabeled as C&C in the public feeds (§IV-E notes
+    e.g. recsports.uga.edu was listed)."""
+
+    dga_nx_per_bot: int = 6
+    """NXDOMAIN queries an online bot emits per day (DGA probing).  These
+    never produce a valid mapping, so they are dropped at the resolver
+    boundary and contribute zero graph edges — Segugio's scoping (§II-A1)
+    vs. Pleiades [11], which detects exactly this miss traffic."""
+
+    sandbox_runs_per_family: int = 3
+    sandbox_domain_coverage: float = 0.5
+    """Fraction of a family's domains its sandbox runs reveal."""
+
+
+@dataclass(frozen=True)
+class IspConfig:
+    """One ISP network's machine population."""
+
+    name: str = "isp1"
+    n_machines: int = 4000
+    inactive_fraction: float = 0.14
+    """Machines querying <= 5 domains/day (pruned by R1)."""
+
+    heavy_fraction: float = 0.1
+    normal_queries_mean: float = 32.0
+    heavy_queries_mean: float = 110.0
+    inactive_queries_max: int = 5
+
+    n_proxies: int = 4
+    proxy_queries_mean: float = 2500.0
+    """Enterprise proxies / DNS forwarders (pruned by R2)."""
+
+    n_probes: int = 2
+    probe_blacklist_queries: int = 150
+    """Security probe clients querying long lists of known-bad domains."""
+
+    dhcp_churn_fraction: float = 0.0
+    """Fraction of machines whose identifier changes mid-day (paper §VI:
+    "high DHCP churn may cause some inflation in the number of machines
+    that query a given domain" when source IPs are the identifiers).  A
+    churned machine's daily queries are split across two ephemeral ids.
+    The paper's deployments had stable identifiers; this knob exists for
+    the robustness ablation."""
+
+    infection_rate: float = 0.06
+    multi_infection_rate: float = 0.55
+    """Controls how strongly per-family infections overlap on the same
+    machines (droppers selling installs to several criminal groups, NAT'd
+    home networks — §IV-C's explanation for cross-family detection)."""
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """A full multi-ISP, multi-day world."""
+
+    seed: int = 7
+    horizon_days: int = 40
+    """Days of generable traffic, starting at day 0 of the eval epoch."""
+
+    epoch_day: int = 160
+    """Absolute day number of eval day 0 (history extends back from here:
+    the pDNS window and the malware/blacklist backstory)."""
+
+    history_days: int = 155
+    """Days of pDNS/blacklist backstory before the epoch (>= pdns window)."""
+
+    activity_backfill_days: int = 20
+    """Days before the epoch for which the activity index is populated."""
+
+    hosting: HostingConfig = field(default_factory=HostingConfig)
+    universe: UniverseConfig = field(default_factory=UniverseConfig)
+    malware: MalwareConfig = field(default_factory=MalwareConfig)
+    isps: Tuple[IspConfig, ...] = (
+        IspConfig(name="isp1", n_machines=4000),
+        IspConfig(name="isp2", n_machines=7000),
+    )
+
+    def isp(self, name: str) -> IspConfig:
+        for cfg in self.isps:
+            if cfg.name == name:
+                return cfg
+        raise KeyError(f"no ISP named {name!r}")
+
+    @property
+    def first_eval_day(self) -> int:
+        return self.epoch_day
+
+    @property
+    def last_eval_day(self) -> int:
+        return self.epoch_day + self.horizon_days - 1
+
+
+def small_scenario_config(seed: int = 7) -> ScenarioConfig:
+    """A test-scale world: runs end-to-end in a couple of seconds."""
+    return ScenarioConfig(
+        seed=seed,
+        horizon_days=30,
+        epoch_day=160,
+        universe=UniverseConfig(
+            n_core_e2lds=300,
+            n_tail_e2lds=800,
+            n_adult_e2lds=40,
+            n_free_hosting_services=6,
+            free_hosting_sites=40,
+        ),
+        malware=MalwareConfig(n_families=8, family_size_mean=18.0),
+        isps=(
+            IspConfig(
+                name="isp1",
+                n_machines=600,
+                n_proxies=2,
+                n_probes=1,
+                infection_rate=0.1,
+            ),
+            IspConfig(
+                name="isp2",
+                n_machines=900,
+                n_proxies=2,
+                n_probes=1,
+                infection_rate=0.1,
+            ),
+        ),
+    )
+
+
+def benchmark_scenario_config(seed: int = 7) -> ScenarioConfig:
+    """The scale used by the benchmark harness (tables & figures)."""
+    return ScenarioConfig(
+        seed=seed,
+        horizon_days=40,
+        epoch_day=160,
+        hosting=HostingConfig(
+            n_clean_blocks=1200,
+            n_dirty_blocks=60,
+            n_bulletproof_blocks=40,
+            n_fresh_blocks=5000,
+        ),
+        universe=UniverseConfig(
+            n_core_e2lds=8000,
+            n_tail_e2lds=30000,
+            n_adult_e2lds=800,
+            n_free_hosting_services=16,
+            free_hosting_sites=600,
+        ),
+        malware=MalwareConfig(n_families=60, family_size_mean=45.0),
+        isps=(
+            IspConfig(name="isp1", n_machines=16000, n_proxies=6, n_probes=3),
+            IspConfig(name="isp2", n_machines=28000, n_proxies=8, n_probes=4),
+        ),
+    )

@@ -1,0 +1,115 @@
+"""The synthetic IPv4 hosting landscape.
+
+Allocates /24 blocks into four pools:
+
+* **clean** — reputable hosting; backs core and tail benign domains.
+* **dirty** — low-reputation shared hosting; backs adult/low-rep benign
+  content *and* some malware, so IP evidence alone cannot separate them
+  (the confusion behind Notos's FP breakdown in Table IV).
+* **bulletproof** — providers that knowingly host malware; C&C domains of
+  many families recycle this space, which is what the F3 "IP abuse"
+  features detect.
+* **fresh** — previously unused space some new C&C domains move into
+  (no abuse history yet, so F3 is silent and F1/F2 must carry detection).
+
+IPs are 32-bit ints; a block is identified by its /24 prefix (``ip >> 8``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.synth.config import HostingConfig
+from repro.utils.rng import RngFactory
+
+# Pools carve disjoint ranges out of 10.0.0.0/8-style space; the absolute
+# values are arbitrary, only disjointness matters.
+_POOL_BASES = {
+    "clean": 0x0A000000,  # 10.0.0.0
+    "dirty": 0x0B000000,  # 11.0.0.0
+    "bulletproof": 0x0C000000,  # 12.0.0.0
+    "fresh": 0x0D000000,  # 13.0.0.0
+}
+
+
+class HostingLandscape:
+    """Disjoint pools of /24 blocks with seeded IP allocation."""
+
+    def __init__(self, config: HostingConfig, rngs: RngFactory) -> None:
+        self.config = config
+        self._rngs = rngs.child("hosting")
+        self._blocks = {
+            "clean": self._make_blocks("clean", config.n_clean_blocks),
+            "dirty": self._make_blocks("dirty", config.n_dirty_blocks),
+            "bulletproof": self._make_blocks(
+                "bulletproof", config.n_bulletproof_blocks
+            ),
+            "fresh": self._make_blocks("fresh", config.n_fresh_blocks),
+        }
+
+    def _make_blocks(self, pool: str, count: int) -> np.ndarray:
+        """/24 prefixes (ip >> 8 values) for one pool."""
+        base = _POOL_BASES[pool] >> 8
+        return base + np.arange(count, dtype=np.int64)
+
+    def pool_prefixes(self, pool: str) -> np.ndarray:
+        if pool not in self._blocks:
+            raise KeyError(f"unknown pool {pool!r}")
+        return self._blocks[pool].copy()
+
+    def pool_of_ip(self, ip: int) -> str:
+        prefix = int(ip) >> 8
+        for pool, blocks in self._blocks.items():
+            if blocks[0] <= prefix < blocks[0] + blocks.size:
+                return pool
+        return "unassigned"
+
+    # ------------------------------------------------------------------ #
+    # allocation
+    # ------------------------------------------------------------------ #
+
+    def allocate(
+        self, pool: str, count: int, key: str, spread_blocks: int = 1
+    ) -> np.ndarray:
+        """Allocate *count* IPs from *pool*, spread over *spread_blocks* /24s.
+
+        The same ``key`` always yields the same IPs, so a domain's hosting is
+        stable across calls without storing it.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        blocks = self._blocks[pool]
+        rng = self._rngs.stream(("alloc", pool, key))
+        n_blocks = min(max(spread_blocks, 1), blocks.size)
+        chosen = rng.choice(blocks, size=n_blocks, replace=False)
+        prefixes = rng.choice(chosen, size=count, replace=True)
+        hosts = rng.integers(1, self.config.ips_per_block, size=count)
+        ips = (prefixes.astype(np.int64) << 8) | hosts
+        return np.unique(ips).astype(np.uint32)
+
+    def allocate_mixed(
+        self,
+        pools: List[str],
+        weights: List[float],
+        count: int,
+        key: str,
+    ) -> np.ndarray:
+        """Allocate IPs drawing each one's pool from a categorical."""
+        if len(pools) != len(weights):
+            raise ValueError("pools and weights must be parallel")
+        rng = self._rngs.stream(("mixed", key))
+        probs = np.asarray(weights, dtype=np.float64)
+        probs = probs / probs.sum()
+        picks = rng.choice(len(pools), size=count, p=probs)
+        parts = []
+        for i, pool in enumerate(pools):
+            n = int(np.count_nonzero(picks == i))
+            if n:
+                parts.append(self.allocate(pool, n, f"{key}:{pool}"))
+        return np.unique(np.concatenate(parts)).astype(np.uint32)
+
+    def __repr__(self) -> str:
+        sizes = {pool: blocks.size for pool, blocks in self._blocks.items()}
+        return f"HostingLandscape({sizes})"

@@ -1,0 +1,249 @@
+"""The benign Internet: domains, popularity, hosting, and the whitelist.
+
+Builds the benign domain universe as parallel NumPy arrays over a *benign
+FQD index* (0..n_benign-1), each FQD also interned into the scenario's
+global domain interner:
+
+* **core** FQDs — subdomains of consistently-popular e2LDs (the whitelist
+  candidates); hosted in clean space; queried every day globally.
+* **tail** FQDs — long-tail benign sites; never consistently top, so they
+  stay *unknown* to Segugio (the bulk of the negative class in deployment).
+* **adult** FQDs — benign but hosted in "dirty" blocks (these depress
+  IP-reputation systems; see the Notos FP breakdown, Table IV).
+* **free-site** FQDs — user sites under free-subdomain-hosting services.
+  A configurable fraction of the services is *identified* (added to the
+  PSL's private section and excluded from the whitelist, as the paper
+  does); the rest remain whitelisted e2LDs, reproducing the residual
+  whitelist noise of Table III/Fig. 9.
+
+Also derives the Alexa-style :class:`repro.intel.whitelist.RankingArchive`
+(with churn, so only core e2LDs pass the "consistently top" filter) and the
+final :class:`repro.intel.whitelist.DomainWhitelist`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.dns.publicsuffix import PublicSuffixList
+from repro.intel.whitelist import DomainWhitelist, RankingArchive
+from repro.synth.config import UniverseConfig
+from repro.synth.hosting import HostingLandscape
+from repro.utils.ids import Interner
+from repro.utils.rng import RngFactory
+
+KIND_CORE = 0
+KIND_TAIL = 1
+KIND_ADULT = 2
+KIND_FREE_SITE = 3
+
+_TLDS = ("com", "net", "org", "info", "co.uk", "de", "ru", "com.br", "it", "io")
+
+
+class BenignUniverse:
+    """Benign FQD population with popularity, hosting, and whitelist."""
+
+    def __init__(
+        self,
+        config: UniverseConfig,
+        hosting: HostingLandscape,
+        domains: Interner,
+        psl: PublicSuffixList,
+        rngs: RngFactory,
+    ) -> None:
+        self.config = config
+        self.hosting = hosting
+        self.domains = domains
+        self.psl = psl
+        self._rngs = rngs.child("universe")
+
+        names: List[str] = []
+        kinds: List[int] = []
+        self.core_e2lds: List[str] = []
+        self.free_services: List[str] = []
+        self._build_names(names, kinds)
+
+        self.fqd_ids = domains.intern_many(names)
+        self.kinds = np.asarray(kinds, dtype=np.int8)
+        self.n_fqds = self.fqd_ids.size
+
+        self._assign_popularity()
+        self._assign_activity()
+        self._assign_ips(names)
+        self._build_whitelist()
+
+    # ------------------------------------------------------------------ #
+    # name generation
+    # ------------------------------------------------------------------ #
+
+    def _build_names(self, names: List[str], kinds: List[int]) -> None:
+        """All registrant labels come from the shared :class:`NameForge`, so
+        benign and malicious names are lexically indistinguishable; kind
+        ground truth lives only in the ``kinds`` array."""
+        from repro.synth.naming import NameForge
+
+        cfg = self.config
+        rng = self._rngs.stream("names")
+        forge = NameForge(rng)
+        index = 0  # universe-wide uniquifier (malware continues higher up)
+
+        for _ in range(cfg.n_core_e2lds):
+            e2ld = forge.e2ld(index)
+            index += 1
+            self.core_e2lds.append(e2ld)
+            # Every core e2LD serves its apex and www; bigger sites add more.
+            subdomains = cfg.subdomains_per_core[: 2 + int(rng.integers(0, 3))]
+            for sub in subdomains:
+                names.append(f"{sub}.{e2ld}" if sub else e2ld)
+                kinds.append(KIND_CORE)
+
+        for _ in range(cfg.n_tail_e2lds):
+            e2ld = forge.e2ld(index)
+            index += 1
+            # Part of the tail serves from a www/host label like core does.
+            if rng.random() < 0.3:
+                names.append(f"{forge.subdomain_label()}.{e2ld}")
+            else:
+                names.append(e2ld)
+            kinds.append(KIND_TAIL)
+
+        self.adult_e2lds: List[str] = []
+        for _ in range(cfg.n_adult_e2lds):
+            e2ld = forge.e2ld(index)
+            index += 1
+            self.adult_e2lds.append(e2ld)
+            names.append(e2ld)
+            kinds.append(KIND_ADULT)
+
+        for _ in range(cfg.n_free_hosting_services):
+            service = f"{forge.site_label(index)}-host.com"
+            index += 1
+            self.free_services.append(service)
+            for site in range(cfg.free_hosting_sites):
+                names.append(f"{forge.site_label(index)}.{service}")
+                index += 1
+                kinds.append(KIND_FREE_SITE)
+
+    # ------------------------------------------------------------------ #
+    # attributes
+    # ------------------------------------------------------------------ #
+
+    def _assign_popularity(self) -> None:
+        """Zipf weights: core FQDs take the head ranks, the rest the tail."""
+        rng = self._rngs.stream("popularity")
+        order = np.empty(self.n_fqds, dtype=np.int64)
+        core = np.flatnonzero(self.kinds == KIND_CORE)
+        rest = np.flatnonzero(self.kinds != KIND_CORE)
+        order[: core.size] = rng.permutation(core)
+        order[core.size:] = rng.permutation(rest)
+        ranks = np.empty(self.n_fqds, dtype=np.int64)
+        ranks[order] = np.arange(self.n_fqds)
+        # Small rank offset -> a heavy head: the top sites are queried by a
+        # large share of all machines each day (the google.com effect),
+        # which is what pruning rule R4 exists to remove.
+        weights = 1.0 / np.power(ranks + 3.0, self.config.zipf_exponent)
+        self.query_weights = weights / weights.sum()
+        self.cumulative_weights = np.cumsum(self.query_weights)
+
+    def _assign_activity(self) -> None:
+        """Per-day global query probability (drives the activity index)."""
+        rng = self._rngs.stream("activity")
+        p = self.config.tail_activity_prob * rng.uniform(
+            0.5, 1.5, size=self.n_fqds
+        )
+        p = np.clip(p, 0.05, 1.0)
+        p[self.kinds == KIND_CORE] = 1.0
+        self.activity_prob = p
+        # Passive-DNS coverage follows popularity: head domains are observed
+        # nearly daily, the long tail only sporadically.  This gives even
+        # some *whitelisted* FQDs thin pDNS histories — one reason
+        # reputation systems accumulate "no evidence" false positives
+        # (Table IV) while Segugio, which does not rely on per-domain
+        # history depth, does not.
+        scaled = self.n_fqds * self.query_weights * 0.15
+        self.pdns_obs_prob = np.clip(scaled, 0.01, 0.95)
+
+    def _assign_ips(self, names: List[str]) -> None:
+        """Stable resolved-IP sets, ragged (offsets + flat array).
+
+        All sites of one free-hosting service share that service's IPs —
+        which is why IP evidence cannot separate an abused user site from a
+        legitimate one.
+        """
+        rng = self._rngs.stream("ips")
+        ip_lists: List[np.ndarray] = []
+        service_ips: Dict[str, np.ndarray] = {
+            service: self.hosting.allocate("clean", 4, f"svc:{service}")
+            for service in self.free_services
+        }
+        for i in range(self.n_fqds):
+            kind = self.kinds[i]
+            if kind == KIND_FREE_SITE:
+                service = names[i].split(".", 1)[1]
+                ip_lists.append(service_ips[service])
+                continue
+            count = 1 + int(rng.integers(0, 3))
+            pool = "dirty" if kind == KIND_ADULT else "clean"
+            ip_lists.append(self.hosting.allocate(pool, count, f"b:{names[i]}"))
+        lengths = np.asarray([ips.size for ips in ip_lists], dtype=np.int64)
+        self.ip_offsets = np.zeros(self.n_fqds + 1, dtype=np.int64)
+        np.cumsum(lengths, out=self.ip_offsets[1:])
+        self.ip_flat = (
+            np.concatenate(ip_lists) if ip_lists else np.empty(0, dtype=np.uint32)
+        )
+
+    def ips_of(self, benign_index: int) -> np.ndarray:
+        lo, hi = self.ip_offsets[benign_index], self.ip_offsets[benign_index + 1]
+        return self.ip_flat[lo:hi]
+
+    # ------------------------------------------------------------------ #
+    # whitelist derivation
+    # ------------------------------------------------------------------ #
+
+    def _build_whitelist(self) -> None:
+        cfg = self.config
+        rng = self._rngs.stream("ranking")
+
+        # Identified free-hosting services: PSL-augmented + excluded.
+        n_known = int(round(cfg.known_free_hosting_fraction * len(self.free_services)))
+        self.identified_services = sorted(self.free_services)[:n_known]
+        self.unidentified_services = [
+            s for s in self.free_services if s not in self.identified_services
+        ]
+        self.psl.add_private_suffixes(self.identified_services)
+
+        # Ranking archive: core e2LDs, adult e2LDs (adult sites are reliably
+        # popular — the source of the "suspicious content" FPs in Table IV),
+        # and all hosting services are 'popular'; core/adult e2LDs
+        # occasionally churn out of a snapshot; tail never enters.
+        archive = RankingArchive()
+        for snapshot in range(cfg.ranking_snapshots):
+            keep = rng.random(len(self.core_e2lds)) >= cfg.ranking_churn
+            keep_adult = rng.random(len(self.adult_e2lds)) >= cfg.ranking_churn
+            top = (
+                [e2ld for e2ld, kept in zip(self.core_e2lds, keep) if kept]
+                + [e2ld for e2ld, kept in zip(self.adult_e2lds, keep_adult) if kept]
+                + list(self.free_services)
+            )
+            # A handful of briefly-popular extras churn in and out.
+            extras = [f"burst{snapshot:02d}x{i}.com" for i in range(5)]
+            archive.record_day(snapshot, top + extras)
+        self.archive = archive
+        self.consistent_core = sorted(
+            set(self.core_e2lds) & archive.consistent_top()
+        )
+        self.whitelist = DomainWhitelist.from_archive(
+            archive,
+            free_registration_e2lds=self.identified_services,
+            psl=self.psl,
+            name="alexa-consistent",
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BenignUniverse(fqds={self.n_fqds}, "
+            f"core_e2lds={len(self.core_e2lds)}, "
+            f"whitelist={len(self.whitelist)})"
+        )

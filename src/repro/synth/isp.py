@@ -1,0 +1,267 @@
+"""Per-day DNS trace generation for one ISP (who queried what).
+
+Traffic is assembled in four vectorized strata:
+
+1. **Benign browsing** — every machine draws a Poisson number of distinct
+   queries for its archetype and samples targets from the universe's Zipf
+   popularity via inverse-CDF lookup (one ``searchsorted`` for the whole
+   ISP-day).
+2. **Bot call-homes** — per (family, member) pair, a Bernoulli draw over the
+   family's currently-active C&C set (plus a forced minimum of one query for
+   online bots), generating the overlapping query sets of intuition (2).
+3. **Probe clients** — long scans over historically-activated malware
+   domains.
+4. **Proxy meganodes** — huge benign mixes plus NAT-hidden C&C queries.
+
+The result is a deduplicated :class:`repro.dns.trace.DayTrace` whose
+resolutions are filled from the scenario's global domain->IP table.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.dns.resolver import CachingResolver, StaticAuthority, valid_a_responses
+from repro.dns.trace import DayTrace
+from repro.synth.internet import BenignUniverse
+from repro.synth.machines import (
+    ARCH_HEAVY,
+    ARCH_INACTIVE,
+    ARCH_NORMAL,
+    ARCH_PROBE,
+    ARCH_PROXY,
+    IspPopulation,
+)
+from repro.synth.malware import MalwareWorld
+from repro.utils.ids import Interner
+from repro.utils.rng import RngFactory
+
+
+class TrafficGenerator:
+    """Generates one ISP's daily traces."""
+
+    def __init__(
+        self,
+        population: IspPopulation,
+        universe: BenignUniverse,
+        malware: MalwareWorld,
+        domains: Interner,
+        ips_of_global: Callable[[int], np.ndarray],
+        rngs: RngFactory,
+    ) -> None:
+        self.population = population
+        self.universe = universe
+        self.malware = malware
+        self.domains = domains
+        self.ips_of_global = ips_of_global
+        self._rngs = rngs.child(("traffic", population.config.name))
+        # Resolver boundary for DGA miss traffic: an empty authority is
+        # enough, since generated DGA names are registered nowhere.
+        self._nx_resolver = CachingResolver(StaticAuthority())
+        self.last_nx_dropped = 0
+
+    # ------------------------------------------------------------------ #
+
+    def generate_day(self, day: int) -> DayTrace:
+        rng = self._rngs.stream(("day", day))
+        machine_parts = []
+        domain_parts = []
+
+        benign_m, benign_d = self._benign_edges(rng)
+        machine_parts.append(benign_m)
+        domain_parts.append(benign_d)
+
+        bot_m, bot_d = self._bot_edges(rng, day)
+        if bot_m.size:
+            machine_parts.append(bot_m)
+            domain_parts.append(bot_d)
+
+        probe_m, probe_d = self._probe_edges(rng, day)
+        if probe_m.size:
+            machine_parts.append(probe_m)
+            domain_parts.append(probe_d)
+
+        proxy_m, proxy_d = self._proxy_edges(rng, day)
+        if proxy_m.size:
+            machine_parts.append(proxy_m)
+            domain_parts.append(proxy_d)
+
+        self.last_nx_dropped = self._dga_miss_traffic(rng, day)
+
+        edge_machines = np.concatenate(machine_parts)
+        edge_domains = np.concatenate(domain_parts)
+        edge_machines = self._apply_dhcp_churn(rng, day, edge_machines)
+
+        resolutions = self._resolutions(edge_domains)
+        return DayTrace.build(
+            day,
+            self.population.machines,
+            self.domains,
+            edge_machines,
+            edge_domains,
+            resolutions,
+        )
+
+    # ------------------------------------------------------------------ #
+    # strata
+    # ------------------------------------------------------------------ #
+
+    def _benign_edges(self, rng: np.random.Generator):
+        cfg = self.population.config
+        arch = self.population.archetype
+        n = self.population.n_machines
+        counts = np.zeros(n, dtype=np.int64)
+
+        normal = arch == ARCH_NORMAL
+        heavy = arch == ARCH_HEAVY
+        inactive = arch == ARCH_INACTIVE
+        proxy = arch == ARCH_PROXY
+        probe = arch == ARCH_PROBE
+
+        counts[normal] = rng.poisson(cfg.normal_queries_mean, int(normal.sum()))
+        counts[heavy] = rng.poisson(cfg.heavy_queries_mean, int(heavy.sum()))
+        counts[inactive] = rng.integers(
+            1, cfg.inactive_queries_max + 1, int(inactive.sum())
+        )
+        counts[proxy] = rng.poisson(cfg.proxy_queries_mean, int(proxy.sum()))
+        counts[probe] = rng.poisson(30.0, int(probe.sum()))
+        np.maximum(counts, 1, out=counts)
+
+        total = int(counts.sum())
+        picks = np.searchsorted(
+            self.universe.cumulative_weights, rng.random(total), side="right"
+        )
+        np.clip(picks, 0, self.universe.n_fqds - 1, out=picks)
+        edge_domains = self.universe.fqd_ids[picks]
+        edge_machines = np.repeat(np.arange(n, dtype=np.int64), counts)
+        return edge_machines, edge_domains
+
+    def _bot_edges(self, rng: np.random.Generator, day: int):
+        cfg = self.malware.config
+        machine_rows = []
+        domain_rows = []
+        for fam, members in self.population.family_members.items():
+            active = self.malware.active_indices_of_family(fam, day)
+            if active.size == 0:
+                continue
+            online = members[rng.random(members.size) < cfg.bot_online_prob]
+            if online.size == 0:
+                continue
+            hits = rng.random((online.size, active.size)) < cfg.bot_query_prob
+            # An online bot always calls home at least once.
+            silent = ~hits.any(axis=1)
+            if silent.any():
+                forced = rng.integers(0, active.size, size=int(silent.sum()))
+                hits[np.flatnonzero(silent), forced] = True
+            rows, cols = np.nonzero(hits)
+            machine_rows.append(online[rows])
+            domain_rows.append(self.malware.fqd_ids[active[cols]])
+        if not machine_rows:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return np.concatenate(machine_rows), np.concatenate(domain_rows)
+
+    def _probe_edges(self, rng: np.random.Generator, day: int):
+        cfg = self.population.config
+        probes = self.population.machines_of_archetype(ARCH_PROBE)
+        started = np.flatnonzero(self.malware.activation <= day)
+        empty = np.empty(0, dtype=np.int64)
+        if probes.size == 0 or started.size == 0:
+            return empty, empty
+        machine_rows = []
+        domain_rows = []
+        for probe in probes:
+            k = min(cfg.probe_blacklist_queries, started.size)
+            targets = rng.choice(started, size=k, replace=False)
+            machine_rows.append(np.full(k, probe, dtype=np.int64))
+            domain_rows.append(self.malware.fqd_ids[targets])
+        return np.concatenate(machine_rows), np.concatenate(domain_rows)
+
+    def _proxy_edges(self, rng: np.random.Generator, day: int):
+        """NAT-hidden infections behind proxies: a few C&C queries each."""
+        proxies = self.population.machines_of_archetype(ARCH_PROXY)
+        empty = np.empty(0, dtype=np.int64)
+        if proxies.size == 0 or not self.population.family_members:
+            return empty, empty
+        families = list(self.population.family_members)
+        machine_rows = []
+        domain_rows = []
+        for proxy in proxies:
+            n_fams = int(rng.integers(1, min(3, len(families)) + 1))
+            for fam in rng.choice(families, size=n_fams, replace=False):
+                active = self.malware.active_indices_of_family(int(fam), day)
+                if active.size == 0:
+                    continue
+                k = min(int(rng.integers(1, 4)), active.size)
+                chosen = rng.choice(active, size=k, replace=False)
+                machine_rows.append(np.full(k, proxy, dtype=np.int64))
+                domain_rows.append(self.malware.fqd_ids[chosen])
+        if not machine_rows:
+            return empty, empty
+        return np.concatenate(machine_rows), np.concatenate(domain_rows)
+
+    def _dga_miss_traffic(self, rng: np.random.Generator, day: int) -> int:
+        """Run the bots' DGA probe queries through the resolver boundary.
+
+        Every query comes back NXDOMAIN and is dropped by
+        :func:`valid_a_responses` before any edge is built; the return
+        value (how many were dropped) is recorded as ``last_nx_dropped``
+        so tests can assert the boundary actually processed traffic.
+        """
+        per_bot = self.malware.config.dga_nx_per_bot
+        if per_bot <= 0:
+            return 0
+        infected = self.population.infected_machines()
+        if infected.size == 0:
+            return 0
+        answers = []
+        now = float(day) * 86400.0
+        for machine_id in infected:
+            for i in range(per_bot):
+                suffix = int(rng.integers(0, 36**6))
+                name = f"{suffix:07x}{int(machine_id)}.dga.biz"
+                answers.append(self._nx_resolver.resolve(name, now + i))
+        surviving = list(valid_a_responses(answers))
+        if surviving:  # defensive: DGA names are registered nowhere
+            raise AssertionError("unregistered DGA names must not resolve")
+        return len(answers)
+
+    def _apply_dhcp_churn(
+        self, rng: np.random.Generator, day: int, edge_machines: np.ndarray
+    ) -> np.ndarray:
+        """Split a fraction of machines' queries across two ephemeral ids.
+
+        Models §VI's DHCP-churn concern: with source IPs as identifiers, a
+        lease renewal mid-day makes one physical machine appear as two
+        weaker-profiled machines.  The alternate identity is interned per
+        (machine, day), so churn does not correlate across days.
+        """
+        fraction = self.population.config.dhcp_churn_fraction
+        if fraction <= 0:
+            return edge_machines
+        n = self.population.n_machines
+        churned = np.flatnonzero(rng.random(n) < fraction)
+        if churned.size == 0:
+            return edge_machines
+        machines = self.population.machines
+        alt_ids = np.full(n, -1, dtype=np.int64)
+        for machine_id in churned:
+            name = machines.name(int(machine_id))
+            alt_ids[machine_id] = machines.intern(f"{name}#lease{day}")
+        is_churned = alt_ids[edge_machines] >= 0
+        goes_alt = is_churned & (rng.random(edge_machines.size) < 0.5)
+        out = edge_machines.copy()
+        out[goes_alt] = alt_ids[edge_machines[goes_alt]]
+        return out
+
+    # ------------------------------------------------------------------ #
+
+    def _resolutions(self, edge_domains: np.ndarray) -> Dict[int, np.ndarray]:
+        resolutions: Dict[int, np.ndarray] = {}
+        for domain_id in np.unique(edge_domains):
+            ips = self.ips_of_global(int(domain_id))
+            if ips.size:
+                resolutions[int(domain_id)] = ips
+        return resolutions

@@ -1,0 +1,152 @@
+"""ISP machine populations: archetypes and infection assignment.
+
+Machine archetypes mirror the artifacts the paper's pruning rules target:
+
+* **normal / heavy** users — query tens to low hundreds of distinct benign
+  domains a day (Poisson around the archetype mean).
+* **inactive** hosts — <= 5 distinct domains a day (pruned by R1 unless
+  infected: a quiet bot still calls home, the R1 exception).
+* **proxy** meganodes — enterprise proxies/DNS forwarders aggregating whole
+  networks: thousands of domains a day, occasionally including C&C of
+  NAT-hidden infections (pruned by R2).
+* **probe** clients — security scanners that enumerate long lists of known
+  malware domains (§VI "anomalous clients" noise source).
+
+Infections are assigned family-by-family from a bounded *infectable pool*
+so that multi-infections (one machine, several families) arise with a
+controlled rate — the paper credits exactly these machines for cross-family
+detection (§IV-C).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.synth.config import IspConfig
+from repro.synth.malware import MalwareWorld
+from repro.utils.ids import Interner
+from repro.utils.rng import RngFactory
+
+ARCH_NORMAL = 0
+ARCH_HEAVY = 1
+ARCH_INACTIVE = 2
+ARCH_PROXY = 3
+ARCH_PROBE = 4
+
+
+class IspPopulation:
+    """The machines of one ISP and their infection state."""
+
+    def __init__(
+        self,
+        config: IspConfig,
+        malware: MalwareWorld,
+        rngs: RngFactory,
+    ) -> None:
+        self.config = config
+        self.malware = malware
+        self._rngs = rngs.child(("isp", config.name))
+        self.machines = Interner(
+            f"{config.name}-m{i:07d}" for i in range(config.n_machines)
+        )
+        self.archetype = self._assign_archetypes()
+        self.family_members: Dict[int, np.ndarray] = self._assign_infections()
+
+    # ------------------------------------------------------------------ #
+    # archetypes
+    # ------------------------------------------------------------------ #
+
+    def _assign_archetypes(self) -> np.ndarray:
+        cfg = self.config
+        rng = self._rngs.stream("archetypes")
+        n = cfg.n_machines
+        archetype = np.full(n, ARCH_NORMAL, dtype=np.int8)
+        roll = rng.random(n)
+        archetype[roll < cfg.inactive_fraction] = ARCH_INACTIVE
+        archetype[
+            (roll >= cfg.inactive_fraction)
+            & (roll < cfg.inactive_fraction + cfg.heavy_fraction)
+        ] = ARCH_HEAVY
+        # Proxies and probes override the tail of the id space so their
+        # count is exact regardless of the random roll.
+        special = cfg.n_proxies + cfg.n_probes
+        if special > n:
+            raise ValueError("more proxies+probes than machines")
+        archetype[n - special : n - cfg.n_probes] = ARCH_PROXY
+        if cfg.n_probes:
+            archetype[n - cfg.n_probes :] = ARCH_PROBE
+        return archetype
+
+    # ------------------------------------------------------------------ #
+    # infections
+    # ------------------------------------------------------------------ #
+
+    def _assign_infections(self) -> Dict[int, np.ndarray]:
+        """Family id -> member machine ids (possibly overlapping families)."""
+        cfg = self.config
+        rng = self._rngs.stream("infections")
+        eligible = np.flatnonzero(
+            (self.archetype != ARCH_PROXY) & (self.archetype != ARCH_PROBE)
+        )
+        pool_size = max(4, int(round(cfg.infection_rate * cfg.n_machines)))
+        pool = rng.choice(eligible, size=min(pool_size, eligible.size), replace=False)
+
+        # Total (machine, family) assignments: the multi-infection rate sets
+        # how much the per-family samples overlap within the pool.
+        n_assignments = int(round(pool.size * (1.0 + cfg.multi_infection_rate)))
+        present = rng.random(self.malware.config.n_families) < 0.8
+        weights = self.malware.family_weight * present
+        if weights.sum() == 0:
+            weights = self.malware.family_weight.copy()
+        weights = weights / weights.sum()
+        sizes = rng.multinomial(n_assignments, weights)
+
+        members: Dict[int, np.ndarray] = {}
+        for fam, size in enumerate(sizes):
+            size = int(min(size, pool.size))
+            if size < 1:
+                continue
+            members[fam] = np.sort(rng.choice(pool, size=size, replace=False))
+        self.infected_pool = np.sort(pool)
+        return members
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_machines(self) -> int:
+        return self.config.n_machines
+
+    def machines_of_archetype(self, archetype: int) -> np.ndarray:
+        return np.flatnonzero(self.archetype == archetype)
+
+    def infected_machines(self) -> np.ndarray:
+        """Machines carrying at least one family."""
+        if not self.family_members:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(list(self.family_members.values())))
+
+    def families_of_machine(self, machine_id: int) -> List[int]:
+        return [
+            fam
+            for fam, members in self.family_members.items()
+            if np.any(members == machine_id)
+        ]
+
+    def infection_counts(self) -> np.ndarray:
+        """Number of families per machine (0 for clean machines)."""
+        counts = np.zeros(self.n_machines, dtype=np.int64)
+        for members in self.family_members.values():
+            counts[members] += 1
+        return counts
+
+    def __repr__(self) -> str:
+        return (
+            f"IspPopulation(name={self.config.name!r}, "
+            f"machines={self.n_machines}, "
+            f"infected={self.infected_machines().size}, "
+            f"families_present={len(self.family_members)})"
+        )

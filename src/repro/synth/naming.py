@@ -1,0 +1,59 @@
+"""Shared domain-name morphology for benign and malicious registrations.
+
+Benign long-tail sites and malware-control domains are drawn from the
+*same* lexical generator: random letter runs plus a uniquifying index
+rendered in one of several styles.  This matters for fidelity: if C&C
+names carried a recognizable synthetic prefix, any classifier with
+name-string ("zone") features would score them by morphology alone — an
+oracle the real Internet does not provide.  Kind ground truth lives in the
+generator's bookkeeping (see :meth:`repro.synth.scenario.Scenario.is_true_malware`
+and the universe's ``kinds`` array), never in the name string.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_ALPHA = "abcdefghijklmnopqrstuvwxyz"
+
+TLD_CHOICES = ("com", "net", "org", "info", "biz", "ru", "cc", "co.uk", "de", "com.br", "it", "io")
+TLD_WEIGHTS = (0.3, 0.12, 0.08, 0.06, 0.05, 0.08, 0.04, 0.07, 0.07, 0.05, 0.04, 0.04)
+
+
+class NameForge:
+    """Generates unique, morphology-mixed domain labels."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._tld_cum = np.cumsum(np.asarray(TLD_WEIGHTS) / sum(TLD_WEIGHTS))
+
+    def site_label(self, index: int) -> str:
+        """A host-style label, unique per *index* within a namespace."""
+        rng = self._rng
+        n = int(rng.integers(3, 9))
+        letters = "".join(_ALPHA[i] for i in rng.integers(0, 26, n))
+        style = rng.random()
+        if style < 0.4:
+            return f"{letters}{index}"
+        if style < 0.65:
+            return f"{letters}-{index}"
+        if style < 0.85:
+            return f"{letters}{index:x}"
+        return f"{index}{letters}"
+
+    def tld(self) -> str:
+        """A TLD from the shared registration distribution."""
+        roll = float(self._rng.random())
+        return TLD_CHOICES[int(np.searchsorted(self._tld_cum, roll))]
+
+    def e2ld(self, index: int) -> str:
+        return f"{self.site_label(index)}.{self.tld()}"
+
+    def subdomain_label(self) -> str:
+        """A short service-style label (www, mail, a1, ...)."""
+        rng = self._rng
+        common = ("www", "mail", "api", "cdn", "m", "ns1", "app")
+        if rng.random() < 0.6:
+            return common[int(rng.integers(0, len(common)))]
+        n = int(rng.integers(2, 5))
+        return "".join(_ALPHA[i] for i in rng.integers(0, 26, n))

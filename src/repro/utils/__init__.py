@@ -1,0 +1,12 @@
+"""Shared low-level utilities: seeded RNG streams, string interning, timing.
+
+These helpers underpin the deterministic simulation substrate.  Everything in
+:mod:`repro.synth` draws randomness through :class:`repro.utils.rng.RngFactory`
+so an entire multi-day, multi-ISP scenario is reproducible from one seed.
+"""
+
+from repro.utils.ids import Interner
+from repro.utils.rng import RngFactory
+from repro.utils.timing import Stopwatch
+
+__all__ = ["Interner", "RngFactory", "Stopwatch"]

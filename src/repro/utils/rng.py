@@ -1,0 +1,68 @@
+"""Deterministic random-number streams.
+
+A large simulation needs *independent* random streams for each subsystem
+(domain universe, hosting layout, per-family malware behavior, per-day user
+traffic...).  Seeding each stream from a single root seed plus a stable string
+key keeps results reproducible even when subsystems are added, removed, or
+reordered: the stream for ``("isp1", "day", 3)`` never depends on how many
+other streams were created before it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Tuple, Union
+
+import numpy as np
+
+StreamKey = Union[str, int, Tuple[Union[str, int], ...]]
+
+
+def _key_bytes(key: StreamKey) -> bytes:
+    if isinstance(key, tuple):
+        return b"\x1f".join(_key_bytes(part) for part in key)
+    if isinstance(key, int):
+        return b"i" + str(key).encode("ascii")
+    if isinstance(key, str):
+        return b"s" + key.encode("utf-8")
+    raise TypeError(f"unsupported stream key component: {key!r}")
+
+
+class RngFactory:
+    """Factory of named, mutually independent NumPy random generators.
+
+    >>> rngs = RngFactory(seed=7)
+    >>> a = rngs.stream("alpha").integers(0, 100, size=3)
+    >>> b = RngFactory(seed=7).stream("alpha").integers(0, 100, size=3)
+    >>> (a == b).all()
+    True
+    """
+
+    def __init__(self, seed: int) -> None:
+        if not isinstance(seed, int):
+            raise TypeError("seed must be an int")
+        self._seed = int(seed)
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def stream_seed(self, key: StreamKey) -> int:
+        """Derive a 64-bit child seed for *key* from the root seed."""
+        digest = hashlib.blake2b(
+            _key_bytes(key),
+            digest_size=8,
+            key=str(self._seed).encode("ascii"),
+        ).digest()
+        return int.from_bytes(digest, "little")
+
+    def stream(self, key: StreamKey) -> np.random.Generator:
+        """Return a fresh generator for *key* (same key -> same sequence)."""
+        return np.random.Generator(np.random.PCG64(self.stream_seed(key)))
+
+    def child(self, key: StreamKey) -> "RngFactory":
+        """Return a sub-factory whose streams are namespaced under *key*."""
+        return RngFactory(self.stream_seed(key))
+
+    def __repr__(self) -> str:
+        return f"RngFactory(seed={self._seed})"

@@ -1,0 +1,53 @@
+"""Argument validation helpers shared across the library."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+
+def require_positive(value: float, name: str) -> None:
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+
+
+def require_non_negative(value: float, name: str) -> None:
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+
+
+def require_fraction(value: float, name: str) -> None:
+    """Require value in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value}")
+
+
+def require_in(value: Any, options: tuple, name: str) -> None:
+    if value not in options:
+        raise ValueError(f"{name} must be one of {options}, got {value!r}")
+
+
+def as_2d_float_array(x: Any, name: str = "X") -> np.ndarray:
+    """Coerce to a 2-D float64 array, raising a clear error otherwise."""
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-dimensional, got shape {arr.shape}")
+    if arr.size and not np.isfinite(arr).all():
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def as_1d_int_array(y: Any, name: str = "y") -> np.ndarray:
+    """Coerce to a 1-D int64 array, raising a clear error otherwise."""
+    arr = np.asarray(y)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-dimensional, got shape {arr.shape}")
+    return arr.astype(np.int64)
+
+
+def check_same_length(a: np.ndarray, b: np.ndarray, names: str = "X, y") -> None:
+    if len(a) != len(b):
+        raise ValueError(
+            f"{names} must have matching lengths, got {len(a)} and {len(b)}"
+        )

@@ -1,0 +1,43 @@
+"""Shared fixtures: one small synthetic world per test session.
+
+Scenario construction costs a few seconds, so the expensive fixtures are
+session-scoped and treated as immutable by tests (traces and indices are
+cached inside the scenario; tests must not mutate them).
+"""
+
+import numpy as np
+import pytest
+
+from repro.synth.scenario import Scenario
+
+
+@pytest.fixture(scope="session")
+def scenario() -> Scenario:
+    return Scenario.small(seed=7)
+
+
+@pytest.fixture(scope="session")
+def train_context(scenario):
+    return scenario.context("isp1", scenario.eval_day(2))
+
+
+@pytest.fixture(scope="session")
+def test_context(scenario):
+    return scenario.context("isp1", scenario.eval_day(15))
+
+
+@pytest.fixture(scope="session")
+def isp2_context(scenario):
+    return scenario.context("isp2", scenario.eval_day(15))
+
+
+@pytest.fixture(scope="session")
+def fitted_model(train_context):
+    from repro.core.pipeline import Segugio
+
+    return Segugio().fit(train_context)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,68 @@
+"""Tests for the co-occurrence scorer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cooccurrence import CoOccurrenceScorer
+from tests.test_baselines_belief import build
+
+
+class TestScoring:
+    def test_full_overlap_scores_high(self):
+        edges = [
+            ("bot1", "cc.known.com"),
+            ("bot2", "cc.known.com"),
+            ("bot1", "candidate.xyz"),
+            ("bot2", "candidate.xyz"),
+            ("clean", "tail.org"),
+            ("clean2", "tail.org"),
+        ]
+        graph, labels = build(edges, blacklisted=["cc.known.com"])
+        scores = CoOccurrenceScorer().score_domains(graph, labels)
+        assert scores[graph.domains.lookup("candidate.xyz")] > 0.4
+        assert scores[graph.domains.lookup("tail.org")] == 0.0
+
+    def test_partial_overlap_fraction(self):
+        edges = [
+            ("bot", "cc.known.com"),
+            ("bot", "candidate.xyz"),
+            ("clean", "candidate.xyz"),
+            ("clean", "other.org"),
+            ("x", "other.org"),
+        ]
+        graph, labels = build(edges, blacklisted=["cc.known.com"])
+        scores = CoOccurrenceScorer(weighted=False).score_domains(graph, labels)
+        assert scores[graph.domains.lookup("candidate.xyz")] == pytest.approx(0.5)
+
+    def test_weighted_gives_more_corroborated_machines_more_weight(self):
+        edges = [
+            ("deepbot", "cc1.com"),
+            ("deepbot", "cc2.com"),
+            ("deepbot", "deep-target.xyz"),
+            ("x1", "deep-target.xyz"),
+            ("shallowbot", "cc1.com"),
+            ("shallowbot", "shallow-target.xyz"),
+            ("x2", "shallow-target.xyz"),
+        ]
+        graph, labels = build(edges, blacklisted=["cc1.com", "cc2.com"])
+        scores = CoOccurrenceScorer(weighted=True).score_domains(graph, labels)
+        deep = scores[graph.domains.lookup("deep-target.xyz")]
+        shallow = scores[graph.domains.lookup("shallow-target.xyz")]
+        assert deep > shallow
+
+    def test_scores_in_unit_interval(self):
+        edges = [("m1", "a.com"), ("m2", "a.com"), ("m2", "b.com")]
+        graph, labels = build(edges, blacklisted=["a.com"])
+        for weighted in (True, False):
+            scores = CoOccurrenceScorer(weighted=weighted).score_domains(graph, labels)
+            assert ((scores >= 0) & (scores <= 1)).all()
+
+    def test_domain_with_no_queriers_scores_zero(self):
+        edges = [("m1", "a.com"), ("m2", "a.com")]
+        graph, labels = build(edges)
+        # Intern an extra domain with no edges.
+        extra = graph.domains.intern("ghost.com")
+        # Rebuild graph arrays are fixed; ghost has no edges in this graph,
+        # but scores array covers the full id space only for graph ids.
+        scores = CoOccurrenceScorer().score_domains(graph, labels)
+        assert scores.shape[0] == graph.n_domain_ids

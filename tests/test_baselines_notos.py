@@ -1,0 +1,164 @@
+"""Tests for the Notos-style reputation baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.notos import NOTOS_FEATURE_NAMES, NotosReputation
+from repro.dns.e2ld import E2ldIndex
+from repro.dns.records import parse_ipv4
+from repro.intel.blacklist import CncBlacklist
+from repro.intel.whitelist import DomainWhitelist
+from repro.pdns.database import PassiveDNSDatabase
+from repro.utils.ids import Interner
+
+BAD_IP = parse_ipv4("12.0.0.5")
+BAD_IP2 = parse_ipv4("12.0.0.77")
+GOOD_IP = parse_ipv4("10.0.0.5")
+GOOD_IP2 = parse_ipv4("10.0.1.5")
+
+
+def build_world():
+    domains = Interner()
+    pdns = PassiveDNSDatabase()
+    blacklist = CncBlacklist()
+    whitelist = DomainWhitelist(["good0.com", "good1.com", "good2.com"])
+
+    bad_ids, good_ids = [], []
+    for i in range(6):
+        did = domains.intern(f"evil{i}.net")
+        bad_ids.append(did)
+        blacklist.add(f"evil{i}.net", added_day=5)
+    for i in range(3):
+        good_ids.append(domains.intern(f"www.good{i}.com"))
+    new_bad = domains.intern("newevil.biz")  # blacklisted after training
+    blacklist_after = CncBlacklist()
+    fresh = domains.intern("fresh.org")  # no history at all
+
+    for day in range(10, 60):
+        for did in bad_ids:
+            pdns.observe_day(day, [did], [BAD_IP if did % 2 else BAD_IP2])
+        for did in good_ids:
+            pdns.observe_day(day, [did, did], [GOOD_IP, GOOD_IP2])
+    # The new bad domain appears on abused IPs only late (after train day).
+    for day in range(80, 84):
+        pdns.observe_day(day, [new_bad], [BAD_IP])
+
+    return {
+        "domains": domains,
+        "pdns": pdns,
+        "blacklist": blacklist,
+        "whitelist": whitelist,
+        "bad_ids": bad_ids,
+        "good_ids": good_ids,
+        "new_bad": new_bad,
+        "fresh": fresh,
+    }
+
+
+@pytest.fixture()
+def world():
+    return build_world()
+
+
+def make_notos(world, **kwargs):
+    return NotosReputation(
+        pdns=world["pdns"],
+        domains=world["domains"],
+        e2ld_index=E2ldIndex(world["domains"]),
+        window_days=150,
+        **kwargs,
+    )
+
+
+class TestFeatures:
+    def test_feature_matrix_shape(self, world):
+        notos = make_notos(world)
+        ids = world["bad_ids"] + world["good_ids"]
+        X, ok = notos.feature_matrix(ids, end_day=60, blacklist=world["blacklist"])
+        assert X.shape == (len(ids), len(NOTOS_FEATURE_NAMES))
+        assert ok.all()
+
+    def test_reject_option_no_history(self, world):
+        notos = make_notos(world)
+        X, ok = notos.feature_matrix(
+            [world["fresh"]], end_day=60, blacklist=world["blacklist"]
+        )
+        assert not ok[0]
+
+    def test_reject_option_thin_history(self, world):
+        notos = make_notos(world, min_history_days=10)
+        # newevil.biz has only 4 days of history by day 84.
+        X, ok = notos.feature_matrix(
+            [world["new_bad"]], end_day=84, blacklist=world["blacklist"]
+        )
+        assert not ok[0]
+
+    def test_evidence_features_separate_classes(self, world):
+        notos = make_notos(world)
+        X, _ = notos.feature_matrix(
+            [world["bad_ids"][0], world["good_ids"][0]],
+            end_day=60,
+            blacklist=world["blacklist"],
+        )
+        frac_bad_ips = NOTOS_FEATURE_NAMES.index("evidence_frac_bad_ips")
+        assert X[0, frac_bad_ips] == 1.0
+        assert X[1, frac_bad_ips] == 0.0
+
+    def test_blacklist_snapshot_limits_evidence(self, world):
+        notos = make_notos(world)
+        late_blacklist = CncBlacklist()
+        for i in range(6):
+            late_blacklist.add(f"evil{i}.net", added_day=100)
+        X, _ = notos.feature_matrix(
+            [world["bad_ids"][0]],
+            end_day=60,
+            blacklist=late_blacklist,
+            blacklist_day=60,
+        )
+        frac_bad_ips = NOTOS_FEATURE_NAMES.index("evidence_frac_bad_ips")
+        # None of the feed entries existed by day 60: no bad-IP evidence.
+        assert X[0, frac_bad_ips] == 0.0
+
+
+class TestTrainScore:
+    def test_fit_and_rank(self, world):
+        notos = make_notos(world, n_estimators=20)
+        notos.fit(60, world["blacklist"], world["whitelist"])
+        scores = notos.score(
+            world["bad_ids"] + world["good_ids"], end_day=60
+        )
+        assert np.nanmean(scores[: len(world["bad_ids"])]) > np.nanmean(
+            scores[len(world["bad_ids"]):]
+        )
+
+    def test_new_domain_on_abused_ip_gets_flagged(self, world):
+        notos = make_notos(world, n_estimators=20, min_history_days=2)
+        notos.fit(60, world["blacklist"], world["whitelist"])
+        score = notos.score([world["new_bad"]], end_day=84)[0]
+        assert not np.isnan(score)
+        assert score > 0.5
+
+    def test_rejected_domain_scores_nan(self, world):
+        notos = make_notos(world, n_estimators=10)
+        notos.fit(60, world["blacklist"], world["whitelist"])
+        assert np.isnan(notos.score([world["fresh"]], end_day=60)[0])
+
+    def test_score_before_fit_raises(self, world):
+        with pytest.raises(RuntimeError):
+            make_notos(world).score([0], end_day=60)
+
+    def test_training_needs_both_classes(self, world):
+        notos = make_notos(world)
+        empty_whitelist = DomainWhitelist([])
+        with pytest.raises(ValueError):
+            notos.fit(60, world["blacklist"], empty_whitelist)
+
+
+class TestZoneFeatures:
+    def test_zone_features_values(self, world):
+        notos = make_notos(world)
+        length, n_labels, digit_frac, entropy = notos._zone_features("abc123.com")
+        assert length == 10.0
+        assert n_labels == 2.0
+        assert digit_frac == pytest.approx(3 / 10)
+        assert entropy > 0

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENT_NAMES, build_parser, main
+
+
+class TestParser:
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.scale == "small"
+        assert args.seed == 7
+
+    def test_experiment_args(self):
+        args = build_parser().parse_args(
+            ["experiment", "fig6", "--scale", "small", "--seed", "3"]
+        )
+        assert args.name == "fig6"
+        assert args.seed == 3
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--scale", "huge"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENT_NAMES:
+            assert name in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "nonsense"])
+
+    def test_pruning_experiment_runs(self, capsys):
+        # The cheapest end-to-end command: builds a small world and prints.
+        assert main(["experiment", "pruning", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "avg_domains_removed_pct" in out
+
+    def test_table1_runs(self, capsys):
+        assert main(["experiment", "table1", "--seed", "5"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_track_runs(self, capsys):
+        assert main(["track", "--days", "1", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "tracked" in out
+
+    def test_diagnose_runs(self, capsys):
+        assert main(["diagnose", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "intuition 1" in out
+
+    def test_graph_stats_runs(self, capsys):
+        assert main(["graph-stats", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "after pruning" in out
+        assert "components" in out
+
+    def test_explain_runs(self, capsys):
+        assert main(["explain", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "malware score" in out
+        assert "contribution" in out
+
+    def test_explain_unknown_domain_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["explain", "--seed", "5", "--domain", "not-in-world.test"])
+
+    def test_export_and_classify_round_trip(self, tmp_path, capsys):
+        directory = str(tmp_path / "obs")
+        assert main(["export-day", directory, "--seed", "5"]) == 0
+        assert main(["classify-dir", directory, "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "unknown domains scored" in out

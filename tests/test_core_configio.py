@@ -1,0 +1,80 @@
+"""Tests for pipeline-config persistence."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.configio import (
+    config_from_dict,
+    config_to_dict,
+    load_config,
+    save_config,
+)
+from repro.core.pipeline import SegugioConfig
+from repro.core.pruning import PruneConfig
+
+
+class TestRoundTrip:
+    def test_defaults(self):
+        config = SegugioConfig()
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_customized(self):
+        config = SegugioConfig(
+            activity_window=7,
+            pdns_window_days=60,
+            prune=PruneConfig(r1_min_domains=3, apply_r4=False),
+            classifier="logistic",
+            n_estimators=12,
+            feature_columns=(0, 3, 7),
+            filter_probes=True,
+            seed=9,
+        )
+        clone = config_from_dict(config_to_dict(config))
+        assert clone == config
+        assert clone.prune.apply_r4 is False
+        assert clone.feature_columns == (0, 3, 7)
+
+    def test_stream_round_trip(self):
+        config = SegugioConfig(n_estimators=5)
+        buffer = io.StringIO()
+        save_config(config, buffer)
+        buffer.seek(0)
+        assert load_config(buffer) == config
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "config.json")
+        config = SegugioConfig(max_bins=16)
+        save_config(config, path)
+        assert load_config(path) == config
+
+    def test_json_is_plain(self):
+        text = json.dumps(config_to_dict(SegugioConfig()))
+        assert "prune" in text
+
+
+class TestValidation:
+    def test_unknown_key_rejected(self):
+        payload = config_to_dict(SegugioConfig())
+        payload["banana"] = 1
+        with pytest.raises(ValueError, match="unknown config keys"):
+            config_from_dict(payload)
+
+    def test_unknown_prune_key_rejected(self):
+        payload = config_to_dict(SegugioConfig())
+        payload["prune"]["r9_magic"] = True
+        with pytest.raises(ValueError, match="prune"):
+            config_from_dict(payload)
+
+    def test_bad_version_rejected(self):
+        payload = config_to_dict(SegugioConfig())
+        payload["format_version"] = 42
+        with pytest.raises(ValueError, match="version"):
+            config_from_dict(payload)
+
+    def test_missing_prune_defaults(self):
+        payload = config_to_dict(SegugioConfig())
+        del payload["prune"]
+        config = config_from_dict(payload)
+        assert config.prune == PruneConfig()

@@ -1,0 +1,221 @@
+"""Tests for the 11-feature extractor, including hiding semantics (Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import (
+    FEATURE_GROUPS,
+    FEATURE_NAMES,
+    N_FEATURES,
+    FeatureExtractor,
+)
+from repro.core.graph import BehaviorGraph
+from repro.core.labeling import label_graph
+from repro.dns.activity import ActivityIndex
+from repro.dns.e2ld import E2ldIndex
+from repro.dns.records import parse_ipv4
+from repro.dns.trace import DayTrace
+from repro.intel.blacklist import CncBlacklist
+from repro.intel.whitelist import DomainWhitelist
+from repro.pdns.abuse import AbuseOracle
+from repro.pdns.database import PassiveDNSDatabase
+from repro.utils.ids import Interner
+
+DAY = 20
+ABUSED_IP = parse_ipv4("12.0.0.5")
+CLEAN_IP = parse_ipv4("10.0.0.5")
+
+
+def build_extractor():
+    """A Fig. 5-style world.
+
+    Machines:
+      bot1: cc.old.com (known C&C), target.evil.net (candidate)
+      bot2: cc.old.com, cc.other.com, target.evil.net
+      user: www.good.com, target.evil.net  <- one clean querier of the target
+      clean: www.good.com
+    """
+    machines, domains = Interner(), Interner()
+    edges = [
+        ("bot1", "cc.old.com"),
+        ("bot1", "target.evil.net"),
+        ("bot2", "cc.old.com"),
+        ("bot2", "cc.other.com"),
+        ("bot2", "target.evil.net"),
+        ("user", "www.good.com"),
+        ("user", "target.evil.net"),
+        ("clean", "www.good.com"),
+    ]
+    em = [machines.intern(m) for m, _ in edges]
+    ed = [domains.intern(d) for _, d in edges]
+    resolutions = {
+        domains.lookup("target.evil.net"): np.array(
+            [ABUSED_IP, CLEAN_IP], dtype=np.uint32
+        ),
+        domains.lookup("www.good.com"): np.array([CLEAN_IP], dtype=np.uint32),
+    }
+    graph = BehaviorGraph.from_trace(
+        DayTrace.build(DAY, machines, domains, em, ed, resolutions)
+    )
+
+    blacklist = CncBlacklist()
+    blacklist.add("cc.old.com", 0)
+    blacklist.add("cc.other.com", 0)
+    whitelist = DomainWhitelist(["good.com"])
+    labels = label_graph(graph, blacklist, whitelist)
+
+    fqd_activity = ActivityIndex()
+    e2ld_activity = ActivityIndex()
+    e2ld_index = E2ldIndex(domains)
+    e2ld_map = e2ld_index.map_array()
+    target = domains.lookup("target.evil.net")
+    good = domains.lookup("www.good.com")
+    # target active the last 2 days; good active for the whole window.
+    for day in (DAY - 1, DAY):
+        fqd_activity.record(day, [target])
+        e2ld_activity.record(day, [e2ld_map[target]])
+    for day in range(DAY - 13, DAY + 1):
+        fqd_activity.record(day, [good])
+        e2ld_activity.record(day, [e2ld_map[good]])
+
+    pdns = PassiveDNSDatabase()
+    # Historic resolution: cc.old.com sat on the abused IP last month.
+    pdns.observe_day(DAY - 10, [domains.lookup("cc.old.com")], [ABUSED_IP])
+    oracle = AbuseOracle(
+        pdns,
+        end_day=DAY - 1,
+        window_days=150,
+        malware_domain_ids=[domains.lookup("cc.old.com"), domains.lookup("cc.other.com")],
+        benign_domain_ids=[good],
+    )
+    extractor = FeatureExtractor(
+        graph, labels, fqd_activity, e2ld_activity, e2ld_index, oracle
+    )
+    return extractor, graph, domains, machines
+
+
+class TestMachineBehavior:
+    def test_unknown_candidate_f1(self):
+        extractor, graph, domains, _ = build_extractor()
+        target = domains.lookup("target.evil.net")
+        row = extractor.features_for(target)
+        # S = {bot1, bot2, user}; I = {bot1, bot2}; U = {user}.
+        assert row[0] == pytest.approx(2 / 3)  # frac infected
+        assert row[1] == pytest.approx(1 / 3)  # frac unknown
+        assert row[2] == 3  # total machines
+
+    def test_hidden_malware_discounts_itself(self):
+        """Hiding a known C&C domain: a machine that queried ONLY it is no
+        longer counted as infected (paper Fig. 5, machine M1)."""
+        extractor, graph, domains, machines = build_extractor()
+        cc_other = domains.lookup("cc.other.com")
+        row = extractor.features_for(cc_other, hide_labels=True)
+        # Only bot2 queries cc.other.com; bot2 also queries cc.old.com, so
+        # it stays infected even with cc.other.com hidden.
+        assert row[0] == 1.0
+        assert row[1] == 0.0
+        assert row[2] == 1
+
+    def test_hidden_malware_sole_evidence(self):
+        extractor, graph, domains, machines = build_extractor()
+        cc_old = domains.lookup("cc.old.com")
+        row = extractor.features_for(cc_old, hide_labels=True)
+        # bot1's only OTHER malware domain is none -> becomes unknown;
+        # bot2 still queries cc.other.com -> stays infected.
+        assert row[0] == pytest.approx(1 / 2)
+        assert row[1] == pytest.approx(1 / 2)
+
+    def test_hidden_benign_keeps_infection_counts(self):
+        extractor, graph, domains, machines = build_extractor()
+        good = domains.lookup("www.good.com")
+        row = extractor.features_for(good, hide_labels=True)
+        # S = {user, clean}: neither queries malware -> I empty, all unknown.
+        assert row[0] == 0.0
+        assert row[1] == 1.0
+        assert row[2] == 2
+
+    def test_classify_matches_paper_invariant(self):
+        """For a genuinely unknown domain, m + u == 1 (no benign querier can
+        exist: querying an unknown domain disqualifies a machine from being
+        benign)."""
+        extractor, graph, domains, _ = build_extractor()
+        target = domains.lookup("target.evil.net")
+        row = extractor.features_for(target)
+        assert row[0] + row[1] == pytest.approx(1.0)
+
+
+class TestDomainActivity:
+    def test_fresh_candidate(self):
+        extractor, _, domains, _ = build_extractor()
+        row = extractor.features_for(domains.lookup("target.evil.net"))
+        assert row[3] == 2  # fqd days active
+        assert row[4] == 2  # fqd consecutive
+        assert row[5] == 2  # e2ld days active
+        assert row[6] == 2
+
+    def test_longstanding_domain(self):
+        extractor, _, domains, _ = build_extractor()
+        row = extractor.features_for(domains.lookup("www.good.com"), hide_labels=True)
+        assert row[3] == 14
+        assert row[4] == 14
+
+    def test_never_active_domain(self):
+        extractor, _, domains, _ = build_extractor()
+        row = extractor.features_for(domains.lookup("cc.old.com"), hide_labels=True)
+        assert row[3] == 0
+        assert row[4] == 0
+
+
+class TestIpAbuse:
+    def test_candidate_on_abused_ip(self):
+        extractor, _, domains, _ = build_extractor()
+        row = extractor.features_for(domains.lookup("target.evil.net"))
+        assert row[7] == pytest.approx(0.5)  # 1 of 2 IPs abused
+        assert row[8] == pytest.approx(0.5)  # 1 of 2 /24s abused
+
+    def test_domain_without_resolutions(self):
+        extractor, _, domains, _ = build_extractor()
+        row = extractor.features_for(domains.lookup("cc.old.com"), hide_labels=True)
+        assert (row[7:11] == 0).all()
+
+
+class TestMatrixApi:
+    def test_shape_and_order(self):
+        extractor, graph, domains, _ = build_extractor()
+        ids = [domains.lookup("target.evil.net"), domains.lookup("www.good.com")]
+        X = extractor.feature_matrix(ids)
+        assert X.shape == (2, N_FEATURES)
+        single = extractor.features_for(ids[0])
+        assert (X[0] == single).all()
+
+    def test_empty_input(self):
+        extractor, _, _, _ = build_extractor()
+        assert extractor.feature_matrix([]).shape == (0, N_FEATURES)
+
+    def test_feature_names_consistent(self):
+        assert len(FEATURE_NAMES) == N_FEATURES
+        all_group_columns = sorted(
+            i for cols in FEATURE_GROUPS.values() for i in cols
+        )
+        assert all_group_columns == list(range(N_FEATURES))
+
+    def test_columns_without_group(self):
+        cols = FeatureExtractor.columns_without_group("machine")
+        assert 0 not in cols and 1 not in cols and 2 not in cols
+        assert len(cols) == N_FEATURES - 3
+        assert FeatureExtractor.columns_without_group(None) == list(range(N_FEATURES))
+        with pytest.raises(KeyError):
+            FeatureExtractor.columns_without_group("bogus")
+
+    def test_invalid_window_rejected(self):
+        extractor, graph, domains, _ = build_extractor()
+        with pytest.raises(ValueError):
+            FeatureExtractor(
+                extractor.graph,
+                extractor.labels,
+                extractor.fqd_activity,
+                extractor.e2ld_activity,
+                extractor.e2ld_index,
+                extractor.abuse_oracle,
+                activity_window=0,
+            )

@@ -1,0 +1,142 @@
+"""Tests for the bipartite behavior graph."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.graph import BehaviorGraph
+from repro.dns.trace import DayTrace
+from repro.utils.ids import Interner
+
+
+def graph_from_edges(edges, resolutions=None):
+    """edges: list of (machine_name, domain_name)."""
+    machines, domains = Interner(), Interner()
+    em = [machines.intern(m) for m, _ in edges]
+    ed = [domains.intern(d) for _, d in edges]
+    res = None
+    if resolutions:
+        res = {
+            domains.intern(name): np.asarray(ips, dtype=np.uint32)
+            for name, ips in resolutions.items()
+        }
+    trace = DayTrace.build(0, machines, domains, em, ed, res)
+    return BehaviorGraph.from_trace(trace)
+
+
+EDGES = [
+    ("m1", "a.com"),
+    ("m1", "b.com"),
+    ("m2", "a.com"),
+    ("m2", "c.com"),
+    ("m3", "c.com"),
+]
+
+
+class TestTopology:
+    def test_counts(self):
+        graph = graph_from_edges(EDGES)
+        assert graph.n_machines == 3
+        assert graph.n_domains == 3
+        assert graph.n_edges == 5
+
+    def test_degrees(self):
+        graph = graph_from_edges(EDGES)
+        m1 = graph.machines.lookup("m1")
+        a = graph.domains.lookup("a.com")
+        assert graph.machine_degrees()[m1] == 2
+        assert graph.domain_degrees()[a] == 2
+
+    def test_adjacency_consistency(self):
+        graph = graph_from_edges(EDGES)
+        a = graph.domains.lookup("a.com")
+        queriers = {graph.machines.name(int(m)) for m in graph.machines_of_domain(a)}
+        assert queriers == {"m1", "m2"}
+        m2 = graph.machines.lookup("m2")
+        queried = {graph.domains.name(int(d)) for d in graph.domains_of_machine(m2)}
+        assert queried == {"a.com", "c.com"}
+
+    def test_resolved_ips(self):
+        graph = graph_from_edges(EDGES, resolutions={"a.com": [100, 200]})
+        a = graph.domains.lookup("a.com")
+        assert graph.resolved_ips(a).tolist() == [100, 200]
+        assert graph.resolved_ips(graph.domains.lookup("b.com")).size == 0
+
+    def test_mismatched_edges_rejected(self):
+        with pytest.raises(ValueError):
+            BehaviorGraph(0, Interner(), Interner(), np.array([1]), np.array([1, 2]))
+
+
+class TestSubgraph:
+    def test_subgraph_drops_edges(self):
+        graph = graph_from_edges(EDGES)
+        keep_m = np.ones(graph.n_machine_ids, dtype=bool)
+        keep_m[graph.machines.lookup("m1")] = False
+        keep_d = np.ones(graph.n_domain_ids, dtype=bool)
+        sub = graph.subgraph(keep_m, keep_d)
+        assert sub.n_edges == 3
+        # b.com lost its only querier.
+        b = graph.domains.lookup("b.com")
+        assert sub.domain_degrees()[b] == 0
+        assert sub.n_domains == 2
+
+    def test_subgraph_preserves_id_space(self):
+        graph = graph_from_edges(EDGES)
+        sub = graph.subgraph(
+            np.ones(graph.n_machine_ids, dtype=bool),
+            np.ones(graph.n_domain_ids, dtype=bool),
+        )
+        assert sub.n_machine_ids == graph.n_machine_ids
+        assert sub.n_domain_ids == graph.n_domain_ids
+
+    def test_subgraph_filters_resolutions(self):
+        graph = graph_from_edges(EDGES, resolutions={"b.com": [5]})
+        keep_d = np.ones(graph.n_domain_ids, dtype=bool)
+        keep_d[graph.domains.lookup("b.com")] = False
+        sub = graph.subgraph(np.ones(graph.n_machine_ids, dtype=bool), keep_d)
+        assert graph.domains.lookup("b.com") not in sub.resolutions
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=9),
+            st.integers(min_value=0, max_value=9),
+        ),
+        min_size=1,
+        max_size=80,
+    )
+)
+def test_property_degree_sums_equal_edges(pairs):
+    """Sum of machine degrees == sum of domain degrees == #unique edges."""
+    machines, domains = Interner(), Interner()
+    em = [machines.intern(f"m{a}") for a, _ in pairs]
+    ed = [domains.intern(f"d{b}") for _, b in pairs]
+    trace = DayTrace.build(0, machines, domains, em, ed)
+    graph = BehaviorGraph.from_trace(trace)
+    n_unique = len(set(pairs))
+    assert graph.n_edges == n_unique
+    assert graph.machine_degrees().sum() == n_unique
+    assert graph.domain_degrees().sum() == n_unique
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=9),
+            st.integers(min_value=0, max_value=9),
+        ),
+        min_size=1,
+        max_size=80,
+    )
+)
+def test_property_adjacency_is_involution(pairs):
+    """m in machines_of_domain(d) iff d in domains_of_machine(m)."""
+    machines, domains = Interner(), Interner()
+    em = [machines.intern(f"m{a}") for a, _ in pairs]
+    ed = [domains.intern(f"d{b}") for _, b in pairs]
+    graph = BehaviorGraph.from_trace(DayTrace.build(0, machines, domains, em, ed))
+    for d in graph.domain_ids():
+        for m in graph.machines_of_domain(int(d)):
+            assert int(d) in graph.domains_of_machine(int(m)).tolist()

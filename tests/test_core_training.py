@@ -1,0 +1,80 @@
+"""Tests for label-hiding training-set construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.labeling import BENIGN, MALWARE
+from repro.core.training import TrainingSet, build_training_set
+from tests.test_core_features import build_extractor
+
+
+class TestBuildTrainingSet:
+    def test_contains_all_known_domains(self):
+        extractor, graph, domains, _ = build_extractor()
+        ts = build_training_set(extractor, graph, extractor.labels)
+        # cc.old.com, cc.other.com malware; www.good.com benign.
+        assert ts.n_malware == 2
+        assert ts.n_benign == 1
+        assert ts.X.shape == (3, 11)
+
+    def test_labels_match_ids(self):
+        extractor, graph, domains, _ = build_extractor()
+        ts = build_training_set(extractor, graph, extractor.labels)
+        for domain_id, label in zip(ts.domain_ids, ts.y):
+            expected = extractor.labels.domain_labels[domain_id]
+            assert (label == 1) == (expected == MALWARE)
+
+    def test_features_measured_with_hiding(self):
+        """The malware rows must NOT have the degenerate m=1/u=0 signature a
+        non-hidden measurement would produce for cc.old.com."""
+        extractor, graph, domains, _ = build_extractor()
+        ts = build_training_set(extractor, graph, extractor.labels)
+        cc_old = domains.lookup("cc.old.com")
+        row = ts.X[list(ts.domain_ids).index(cc_old)]
+        assert row[0] == pytest.approx(0.5)  # bot1 discounted (Fig. 5)
+
+    def test_benign_subsampling(self):
+        extractor, graph, domains, _ = build_extractor()
+        rng = np.random.default_rng(0)
+        ts = build_training_set(
+            extractor, graph, extractor.labels, max_benign=1, rng=rng
+        )
+        assert ts.n_benign == 1
+
+    def test_subsample_requires_rng(self):
+        extractor, graph, domains, _ = build_extractor()
+        with pytest.raises(ValueError, match="rng"):
+            build_training_set(extractor, graph, extractor.labels, max_benign=0)
+
+    def test_missing_class_raises(self):
+        extractor, graph, domains, _ = build_extractor()
+        labels = extractor.labels
+        no_malware = labels.with_hidden(
+            graph, labels.domain_ids_with_label(MALWARE)
+        )
+        with pytest.raises(ValueError, match="malware"):
+            build_training_set(extractor, graph, no_malware)
+        no_benign = labels.with_hidden(
+            graph, labels.domain_ids_with_label(BENIGN)
+        )
+        with pytest.raises(ValueError, match="benign"):
+            build_training_set(extractor, graph, no_benign)
+
+
+class TestTrainingSetApi:
+    def test_select_columns(self):
+        extractor, graph, domains, _ = build_extractor()
+        ts = build_training_set(extractor, graph, extractor.labels)
+        sub = ts.select_columns([0, 2, 7])
+        assert sub.X.shape == (3, 3)
+        assert sub.feature_names == [
+            "machine_frac_infected",
+            "machine_total",
+            "ip_frac_malware",
+        ]
+        assert (sub.y == ts.y).all()
+
+    def test_repr(self):
+        extractor, graph, domains, _ = build_extractor()
+        ts = build_training_set(extractor, graph, extractor.labels)
+        assert "malware=2" in repr(ts)

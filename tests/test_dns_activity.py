@@ -1,0 +1,110 @@
+"""Tests for the rolling activity index (F2 feature substrate)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dns.activity import ActivityIndex
+
+
+class TestRecording:
+    def test_is_active(self):
+        index = ActivityIndex()
+        index.record(3, [10, 11])
+        assert index.is_active(10, 3)
+        assert not index.is_active(10, 2)
+        assert not index.is_active(12, 3)
+
+    def test_first_seen(self):
+        index = ActivityIndex()
+        index.record(5, [1])
+        index.record(3, [1])
+        assert index.first_seen(1) == 3
+        assert index.first_seen(99) is None
+
+    def test_negative_day_rejected(self):
+        with pytest.raises(ValueError):
+            ActivityIndex().record(-1, [0])
+
+    def test_len_and_contains(self):
+        index = ActivityIndex()
+        index.record(0, [7])
+        assert len(index) == 1
+        assert 7 in index
+        assert 8 not in index
+
+
+class TestWindowQueries:
+    def test_days_active_counts_window_only(self):
+        index = ActivityIndex()
+        for day in (1, 2, 5, 9):
+            index.record(day, [0])
+        # Window [3, 9] of length 7 contains days 5 and 9.
+        assert index.days_active(0, end_day=9, window=7) == 2
+
+    def test_days_active_unknown_key(self):
+        assert ActivityIndex().days_active(42, end_day=10, window=14) == 0
+
+    def test_days_active_window_clipped_at_zero(self):
+        index = ActivityIndex()
+        index.record(0, [0])
+        index.record(1, [0])
+        assert index.days_active(0, end_day=1, window=14) == 2
+
+    def test_consecutive_days_streak(self):
+        index = ActivityIndex()
+        for day in (4, 5, 6, 8, 9, 10):
+            index.record(day, [0])
+        assert index.consecutive_days(0, end_day=10, window=14) == 3
+        assert index.consecutive_days(0, end_day=6, window=14) == 3
+
+    def test_consecutive_zero_if_inactive_on_end_day(self):
+        index = ActivityIndex()
+        index.record(5, [0])
+        assert index.consecutive_days(0, end_day=6, window=14) == 0
+
+    def test_consecutive_capped_by_window(self):
+        index = ActivityIndex()
+        for day in range(20):
+            index.record(day, [0])
+        assert index.consecutive_days(0, end_day=19, window=14) == 14
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            ActivityIndex().days_active(0, end_day=5, window=0)
+        with pytest.raises(ValueError):
+            ActivityIndex().consecutive_days(0, end_day=5, window=-1)
+
+
+@given(
+    active_days=st.sets(st.integers(min_value=0, max_value=60), max_size=30),
+    end_day=st.integers(min_value=0, max_value=60),
+    window=st.integers(min_value=1, max_value=20),
+)
+def test_property_days_active_matches_bruteforce(active_days, end_day, window):
+    index = ActivityIndex()
+    for day in active_days:
+        index.record(day, [0])
+    expected = sum(
+        1
+        for day in active_days
+        if max(end_day - window + 1, 0) <= day <= end_day
+    )
+    assert index.days_active(0, end_day, window) == expected
+
+
+@given(
+    active_days=st.sets(st.integers(min_value=0, max_value=60), max_size=30),
+    end_day=st.integers(min_value=0, max_value=60),
+    window=st.integers(min_value=1, max_value=20),
+)
+def test_property_consecutive_matches_bruteforce(active_days, end_day, window):
+    index = ActivityIndex()
+    for day in active_days:
+        index.record(day, [0])
+    streak = 0
+    day = end_day
+    while day >= 0 and streak < window and day in active_days:
+        streak += 1
+        day -= 1
+    assert index.consecutive_days(0, end_day, window) == streak

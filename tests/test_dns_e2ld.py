@@ -1,0 +1,59 @@
+"""Tests for the incremental FQD-id -> e2LD-id index."""
+
+import numpy as np
+
+from repro.dns.e2ld import E2ldIndex
+from repro.dns.publicsuffix import PublicSuffixList
+from repro.utils.ids import Interner
+
+
+class TestMapping:
+    def test_basic_mapping(self):
+        domains = Interner(["www.example.com", "mail.example.com", "other.org"])
+        index = E2ldIndex(domains)
+        mapping = index.map_array()
+        assert mapping.shape == (3,)
+        # Both example.com subdomains share one e2LD id.
+        assert mapping[0] == mapping[1]
+        assert mapping[0] != mapping[2]
+
+    def test_e2ld_of(self):
+        domains = Interner(["www.bbc.co.uk"])
+        index = E2ldIndex(domains)
+        assert index.e2ld_of(0) == "bbc.co.uk"
+
+    def test_grows_with_interner(self):
+        domains = Interner(["a.com"])
+        index = E2ldIndex(domains)
+        assert index.map_array().shape == (1,)
+        domains.intern("b.com")
+        mapping = index.map_array()
+        assert mapping.shape == (2,)
+        assert mapping[0] != mapping[1]
+
+    def test_mapping_stable_across_growth(self):
+        domains = Interner(["x.a.com", "y.a.com"])
+        index = E2ldIndex(domains)
+        before = index.map_array().copy()
+        domains.intern("z.b.com")
+        after = index.map_array()
+        assert (after[:2] == before).all()
+
+    def test_respects_private_suffixes(self):
+        psl = PublicSuffixList()
+        psl.add_private_suffixes(["freehost.com"])
+        domains = Interner(["alice.freehost.com", "bob.freehost.com"])
+        index = E2ldIndex(domains, psl)
+        mapping = index.map_array()
+        assert mapping[0] != mapping[1]
+        assert index.e2ld_of(0) == "alice.freehost.com"
+
+    def test_suffix_itself_maps_to_self(self):
+        domains = Interner(["com"])
+        index = E2ldIndex(domains)
+        assert index.e2ld_of(0) == "com"
+
+    def test_len_counts_distinct_e2lds(self):
+        domains = Interner(["a.x.com", "b.x.com", "c.y.com"])
+        index = E2ldIndex(domains)
+        assert len(index) == 2

@@ -1,0 +1,92 @@
+"""Tests for domain-name normalization and validation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dns import names as N
+
+
+class TestNormalize:
+    def test_lowercases(self):
+        assert N.normalize_domain("WWW.Example.COM") == "www.example.com"
+
+    def test_strips_trailing_dot(self):
+        assert N.normalize_domain("example.com.") == "example.com"
+
+    def test_strips_whitespace(self):
+        assert N.normalize_domain("  example.com \n") == "example.com"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            N.normalize_domain("   ")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TypeError):
+            N.normalize_domain(42)
+
+
+class TestValidity:
+    @pytest.mark.parametrize(
+        "domain",
+        ["example.com", "a.b.c.d", "xn--bcher-kva.example", "1.2.3.4.in-addr.arpa"],
+    )
+    def test_valid(self, domain):
+        assert N.is_valid_domain(domain)
+
+    @pytest.mark.parametrize(
+        "domain",
+        ["", "-bad.com", "bad-.com", "a" * 64 + ".com", "sp ace.com", "a..b"],
+    )
+    def test_invalid(self, domain):
+        assert not N.is_valid_domain(domain)
+
+    def test_total_length_cap(self):
+        long = ".".join(["a" * 60] * 5)
+        assert len(long) > N.MAX_DOMAIN_LENGTH
+        assert not N.is_valid_domain(long)
+
+
+class TestStructure:
+    def test_labels(self):
+        assert N.domain_labels("a.b.c") == ["a", "b", "c"]
+
+    def test_parent_domains(self):
+        assert N.parent_domains("a.b.c") == ["b.c", "c"]
+
+    def test_parent_of_tld_is_empty(self):
+        assert N.parent_domains("com") == []
+
+    def test_subdomain_of(self):
+        assert N.subdomain_of("a.b.c", "b.c")
+        assert N.subdomain_of("b.c", "b.c")
+        assert not N.subdomain_of("ab.c", "b.c")
+        assert not N.subdomain_of("b.c", "a.b.c")
+
+
+@given(
+    st.lists(
+        st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1, max_size=8),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_property_normalize_idempotent(labels):
+    domain = ".".join(labels)
+    once = N.normalize_domain(domain)
+    assert N.normalize_domain(once) == once
+
+
+@given(
+    st.lists(
+        st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=8),
+        min_size=2,
+        max_size=5,
+    )
+)
+def test_property_parents_shrink(labels):
+    domain = ".".join(labels)
+    parents = N.parent_domains(domain)
+    assert len(parents) == len(labels) - 1
+    for parent in parents:
+        assert domain.endswith("." + parent)

@@ -1,0 +1,140 @@
+"""Tests for the caching-resolver substrate."""
+
+import numpy as np
+import pytest
+
+from repro.dns.resolver import (
+    NOERROR,
+    NXDOMAIN,
+    CachingResolver,
+    DnsAnswer,
+    StaticAuthority,
+    authority_from_table,
+    valid_a_responses,
+)
+
+
+@pytest.fixture()
+def resolver():
+    authority = StaticAuthority(default_ttl=300)
+    authority.add_record("www.example.com", [0x0A000001], ttl=60)
+    authority.add_record("cdn.example.com", [0x0A000002, 0x0A000003])
+    return CachingResolver(authority, negative_ttl=30)
+
+
+class TestResolution:
+    def test_authoritative_answer(self, resolver):
+        answer = resolver.resolve("www.example.com", now=0)
+        assert answer.status == NOERROR
+        assert answer.ips == (0x0A000001,)
+        assert not answer.from_cache
+        assert answer.is_valid_mapping
+
+    def test_cache_hit_within_ttl(self, resolver):
+        resolver.resolve("www.example.com", now=0)
+        answer = resolver.resolve("www.example.com", now=59)
+        assert answer.from_cache
+        assert resolver.stats.cache_hits == 1
+        assert resolver.stats.upstream_lookups == 1
+
+    def test_cache_expires_after_ttl(self, resolver):
+        resolver.resolve("www.example.com", now=0)
+        answer = resolver.resolve("www.example.com", now=61)
+        assert not answer.from_cache
+        assert resolver.stats.upstream_lookups == 2
+
+    def test_nxdomain(self, resolver):
+        answer = resolver.resolve("dga123abc.biz", now=0)
+        assert answer.status == NXDOMAIN
+        assert not answer.is_valid_mapping
+        assert resolver.stats.nxdomain == 1
+
+    def test_negative_cache(self, resolver):
+        resolver.resolve("missing.org", now=0)
+        answer = resolver.resolve("missing.org", now=10)
+        assert answer.status == NXDOMAIN
+        assert answer.from_cache
+        assert resolver.stats.upstream_lookups == 1
+
+    def test_negative_cache_expires(self, resolver):
+        resolver.resolve("missing.org", now=0)
+        resolver.resolve("missing.org", now=31)
+        assert resolver.stats.upstream_lookups == 2
+
+    def test_flush(self, resolver):
+        resolver.resolve("www.example.com", now=0)
+        resolver.flush()
+        answer = resolver.resolve("www.example.com", now=1)
+        assert not answer.from_cache
+
+    def test_hit_rate(self, resolver):
+        resolver.resolve("www.example.com", now=0)
+        resolver.resolve("www.example.com", now=1)
+        resolver.resolve("cdn.example.com", now=1)
+        assert resolver.stats.hit_rate == pytest.approx(1 / 3)
+
+
+class TestAuthority:
+    def test_record_needs_ips(self):
+        with pytest.raises(ValueError):
+            StaticAuthority().add_record("x.com", [])
+
+    def test_remove_record(self):
+        authority = StaticAuthority()
+        authority.add_record("x.com", [1])
+        authority.remove_record("x.com")
+        assert "x.com" not in authority
+
+    def test_update_changes_answer(self):
+        authority = StaticAuthority()
+        authority.add_record("x.com", [1], ttl=10)
+        resolver = CachingResolver(authority)
+        assert resolver.resolve("x.com", 0).ips == (1,)
+        authority.add_record("x.com", [2], ttl=10)
+        # Old answer still cached; after expiry the new record is served.
+        assert resolver.resolve("x.com", 5).ips == (1,)
+        assert resolver.resolve("x.com", 11).ips == (2,)
+
+    def test_from_table(self):
+        authority = authority_from_table(
+            [
+                ("a.com", np.array([1, 2], dtype=np.uint32)),
+                ("empty.com", np.array([], dtype=np.uint32)),
+            ]
+        )
+        assert "a.com" in authority
+        assert "empty.com" not in authority
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StaticAuthority(default_ttl=0)
+        with pytest.raises(ValueError):
+            CachingResolver(StaticAuthority(), negative_ttl=0)
+
+
+class TestGraphBoundary:
+    def test_valid_a_responses_filters_nx(self):
+        answers = [
+            DnsAnswer("good.com", NOERROR, (1,), 60),
+            DnsAnswer("dga1.biz", NXDOMAIN),
+            DnsAnswer("dga2.biz", NXDOMAIN),
+            DnsAnswer("also-good.net", NOERROR, (2, 3), 60),
+        ]
+        kept = list(valid_a_responses(answers))
+        assert [a.domain for a in kept] == ["good.com", "also-good.net"]
+
+    def test_noerror_without_ips_dropped(self):
+        answers = [DnsAnswer("odd.com", NOERROR, (), 60)]
+        assert list(valid_a_responses(answers)) == []
+
+    def test_dga_storm_never_reaches_graph(self):
+        """A DGA bot's NXDOMAIN storm contributes zero graph edges —
+        Segugio's scoping vs. Pleiades [11]."""
+        authority = StaticAuthority()
+        authority.add_record("cc.live.net", [9])
+        resolver = CachingResolver(authority)
+        answers = [resolver.resolve(f"x{i}.dga.biz", now=i) for i in range(50)]
+        answers.append(resolver.resolve("cc.live.net", now=60))
+        kept = list(valid_a_responses(answers))
+        assert len(kept) == 1
+        assert kept[0].domain == "cc.live.net"

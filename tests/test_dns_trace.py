@@ -1,0 +1,180 @@
+"""Tests for the day-trace container."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dns.records import AResponse, parse_ipv4
+from repro.dns.trace import DayTrace, _dedupe_edges
+from repro.utils.ids import Interner
+
+
+def make_trace():
+    machines = Interner()
+    domains = Interner()
+    responses = [
+        AResponse(1, "m1", "a.com", (parse_ipv4("10.0.0.1"),)),
+        AResponse(1, "m1", "b.com", (parse_ipv4("10.0.0.2"),)),
+        AResponse(1, "m2", "a.com", (parse_ipv4("10.0.0.1"), parse_ipv4("10.0.0.3"))),
+        AResponse(1, "m1", "a.com", (parse_ipv4("10.0.0.9"),)),  # duplicate edge
+    ]
+    return DayTrace.from_responses(1, responses, machines, domains)
+
+
+class TestConstruction:
+    def test_edges_deduplicated(self):
+        trace = make_trace()
+        assert trace.n_edges == 3
+
+    def test_unique_nodes(self):
+        trace = make_trace()
+        assert len(trace.unique_machine_ids()) == 2
+        assert len(trace.unique_domain_ids()) == 2
+
+    def test_resolutions_unioned_across_duplicates(self):
+        trace = make_trace()
+        a_id = trace.domains.lookup("a.com")
+        ips = trace.resolved_ips(a_id)
+        assert ips.size == 3  # 10.0.0.1, .3, .9
+
+    def test_resolved_ips_missing_domain_empty(self):
+        trace = make_trace()
+        assert trace.resolved_ips(999).size == 0
+
+    def test_wrong_day_response_rejected(self):
+        with pytest.raises(ValueError, match="day"):
+            DayTrace.from_responses(
+                2, [AResponse(1, "m", "d.com", (1,))]
+            )
+
+    def test_mismatched_edge_arrays_rejected(self):
+        with pytest.raises(ValueError, match="parallel"):
+            DayTrace.build(0, Interner(), Interner(), [1, 2], [1])
+
+    def test_build_empty(self):
+        trace = DayTrace.build(0, Interner(), Interner(), [], [])
+        assert trace.n_edges == 0
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        trace = make_trace()
+        buffer = io.StringIO(trace.to_tsv())
+        loaded = DayTrace.load(buffer)
+        assert loaded.day == trace.day
+        assert loaded.n_edges == trace.n_edges
+        # Same edge set by name.
+        def edge_names(t):
+            return {
+                (t.machines.name(int(m)), t.domains.name(int(d)))
+                for m, d in zip(t.edge_machines, t.edge_domains)
+            }
+        assert edge_names(loaded) == edge_names(trace)
+
+    def test_round_trip_preserves_resolutions(self):
+        trace = make_trace()
+        loaded = DayTrace.load(io.StringIO(trace.to_tsv()))
+        a_src = trace.domains.lookup("a.com")
+        a_dst = loaded.domains.lookup("a.com")
+        assert (loaded.resolved_ips(a_dst) == trace.resolved_ips(a_src)).all()
+
+    def test_save_load_file(self, tmp_path):
+        trace = make_trace()
+        path = str(tmp_path / "trace.tsv")
+        trace.save(path)
+        loaded = DayTrace.load(path)
+        assert loaded.n_edges == trace.n_edges
+
+
+class TestBuilder:
+    def test_chunked_equals_single_shot(self):
+        from repro.dns.trace import DayTraceBuilder
+
+        machines, domains = Interner(), Interner()
+        responses = [
+            AResponse(1, "m1", "a.com", (parse_ipv4("10.0.0.1"),)),
+            AResponse(1, "m1", "b.com", (parse_ipv4("10.0.0.2"),)),
+            AResponse(1, "m2", "a.com", (parse_ipv4("10.0.0.3"),)),
+        ]
+        single = DayTrace.from_responses(1, responses, Interner(), Interner())
+        builder = DayTraceBuilder(1, machines, domains)
+        builder.add_responses(responses[:1])
+        builder.add_responses(responses[1:])
+        chunked = builder.build()
+        assert chunked.n_edges == single.n_edges
+        a = chunked.domains.lookup("a.com")
+        assert chunked.resolved_ips(a).size == 2
+
+    def test_duplicate_edges_across_chunks_collapse(self):
+        from repro.dns.trace import DayTraceBuilder
+
+        builder = DayTraceBuilder(0)
+        builder.add_edges([0, 1], [5, 6])
+        builder.add_edges([0], [5])
+        trace = builder.build()
+        assert trace.n_edges == 2
+
+    def test_manual_resolution(self):
+        from repro.dns.trace import DayTraceBuilder
+
+        builder = DayTraceBuilder(0)
+        builder.add_edges([0], [0]).add_resolution(0, [7, 3])
+        trace = builder.build()
+        assert trace.resolved_ips(0).tolist() == [3, 7]
+
+    def test_sealed_after_build(self):
+        from repro.dns.trace import DayTraceBuilder
+
+        builder = DayTraceBuilder(0)
+        builder.add_edges([0], [0])
+        builder.build()
+        with pytest.raises(RuntimeError, match="already built"):
+            builder.add_edges([1], [1])
+
+    def test_wrong_day_rejected(self):
+        from repro.dns.trace import DayTraceBuilder
+
+        builder = DayTraceBuilder(2)
+        with pytest.raises(ValueError, match="day"):
+            builder.add_responses([AResponse(1, "m", "d.com", (1,))])
+
+    def test_pending_count_and_empty_build(self):
+        from repro.dns.trace import DayTraceBuilder
+
+        builder = DayTraceBuilder(0)
+        assert builder.n_pending_edges == 0
+        assert builder.build().n_edges == 0
+
+
+class TestDedupe:
+    def test_dedupe_preserves_pairs(self):
+        m = np.array([0, 0, 1, 0], dtype=np.int64)
+        d = np.array([5, 5, 5, 7], dtype=np.int64)
+        dm, dd = _dedupe_edges(m, d)
+        pairs = set(zip(dm.tolist(), dd.tolist()))
+        assert pairs == {(0, 5), (1, 5), (0, 7)}
+
+    def test_dedupe_empty(self):
+        empty = np.empty(0, dtype=np.int64)
+        dm, dd = _dedupe_edges(empty, empty)
+        assert dm.size == 0 and dd.size == 0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=20),
+                st.integers(min_value=0, max_value=20),
+            ),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_property_dedupe_matches_set(self, pairs):
+        m = np.array([p[0] for p in pairs], dtype=np.int64)
+        d = np.array([p[1] for p in pairs], dtype=np.int64)
+        dm, dd = _dedupe_edges(m, d)
+        assert set(zip(dm.tolist(), dd.tolist())) == set(pairs)
+        assert dm.size == len(set(pairs))

@@ -1,0 +1,34 @@
+"""Tests for family-emergence latency measurement."""
+
+import pytest
+
+from repro.core.pipeline import SegugioConfig
+from repro.eval.emergence import EmergenceResult, family_emergence_latency
+
+FAST = SegugioConfig(n_estimators=10)
+
+
+class TestEmergence:
+    @pytest.fixture(scope="class")
+    def result(self, scenario):
+        return family_emergence_latency(
+            scenario, isp="isp1", n_days=6, config=FAST
+        )
+
+    def test_result_consistency(self, result):
+        assert result.n_days_tracked == 6
+        assert result.n_emergent == len(result.latencies) + len(result.undetected)
+        assert 0.0 <= result.detection_rate <= 1.0
+
+    def test_latencies_non_negative(self, result):
+        for latency in result.latencies.values():
+            assert latency >= 0
+
+    def test_summary(self, result):
+        text = result.summary()
+        assert "families emerged" in text
+
+    def test_empty_result_defaults(self):
+        empty = EmergenceResult()
+        assert empty.detection_rate == 0.0
+        assert empty.mean_latency == 0.0

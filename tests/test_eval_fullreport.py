@@ -1,0 +1,66 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.eval.fullreport import SECTIONS, generate_report, write_report
+
+
+class TestGenerateReport:
+    def test_cheap_sections_render(self, scenario):
+        text = generate_report(
+            scenario, sections=["diagnostics", "fig3", "pruning"]
+        )
+        assert "# Segugio reproduction report" in text
+        assert "World diagnostics" in text
+        assert "Fig. 3" in text
+        assert "graph pruning" in text
+        assert "generated in" in text
+
+    def test_section_order_respected(self, scenario):
+        text = generate_report(scenario, sections=["pruning", "fig3"])
+        assert text.index("graph pruning") < text.index("Fig. 3")
+
+    def test_unknown_section_rejected(self, scenario):
+        with pytest.raises(ValueError, match="unknown report sections"):
+            generate_report(scenario, sections=["fig99"])
+
+    def test_all_sections_registered(self):
+        from repro.eval.fullreport import _RENDERERS, _TITLES
+
+        assert set(SECTIONS) == set(_RENDERERS) == set(_TITLES)
+
+    def test_write_report(self, scenario, tmp_path):
+        path = str(tmp_path / "report.md")
+        write_report(scenario, path, sections=["fig3"])
+        with open(path) as stream:
+            assert "Fig. 3" in stream.read()
+
+
+class TestCliIntegration:
+    def test_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "r.md")
+        assert (
+            main(
+                [
+                    "report",
+                    "--out",
+                    path,
+                    "--seed",
+                    "5",
+                    "--sections",
+                    "fig3,pruning",
+                ]
+            )
+            == 0
+        )
+        with open(path) as stream:
+            text = stream.read()
+        assert "Fig. 3" in text
+
+    def test_report_unknown_section(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["report", "--out", str(tmp_path / "x.md"), "--sections", "nope"])

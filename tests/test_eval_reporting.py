@@ -1,0 +1,48 @@
+"""Tests for the ASCII reporting helpers."""
+
+import numpy as np
+
+from repro.eval.reporting import ascii_table, fraction, histogram, roc_series_table
+from repro.ml.metrics import roc_curve
+
+
+class TestAsciiTable:
+    def test_alignment(self):
+        text = ascii_table(["name", "n"], [["alpha", 1], ["b", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[:2])) >= 1
+        assert "alpha" in text and "22" in text
+
+    def test_title(self):
+        text = ascii_table(["x"], [["y"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+
+class TestRocSeriesTable:
+    def test_contains_operating_points(self):
+        y = np.array([0] * 50 + [1] * 50)
+        scores = np.concatenate([np.linspace(0, 0.4, 50), np.linspace(0.6, 1, 50)])
+        curve = roc_curve(y, scores)
+        text = roc_series_table({"perfect": curve})
+        assert "perfect" in text
+        assert "AUC" in text
+        assert "1.000" in text
+
+
+class TestHistogram:
+    def test_bars_scale(self):
+        text = histogram([1, 1, 1, 8], bins=[0, 5, 10], title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert lines[1].count("#") > lines[2].count("#")
+
+    def test_empty_values(self):
+        text = histogram([], bins=[0, 1, 2])
+        assert "0" in text
+
+
+class TestFraction:
+    def test_formats(self):
+        assert fraction(1, 4) == "1 (25%)"
+        assert fraction(0, 0) == "n/a"

@@ -1,0 +1,47 @@
+"""Tests for parameter-sensitivity sweeps."""
+
+import pytest
+
+from repro.core.pipeline import SegugioConfig
+from repro.eval import sweeps
+
+FAST = SegugioConfig(n_estimators=10)
+
+
+class TestGapSweep:
+    def test_points_in_order(self, scenario):
+        results = sweeps.sweep_train_test_gap(
+            scenario, gaps=(2, 9), config=FAST, seed=3
+        )
+        assert [v for v, _ in results] == [2.0, 9.0]
+        for _, experiment in results:
+            assert experiment.roc.auc() > 0.7
+
+    def test_summary_format(self, scenario):
+        results = sweeps.sweep_train_test_gap(
+            scenario, gaps=(2,), config=FAST, seed=3
+        )
+        text = sweeps.sweep_summary(results, "gap")
+        assert "gap=2" in text and "AUC" in text
+
+
+class TestActivityWindowSweep:
+    def test_window_values_applied(self, scenario):
+        results = sweeps.sweep_activity_window(
+            scenario, gap=6, windows=(3, 14), config=FAST, seed=3
+        )
+        assert len(results) == 2
+        for _, experiment in results:
+            assert experiment.split.n_malware > 0
+
+
+class TestPdnsWindowSweep:
+    def test_short_window_weakens_ip_evidence(self, scenario):
+        """With almost no pDNS history the F3 features go quiet; accuracy
+        must not *improve* when evidence is removed."""
+        results = sweeps.sweep_pdns_window(
+            scenario, gap=6, windows=(7, 150), config=FAST, seed=3
+        )
+        short = results[0][1].roc.partial_auc(0.01)
+        long = results[1][1].roc.partial_auc(0.01)
+        assert long >= short - 0.15

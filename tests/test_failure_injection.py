@@ -1,0 +1,123 @@
+"""Failure injection: degraded and hostile inputs through the pipeline.
+
+A production deployment will eventually see an empty feed, a dead pDNS
+collector, a day of missing traffic, or a whitelist that covers nothing.
+Each case must either degrade gracefully (documented fallback) or fail
+loudly with an actionable error — never a silent wrong answer.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import ObservationContext, Segugio, SegugioConfig
+from repro.dns.activity import ActivityIndex
+from repro.dns.e2ld import E2ldIndex
+from repro.dns.trace import DayTrace
+from repro.intel.blacklist import CncBlacklist
+from repro.intel.whitelist import DomainWhitelist
+from repro.pdns.database import PassiveDNSDatabase
+from repro.utils.ids import Interner
+
+FAST = SegugioConfig(n_estimators=5)
+
+
+def degraded_context(base: ObservationContext, **overrides) -> ObservationContext:
+    return dataclasses.replace(base, **overrides)
+
+
+class TestEmptyFeeds:
+    def test_empty_blacklist_fails_loudly(self, train_context):
+        empty = CncBlacklist("empty")
+        context = degraded_context(train_context, blacklist=empty)
+        with pytest.raises(ValueError, match="malware"):
+            Segugio(FAST).fit(context)
+
+    def test_empty_whitelist_fails_loudly(self, train_context):
+        context = degraded_context(train_context, whitelist=DomainWhitelist([]))
+        with pytest.raises(ValueError, match="benign"):
+            Segugio(FAST).fit(context)
+
+    def test_classify_with_empty_feeds_still_scores(self, train_context, test_context):
+        """Classification needs no fresh ground truth: a model trained on a
+        good day still scores a day whose feeds went dark (every domain is
+        unknown then)."""
+        model = Segugio(FAST).fit(train_context)
+        dark = degraded_context(
+            test_context,
+            blacklist=CncBlacklist("dark"),
+            whitelist=DomainWhitelist([]),
+        )
+        report = model.classify(dark)
+        assert len(report) > 0
+
+
+class TestDeadCollectors:
+    def test_empty_pdns_degrades_f3_to_zero(self, train_context):
+        context = degraded_context(train_context, pdns=PassiveDNSDatabase())
+        model = Segugio(FAST).fit(context)
+        X = model.training_set_.X
+        assert (X[:, 7:11] == 0).all()
+        # The model still trains and ranks on F1/F2 alone.
+        assert model.classifier_ is not None
+
+    def test_empty_activity_degrades_f2_to_zero(self, train_context):
+        context = degraded_context(
+            train_context,
+            fqd_activity=ActivityIndex(),
+            e2ld_activity=ActivityIndex(),
+        )
+        model = Segugio(FAST).fit(context)
+        X = model.training_set_.X
+        assert (X[:, 3:7] == 0).all()
+
+    def test_empty_trace_fails_loudly(self, train_context):
+        machines, domains = Interner(), Interner()
+        empty_trace = DayTrace.build(train_context.day, machines, domains, [], [])
+        context = degraded_context(train_context, trace=empty_trace)
+        with pytest.raises(ValueError):
+            Segugio(FAST).fit(context)
+
+
+class TestHostileInputs:
+    def test_hiding_nonexistent_ids_is_harmless(self, train_context):
+        model = Segugio(FAST)
+        # Ids beyond the edge set simply have no edges; labeling arrays
+        # cover the full interner space.
+        huge = [len(train_context.trace.domains) - 1]
+        model.fit(train_context, exclude_domains=huge)
+        assert model.classifier_ is not None
+
+    def test_duplicate_hidden_ids_deduplicated_effect(self, train_context, test_context):
+        model = Segugio(FAST).fit(train_context)
+        some = [int(test_context.trace.edge_domains[0])] * 5
+        report = model.classify(test_context, hide_domains=some)
+        assert len(report) > 0
+
+    def test_blacklist_whitelist_conflict_resolved_to_malware(self, scenario):
+        """A domain in both feeds is treated as malware (the blacklist is
+        analyst-vetted; the whitelist is popularity-derived)."""
+        from repro.core.graph import BehaviorGraph
+        from repro.core.labeling import MALWARE, label_domains
+
+        context = scenario.context("isp1", scenario.eval_day(0))
+        graph = BehaviorGraph.from_trace(context.trace)
+        core_fqd = scenario.domains.name(int(scenario.universe.fqd_ids[0]))
+        conflicted = CncBlacklist("conflict")
+        conflicted.add(core_fqd, added_day=0)
+        labels = label_domains(
+            graph, conflicted, context.whitelist, as_of_day=context.day
+        )
+        domain_id = context.domain_id(core_fqd)
+        if domain_id is not None and graph.domain_degrees()[domain_id] > 0:
+            assert labels[domain_id] == MALWARE
+
+    def test_future_blacklist_entries_invisible(self, train_context):
+        """Entries time-stamped after the observation day must not leak."""
+        future = CncBlacklist("future")
+        for entry in train_context.blacklist:
+            future.add(entry.domain, added_day=train_context.day + 100, family=entry.family)
+        context = degraded_context(train_context, blacklist=future)
+        with pytest.raises(ValueError, match="malware"):
+            Segugio(FAST).fit(context)

@@ -1,0 +1,103 @@
+"""Tests for the C&C blacklist substrate."""
+
+import io
+
+import pytest
+
+from repro.intel.blacklist import CncBlacklist
+
+
+@pytest.fixture()
+def blacklist():
+    bl = CncBlacklist("test")
+    bl.add("evil.com", added_day=10, family="zeus")
+    bl.add("bad.net", added_day=20, family="spyeye")
+    bl.add("worse.org", added_day=30)
+    return bl
+
+
+class TestMembership:
+    def test_whole_string_match(self, blacklist):
+        assert blacklist.contains("evil.com")
+        assert not blacklist.contains("sub.evil.com")
+        assert not blacklist.contains("evil.com.br")
+
+    def test_normalization(self, blacklist):
+        assert blacklist.contains("EVIL.COM.")
+
+    def test_as_of_day_snapshotting(self, blacklist):
+        assert not blacklist.contains("bad.net", as_of_day=19)
+        assert blacklist.contains("bad.net", as_of_day=20)
+
+    def test_dunder_contains(self, blacklist):
+        assert "evil.com" in blacklist
+
+    def test_domains_as_of(self, blacklist):
+        assert blacklist.domains(as_of_day=15) == {"evil.com"}
+        assert blacklist.domains() == {"evil.com", "bad.net", "worse.org"}
+
+    def test_earliest_added_day_wins(self):
+        bl = CncBlacklist()
+        bl.add("x.com", added_day=9)
+        bl.add("x.com", added_day=5)
+        bl.add("x.com", added_day=7)
+        assert bl.added_day("x.com") == 5
+
+    def test_added_day_missing(self, blacklist):
+        assert blacklist.added_day("nothere.com") is None
+
+
+class TestFamilies:
+    def test_family_of(self, blacklist):
+        assert blacklist.family_of("evil.com") == "zeus"
+        assert blacklist.family_of("worse.org") is None
+
+    def test_families(self, blacklist):
+        assert blacklist.families() == {"zeus", "spyeye"}
+
+    def test_domains_by_family_sorted(self):
+        bl = CncBlacklist()
+        bl.add("b.com", 1, "fam")
+        bl.add("a.com", 1, "fam")
+        assert bl.domains_by_family() == {"fam": ["a.com", "b.com"]}
+
+    def test_restricted_to_families(self, blacklist):
+        subset = blacklist.restricted_to_families(["zeus"])
+        assert "evil.com" in subset
+        assert "bad.net" not in subset
+
+
+class TestSetOperations:
+    def test_union_earliest_day_wins(self):
+        a = CncBlacklist("a")
+        a.add("x.com", 10, "f1")
+        b = CncBlacklist("b")
+        b.add("x.com", 5, "f2")
+        b.add("y.com", 7)
+        merged = a.union(b)
+        assert merged.added_day("x.com") == 5
+        assert len(merged) == 2
+
+    def test_snapshot(self, blacklist):
+        frozen = blacklist.snapshot(15)
+        assert "evil.com" in frozen
+        assert "bad.net" not in frozen
+        # Snapshot is independent of the source.
+        blacklist.add("new.com", 1)
+        assert "new.com" not in frozen
+
+
+class TestSerialization:
+    def test_round_trip(self, blacklist):
+        buffer = io.StringIO()
+        blacklist.save(buffer)
+        buffer.seek(0)
+        loaded = CncBlacklist.load(buffer)
+        assert loaded.domains() == blacklist.domains()
+        assert loaded.family_of("evil.com") == "zeus"
+        assert loaded.family_of("worse.org") is None
+        assert loaded.added_day("bad.net") == 20
+
+    def test_load_skips_comments(self):
+        loaded = CncBlacklist.load(io.StringIO("# comment\nevil.com\t3\tfam\n\n"))
+        assert len(loaded) == 1

@@ -1,0 +1,54 @@
+"""Tests for the sandbox trace database."""
+
+from repro.dns.records import parse_ipv4
+from repro.intel.sandbox import SandboxTraceDB
+
+
+def make_db():
+    db = SandboxTraceDB()
+    db.add_run(
+        "sample1",
+        domains=["cc.evil.com", "www.google.com"],
+        ips=[parse_ipv4("12.0.0.5")],
+        family="zeus",
+    )
+    db.add_run("sample2", domains=["other.bad.net"], ips=[parse_ipv4("12.0.1.9")])
+    return db
+
+
+class TestEvidence:
+    def test_domain_queried(self):
+        db = make_db()
+        assert db.domain_queried_by_malware("cc.evil.com")
+        assert db.domain_queried_by_malware("WWW.GOOGLE.COM")
+        assert not db.domain_queried_by_malware("clean.org")
+
+    def test_ip_contacted(self):
+        db = make_db()
+        assert db.ip_contacted_by_malware(parse_ipv4("12.0.0.5"))
+        assert not db.ip_contacted_by_malware(parse_ipv4("12.0.0.6"))
+
+    def test_prefix24_contacted(self):
+        db = make_db()
+        assert db.prefix24_contacted_by_malware(parse_ipv4("12.0.0.99"))
+        assert not db.prefix24_contacted_by_malware(parse_ipv4("12.9.0.99"))
+
+    def test_aggregates(self):
+        db = make_db()
+        assert len(db) == 2
+        assert "other.bad.net" in db.queried_domains()
+        assert parse_ipv4("12.0.1.9") in db.contacted_ips()
+
+    def test_run_replacement(self):
+        db = SandboxTraceDB()
+        db.add_run("s", domains=["a.com"])
+        db.add_run("s", domains=["b.com"])
+        assert len(db) == 1
+        # Aggregated evidence keeps both (evidence is never un-observed).
+        assert db.domain_queried_by_malware("a.com")
+        assert db.domain_queried_by_malware("b.com")
+
+    def test_runs_metadata(self):
+        db = make_db()
+        families = {run.family for run in db.runs()}
+        assert families == {"zeus", None}

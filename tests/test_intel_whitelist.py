@@ -1,0 +1,87 @@
+"""Tests for the ranking archive and domain whitelist."""
+
+import io
+
+import pytest
+
+from repro.dns.publicsuffix import PublicSuffixList
+from repro.intel.whitelist import DomainWhitelist, RankingArchive
+
+
+class TestRankingArchive:
+    def test_consistent_top_requires_every_snapshot(self):
+        archive = RankingArchive()
+        archive.record_day(0, ["always.com", "sometimes.com"])
+        archive.record_day(1, ["always.com"])
+        assert archive.consistent_top() == {"always.com"}
+
+    def test_min_days_threshold(self):
+        archive = RankingArchive()
+        archive.record_day(0, ["a.com", "b.com"])
+        archive.record_day(1, ["a.com"])
+        archive.record_day(2, ["a.com", "b.com"])
+        assert archive.consistent_top(min_days=2) == {"a.com", "b.com"}
+
+    def test_empty_archive(self):
+        assert RankingArchive().consistent_top() == set()
+
+    def test_snapshot_access(self):
+        archive = RankingArchive()
+        archive.record_day(3, ["x.com"])
+        assert archive.snapshot(3) == {"x.com"}
+        with pytest.raises(KeyError):
+            archive.snapshot(4)
+
+    def test_record_replaces(self):
+        archive = RankingArchive()
+        archive.record_day(0, ["a.com"])
+        archive.record_day(0, ["b.com"])
+        assert archive.snapshot(0) == {"b.com"}
+        assert len(archive) == 1
+
+
+class TestDomainWhitelist:
+    def test_fqd_whitelisted_via_e2ld(self):
+        wl = DomainWhitelist(["bbc.co.uk"])
+        assert wl.is_whitelisted("www.bbc.co.uk")
+        assert wl.is_whitelisted("bbc.co.uk")
+        assert not wl.is_whitelisted("notbbc.co.uk")
+
+    def test_dunder_contains(self):
+        wl = DomainWhitelist(["example.com"])
+        assert "cdn.example.com" in wl
+
+    def test_from_archive_excludes_free_registration(self):
+        archive = RankingArchive()
+        archive.record_day(0, ["good.com", "freehost.com"])
+        archive.record_day(1, ["good.com", "freehost.com"])
+        wl = DomainWhitelist.from_archive(
+            archive, free_registration_e2lds=["freehost.com"]
+        )
+        assert "good.com" in wl.e2lds
+        assert "freehost.com" not in wl.e2lds
+
+    def test_remove_and_restrict(self):
+        wl = DomainWhitelist(["a.com", "b.com", "c.com"])
+        assert wl.remove(["b.com"]).e2lds == {"a.com", "c.com"}
+        assert wl.restrict_to(["b.com", "z.com"]).e2lds == {"b.com"}
+
+    def test_respects_private_psl(self):
+        psl = PublicSuffixList()
+        psl.add_private_suffixes(["freehost.com"])
+        wl = DomainWhitelist(["freehost.com"], psl=psl)
+        # user.freehost.com's e2LD is itself, not freehost.com.
+        assert not wl.is_whitelisted("user.freehost.com")
+
+    def test_round_trip(self):
+        wl = DomainWhitelist(["a.com", "b.com"])
+        buffer = io.StringIO()
+        wl.save(buffer)
+        buffer.seek(0)
+        loaded = DomainWhitelist.load(buffer)
+        assert loaded.e2lds == wl.e2lds
+
+    def test_len_and_iter(self):
+        wl = DomainWhitelist(["a.com", "b.com"])
+        assert len(wl) == 2
+        assert set(wl) == {"a.com", "b.com"}

@@ -1,0 +1,93 @@
+"""Tests for score calibration."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.calibration import FprCalibrator, IsotonicCalibrator
+
+
+class TestFprCalibrator:
+    def test_fpr_of_extremes(self):
+        cal = FprCalibrator().fit(np.linspace(0, 1, 100))
+        assert cal.fpr_of(np.array([2.0]))[0] == 0.0
+        assert cal.fpr_of(np.array([-1.0]))[0] == 1.0
+
+    def test_fpr_monotone_decreasing_in_score(self):
+        rng = np.random.default_rng(0)
+        cal = FprCalibrator().fit(rng.random(500))
+        scores = np.sort(rng.random(50))
+        fprs = cal.fpr_of(scores)
+        assert (np.diff(fprs) <= 1e-12).all()
+
+    def test_threshold_matches_rate(self):
+        rng = np.random.default_rng(1)
+        benign = rng.random(10000)
+        cal = FprCalibrator().fit(benign)
+        threshold = cal.threshold_for(0.01)
+        achieved = (benign >= threshold).mean()
+        assert achieved <= 0.01
+        assert achieved >= 0.005
+
+    def test_zero_rate_excludes_everything(self):
+        cal = FprCalibrator().fit(np.array([0.2, 0.9]))
+        threshold = cal.threshold_for(0.0)
+        assert threshold > 0.9
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            FprCalibrator().fpr_of(np.array([0.5]))
+        with pytest.raises(RuntimeError):
+            FprCalibrator().threshold_for(0.1)
+
+    def test_empty_reference_rejected(self):
+        with pytest.raises(ValueError):
+            FprCalibrator().fit(np.array([]))
+
+    @given(st.lists(st.floats(0, 1, allow_nan=False), min_size=1, max_size=200))
+    def test_property_fpr_in_unit_interval(self, benign):
+        cal = FprCalibrator().fit(np.asarray(benign))
+        fprs = cal.fpr_of(np.linspace(-1, 2, 20))
+        assert ((fprs >= 0) & (fprs <= 1)).all()
+
+
+class TestIsotonicCalibrator:
+    def test_monotone_output(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(400)
+        labels = (rng.random(400) < scores).astype(int)
+        cal = IsotonicCalibrator().fit(scores, labels)
+        grid = np.linspace(0, 1, 50)
+        preds = cal.predict(grid)
+        assert (np.diff(preds) >= -1e-12).all()
+
+    def test_probabilities_in_unit_interval(self):
+        rng = np.random.default_rng(1)
+        scores = rng.random(200)
+        labels = rng.integers(0, 2, 200)
+        preds = IsotonicCalibrator().fit(scores, labels).predict(scores)
+        assert ((preds >= 0) & (preds <= 1)).all()
+
+    def test_recovers_step_function(self):
+        scores = np.concatenate([np.full(50, 0.2), np.full(50, 0.8)])
+        labels = np.concatenate([np.zeros(50, dtype=int), np.ones(50, dtype=int)])
+        cal = IsotonicCalibrator().fit(scores, labels)
+        assert cal.predict(np.array([0.2]))[0] == pytest.approx(0.0)
+        assert cal.predict(np.array([0.8]))[0] == pytest.approx(1.0)
+
+    def test_mean_preserved(self):
+        rng = np.random.default_rng(2)
+        scores = rng.random(300)
+        labels = (rng.random(300) < 0.3).astype(int)
+        cal = IsotonicCalibrator().fit(scores, labels)
+        # PAV preserves the global mean on the training points.
+        assert cal.predict(scores).mean() == pytest.approx(labels.mean(), abs=0.05)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            IsotonicCalibrator().predict(np.array([0.5]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            IsotonicCalibrator().fit(np.array([]), np.array([], dtype=int))

@@ -1,0 +1,105 @@
+"""Tests for score-drift monitoring."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.drift import (
+    PSI_RETRAIN,
+    ScoreDriftMonitor,
+    population_stability_index,
+)
+
+
+class TestPsi:
+    def test_identical_samples_near_zero(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(5000)
+        assert population_stability_index(scores, scores) < 1e-6
+
+    def test_same_distribution_small(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0.3, 0.1, 5000)
+        b = rng.normal(0.3, 0.1, 5000)
+        assert population_stability_index(a, b) < 0.02
+
+    def test_shifted_distribution_large(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(0.2, 0.05, 5000)
+        b = rng.normal(0.6, 0.05, 5000)
+        assert population_stability_index(a, b) > PSI_RETRAIN
+
+    def test_symmetry_of_magnitude(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(0.3, 0.1, 4000)
+        b = rng.normal(0.5, 0.1, 4000)
+        forward = population_stability_index(a, b)
+        backward = population_stability_index(b, a)
+        assert forward > 0.1 and backward > 0.1
+
+    def test_degenerate_reference_handled(self):
+        a = np.full(100, 0.5)
+        b = np.full(100, 0.9)
+        psi = population_stability_index(a, b)
+        assert np.isfinite(psi)
+        assert psi > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            population_stability_index(np.array([]), np.array([0.5]))
+        with pytest.raises(ValueError):
+            population_stability_index(np.array([0.5]), np.array([0.1]), n_bins=1)
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        seed=st.integers(0, 1000),
+        shift=st.floats(0, 0.5, allow_nan=False),
+    )
+    def test_property_psi_non_negative_and_monotone_ish(self, seed, shift):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(0.3, 0.1, 2000)
+        b = rng.normal(0.3 + shift, 0.1, 2000)
+        psi = population_stability_index(a, b)
+        assert psi >= -1e-9
+
+
+class TestMonitor:
+    def test_stable_then_drifting(self):
+        rng = np.random.default_rng(4)
+        reference = rng.normal(0.3, 0.1, 3000)
+        monitor = ScoreDriftMonitor(reference)
+        stable = monitor.check(1, rng.normal(0.3, 0.1, 3000))
+        assert stable.status == "stable"
+        drifted = monitor.check(2, rng.normal(0.7, 0.1, 3000))
+        assert drifted.status == "retrain"
+        assert monitor.needs_retraining()
+
+    def test_trend_detection(self):
+        rng = np.random.default_rng(5)
+        reference = rng.normal(0.3, 0.1, 3000)
+        monitor = ScoreDriftMonitor(reference)
+        for day, mu in enumerate((0.32, 0.4, 0.5)):
+            monitor.check(day, rng.normal(mu, 0.1, 3000))
+        assert monitor.trend() == "rising"
+
+    def test_trend_requires_history(self):
+        monitor = ScoreDriftMonitor(np.random.default_rng(0).random(100))
+        assert monitor.trend() is None
+
+    def test_empty_reference_rejected(self):
+        with pytest.raises(ValueError):
+            ScoreDriftMonitor(np.array([]))
+
+    def test_on_segugio_scores(self, scenario, fitted_model, test_context):
+        """Day-over-day drift of one model's *unknown-population* scores in
+        a stable world stays below the retrain threshold (the reference
+        must be the same population: unknowns vs unknowns, not the
+        whitelisted training benign vs unknowns)."""
+        reference_report = fitted_model.classify(
+            scenario.context("isp1", scenario.eval_day(3))
+        )
+        monitor = ScoreDriftMonitor(reference_report.scores)
+        current = fitted_model.classify(test_context)
+        check = monitor.check(test_context.day, current.scores)
+        assert check.psi < PSI_RETRAIN

@@ -1,0 +1,62 @@
+"""Tests for cross-validation fold builders."""
+
+import numpy as np
+import pytest
+
+from repro.ml.folds import family_balanced_folds, stratified_kfold
+
+
+class TestStratifiedKfold:
+    def test_partition_covers_everything(self, rng):
+        y = np.array([0] * 30 + [1] * 10)
+        folds = stratified_kfold(y, 4, rng)
+        all_test = np.concatenate([test for _, test in folds])
+        assert sorted(all_test.tolist()) == list(range(40))
+
+    def test_class_ratio_preserved(self, rng):
+        y = np.array([0] * 80 + [1] * 20)
+        for train_idx, test_idx in stratified_kfold(y, 4, rng):
+            test_pos = (y[test_idx] == 1).sum()
+            assert test_pos == 5
+
+    def test_train_test_disjoint(self, rng):
+        y = np.array([0, 1] * 20)
+        for train_idx, test_idx in stratified_kfold(y, 3, rng):
+            assert not set(train_idx) & set(test_idx)
+
+    def test_min_folds(self, rng):
+        with pytest.raises(ValueError):
+            stratified_kfold(np.array([0, 1]), 1, rng)
+
+
+class TestFamilyBalancedFolds:
+    def test_families_never_split(self, rng):
+        families = ["a", "a", "b", "b", "c", "d", "d", "e", "f"]
+        folds = family_balanced_folds(families, 3, rng)
+        for train_idx, test_idx in folds:
+            train_fams = {families[i] for i in train_idx}
+            test_fams = {families[i] for i in test_idx}
+            assert not train_fams & test_fams
+
+    def test_balanced_family_counts(self, rng):
+        families = [f"fam{i}" for i in range(12) for _ in range(3)]
+        folds = family_balanced_folds(families, 4, rng)
+        for _, test_idx in folds:
+            test_fams = {families[i] for i in test_idx}
+            assert len(test_fams) == 3
+
+    def test_partition_complete(self, rng):
+        families = ["a", "b", "c", "d", "e"]
+        folds = family_balanced_folds(families, 2, rng)
+        all_test = sorted(
+            i for _, test_idx in folds for i in test_idx.tolist()
+        )
+        assert all_test == list(range(5))
+
+    def test_too_few_families(self, rng):
+        with pytest.raises(ValueError, match="families"):
+            family_balanced_folds(["a", "a", "b"], 3, rng)
+
+    def test_min_folds(self, rng):
+        with pytest.raises(ValueError):
+            family_balanced_folds(["a", "b"], 1, rng)

@@ -1,0 +1,132 @@
+"""Tests for permutation feature importance."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.importance import permutation_importance
+
+
+def make_model(seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(600, 4))
+    # Feature 1 carries all the signal; 0, 2, 3 are noise.
+    y = (X[:, 1] > 0).astype(np.int64)
+    model = RandomForestClassifier(n_estimators=20, random_state=seed).fit(
+        X[:400], y[:400]
+    )
+    return model, X[400:], y[400:]
+
+
+class TestPermutationImportance:
+    def test_signal_feature_ranked_first(self):
+        model, X, y = make_model()
+        rows = permutation_importance(model, X, y, rng=np.random.default_rng(1))
+        assert rows[0]["index"] == 1
+        assert rows[0]["importance"] > 0.2
+
+    def test_noise_features_near_zero(self):
+        model, X, y = make_model()
+        rows = permutation_importance(model, X, y, rng=np.random.default_rng(1))
+        for row in rows:
+            if row["index"] != 1:
+                assert abs(row["importance"]) < 0.1
+
+    def test_sorted_descending(self):
+        model, X, y = make_model()
+        rows = permutation_importance(model, X, y, rng=np.random.default_rng(2))
+        importances = [row["importance"] for row in rows]
+        assert importances == sorted(importances, reverse=True)
+
+    def test_feature_names_attached(self):
+        model, X, y = make_model()
+        rows = permutation_importance(
+            model, X, y,
+            feature_names=["a", "signal", "c", "d"],
+            rng=np.random.default_rng(1),
+        )
+        assert rows[0]["feature"] == "signal"
+
+    def test_custom_metric(self):
+        model, X, y = make_model()
+        accuracy = lambda yy, ss: float(((ss >= 0.5).astype(int) == yy).mean())
+        rows = permutation_importance(
+            model, X, y, metric=accuracy, rng=np.random.default_rng(3)
+        )
+        assert rows[0]["index"] == 1
+
+    def test_validation(self):
+        model, X, y = make_model()
+        with pytest.raises(ValueError):
+            permutation_importance(model, X, y, n_repeats=0)
+
+    def test_group_permutation(self):
+        model, X, y = make_model()
+        rows = permutation_importance(
+            model, X, y,
+            groups={"signal+noise": [0, 1], "pure noise": [2, 3]},
+            rng=np.random.default_rng(5),
+        )
+        assert rows[0]["feature"] == "signal+noise"
+        assert rows[0]["importance"] > 0.2
+        assert rows[0]["columns"] == [0, 1]
+
+    def test_group_permutation_on_segugio_groups(self, fitted_model):
+        """The F1 'machine' group must show a real drop when permuted as a
+        block (single features look unimportant due to redundancy)."""
+        from repro.core.features import FEATURE_GROUPS
+
+        training = fitted_model.training_set_
+        rows = permutation_importance(
+            fitted_model.classifier_,
+            training.X,
+            training.y,
+            groups=FEATURE_GROUPS,
+            rng=np.random.default_rng(6),
+        )
+        by_name = {row["feature"]: row["importance"] for row in rows}
+        assert max(by_name.values()) > 0.005
+
+    def test_local_attribution_explains_signal(self):
+        from repro.ml.importance import local_attribution
+
+        model, X, y = make_model()
+        positive = X[y == 1][0]
+        rows = local_attribution(model, X, positive)
+        assert rows[0]["index"] == 1
+        assert rows[0]["contribution"] > 0.1
+
+    def test_local_attribution_shape_mismatch(self):
+        from repro.ml.importance import local_attribution
+
+        model, X, _ = make_model()
+        with pytest.raises(ValueError, match="matching"):
+            local_attribution(model, X, np.zeros(7))
+
+    def test_local_attribution_sorted_by_magnitude(self):
+        from repro.ml.importance import local_attribution
+
+        model, X, y = make_model()
+        rows = local_attribution(model, X, X[0])
+        magnitudes = [abs(r["contribution"]) for r in rows]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_on_segugio_features(self, fitted_model):
+        """The machine-behavior fraction should matter for the real model."""
+        from repro.core.features import FEATURE_NAMES
+
+        training = fitted_model.training_set_
+        rows = permutation_importance(
+            fitted_model.classifier_,
+            training.X,
+            training.y,
+            feature_names=FEATURE_NAMES,
+            rng=np.random.default_rng(4),
+        )
+        top_names = [row["feature"] for row in rows[:5]]
+        assert any(
+            name.startswith("machine_") or name.endswith("_days_active")
+            or name.startswith("ip_") or name.startswith("prefix24")
+            or name.startswith("e2ld") or name.startswith("fqd")
+            for name in top_names
+        )

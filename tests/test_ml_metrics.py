@@ -1,0 +1,160 @@
+"""Tests for ROC metrics and operating-point helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.metrics import (
+    auc,
+    confusion_at_threshold,
+    roc_curve,
+    threshold_for_fpr,
+    tpr_at_fpr,
+)
+
+
+class TestRocCurve:
+    def test_perfect_separation(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        curve = roc_curve(y, scores)
+        assert curve.auc() == pytest.approx(1.0)
+        assert curve.tpr_at(0.0) == 1.0
+
+    def test_random_scores_auc_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=4000)
+        scores = rng.random(4000)
+        assert abs(auc(y, scores) - 0.5) < 0.05
+
+    def test_inverted_scores(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert auc(y, scores) == pytest.approx(0.0)
+
+    def test_curve_starts_and_ends_at_corners(self):
+        y = np.array([0, 1, 0, 1, 1])
+        scores = np.array([0.3, 0.6, 0.2, 0.9, 0.5])
+        curve = roc_curve(y, scores)
+        assert curve.fpr[0] == 0.0 and curve.tpr[0] == 0.0
+        assert curve.fpr[-1] == 1.0 and curve.tpr[-1] == 1.0
+
+    def test_monotone_nondecreasing(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, size=200)
+        scores = rng.random(200)
+        curve = roc_curve(y, scores)
+        assert (np.diff(curve.fpr) >= 0).all()
+        assert (np.diff(curve.tpr) >= 0).all()
+
+    def test_ties_collapse(self):
+        y = np.array([0, 1, 0, 1])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        curve = roc_curve(y, scores)
+        # One score value: curve is (0,0) -> (1,1).
+        assert len(curve.fpr) == 2
+        assert auc(y, scores) == pytest.approx(0.5)
+
+    def test_requires_both_classes(self):
+        with pytest.raises(ValueError):
+            roc_curve(np.array([1, 1]), np.array([0.1, 0.2]))
+        with pytest.raises(ValueError):
+            roc_curve(np.array([], dtype=int), np.array([]))
+
+
+class TestOperatingPoints:
+    def test_tpr_at_fpr(self):
+        y = np.array([0] * 1000 + [1] * 10)
+        scores = np.concatenate([np.linspace(0, 0.5, 1000), np.full(10, 0.9)])
+        assert tpr_at_fpr(y, scores, 0.001) == 1.0
+
+    def test_threshold_at_respects_budget(self):
+        y = np.array([0] * 100 + [1] * 10)
+        rng = np.random.default_rng(0)
+        scores = np.concatenate([rng.random(100) * 0.6, 0.4 + rng.random(10) * 0.6])
+        curve = roc_curve(y, scores)
+        threshold = curve.threshold_at(0.05)
+        fp = np.count_nonzero(scores[:100] >= threshold)
+        assert fp / 100 <= 0.05
+
+    def test_partial_auc_bounds(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        curve = roc_curve(y, scores)
+        assert curve.partial_auc(0.01) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            curve.partial_auc(0.0)
+
+    def test_points_restriction(self):
+        y = np.array([0, 1, 0, 1])
+        scores = np.array([0.1, 0.9, 0.6, 0.7])
+        points = roc_curve(y, scores).points(max_fpr=0.5)
+        assert all(fpr <= 0.5 for fpr, _ in points)
+
+
+class TestThresholdForFpr:
+    def test_zero_budget_excludes_all(self):
+        benign = np.array([0.1, 0.5, 0.9])
+        threshold = threshold_for_fpr(benign, 0.0)
+        assert (benign >= threshold).sum() == 0
+
+    def test_budget_respected(self):
+        rng = np.random.default_rng(0)
+        benign = rng.random(10000)
+        threshold = threshold_for_fpr(benign, 0.001)
+        assert (benign >= threshold).mean() <= 0.001
+
+    def test_budget_not_overly_strict(self):
+        benign = np.linspace(0, 1, 1000)
+        threshold = threshold_for_fpr(benign, 0.01)
+        achieved = (benign >= threshold).mean()
+        assert 0.005 <= achieved <= 0.01
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            threshold_for_fpr(np.array([]), 0.1)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            threshold_for_fpr(np.array([0.5]), 1.5)
+
+
+class TestConfusion:
+    def test_counts(self):
+        y = np.array([1, 1, 0, 0])
+        scores = np.array([0.9, 0.2, 0.8, 0.1])
+        c = confusion_at_threshold(y, scores, 0.5)
+        assert c == {"tp": 1, "fp": 1, "tn": 1, "fn": 1}
+
+    def test_threshold_inclusive(self):
+        c = confusion_at_threshold(np.array([1]), np.array([0.5]), 0.5)
+        assert c["tp"] == 1
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 1), st.floats(0, 1, allow_nan=False)),
+        min_size=4,
+        max_size=200,
+    ).filter(lambda rows: len({r[0] for r in rows}) == 2)
+)
+def test_property_auc_in_unit_interval(rows):
+    y = np.array([r[0] for r in rows])
+    scores = np.array([r[1] for r in rows])
+    value = auc(y, scores)
+    assert 0.0 <= value <= 1.0
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 1), st.floats(0, 1, allow_nan=False)),
+        min_size=4,
+        max_size=200,
+    ).filter(lambda rows: len({r[0] for r in rows}) == 2)
+)
+def test_property_tpr_monotone_in_fpr_budget(rows):
+    y = np.array([r[0] for r in rows])
+    scores = np.array([r[1] for r in rows])
+    curve = roc_curve(y, scores)
+    assert curve.tpr_at(0.1) <= curve.tpr_at(0.5) <= curve.tpr_at(1.0)

@@ -1,0 +1,82 @@
+"""Tests for bin mapping and standardization."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.preprocessing import BinMapper, StandardScaler
+
+
+class TestBinMapper:
+    def test_transform_is_uint8(self):
+        X = np.random.default_rng(0).normal(size=(100, 3))
+        codes = BinMapper(max_bins=16).fit_transform(X)
+        assert codes.dtype == np.uint8
+        assert codes.shape == X.shape
+
+    def test_monotonic_in_value(self):
+        X = np.linspace(0, 1, 101).reshape(-1, 1)
+        mapper = BinMapper(max_bins=8).fit(X)
+        codes = mapper.transform(X)[:, 0]
+        assert (np.diff(codes.astype(int)) >= 0).all()
+
+    def test_few_distinct_values_few_bins(self):
+        X = np.array([[0.0], [1.0], [0.0], [1.0]])
+        mapper = BinMapper(max_bins=64).fit(X)
+        assert mapper.n_bins(0) <= 2
+
+    def test_unseen_extremes_clamp(self):
+        X = np.linspace(0, 1, 50).reshape(-1, 1)
+        mapper = BinMapper(max_bins=8).fit(X)
+        low = mapper.transform(np.array([[-100.0]]))[0, 0]
+        high = mapper.transform(np.array([[100.0]]))[0, 0]
+        assert low == 0
+        assert high == mapper.n_bins(0) - 1
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            BinMapper().transform(np.zeros((2, 2)))
+
+    def test_feature_count_mismatch(self):
+        mapper = BinMapper().fit(np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            mapper.transform(np.zeros((4, 3)))
+
+    def test_max_bins_validation(self):
+        with pytest.raises(ValueError):
+            BinMapper(max_bins=1)
+        with pytest.raises(ValueError):
+            BinMapper(max_bins=256)
+
+    @given(
+        arrays(
+            np.float64,
+            (30, 2),
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        )
+    )
+    def test_property_same_value_same_bin(self, X):
+        mapper = BinMapper(max_bins=16).fit(X)
+        codes1 = mapper.transform(X)
+        codes2 = mapper.transform(X)
+        assert (codes1 == codes2).all()
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        X = np.random.default_rng(0).normal(5, 3, size=(500, 2))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1, atol=1e-9)
+
+    def test_constant_column_not_nan(self):
+        X = np.ones((10, 1)) * 7
+        Z = StandardScaler().fit_transform(X)
+        assert np.isfinite(Z).all()
+        assert np.allclose(Z, 0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))

@@ -1,0 +1,110 @@
+"""Tests for forest JSON serialization."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.serialization import (
+    forest_from_dict,
+    forest_to_dict,
+    load_forest,
+    save_forest,
+)
+
+
+def fitted_forest(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 4))
+    y = (X[:, 0] + X[:, 2] > 0).astype(np.int64)
+    return RandomForestClassifier(n_estimators=12, random_state=seed).fit(X, y), X
+
+
+class TestRoundTrip:
+    def test_identical_predictions(self):
+        forest, X = fitted_forest()
+        clone = forest_from_dict(forest_to_dict(forest))
+        assert (clone.predict_proba(X) == forest.predict_proba(X)).all()
+
+    def test_json_serializable(self):
+        forest, _ = fitted_forest()
+        text = json.dumps(forest_to_dict(forest))
+        assert "random_forest" in text
+
+    def test_stream_round_trip(self):
+        forest, X = fitted_forest()
+        buffer = io.StringIO()
+        save_forest(forest, buffer)
+        buffer.seek(0)
+        clone = load_forest(buffer)
+        assert np.allclose(clone.predict_proba(X), forest.predict_proba(X))
+
+    def test_file_round_trip(self, tmp_path):
+        forest, X = fitted_forest()
+        path = str(tmp_path / "model.json")
+        save_forest(forest, path)
+        clone = load_forest(path)
+        assert np.allclose(clone.predict_proba(X), forest.predict_proba(X))
+
+    def test_feature_importances_preserved(self):
+        forest, _ = fitted_forest()
+        clone = forest_from_dict(forest_to_dict(forest))
+        assert np.allclose(clone.feature_importances_, forest.feature_importances_)
+
+
+class TestPropertyRoundTrip:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @settings(deadline=None, max_examples=15)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=20, max_value=120),
+    )
+    def test_property_round_trip_preserves_scores(self, seed, n):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, 3))
+        y = (X[:, 0] > 0).astype(np.int64)
+        if len(np.unique(y)) < 2:
+            return
+        forest = RandomForestClassifier(n_estimators=4, random_state=seed).fit(X, y)
+        clone = forest_from_dict(forest_to_dict(forest))
+        assert (clone.predict_proba(X) == forest.predict_proba(X)).all()
+
+
+class TestValidation:
+    def test_unfitted_rejected(self):
+        with pytest.raises(ValueError, match="unfitted"):
+            forest_to_dict(RandomForestClassifier())
+
+    def test_bad_version_rejected(self):
+        forest, _ = fitted_forest()
+        payload = forest_to_dict(forest)
+        payload["format_version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            forest_from_dict(payload)
+
+    def test_wrong_model_kind_rejected(self):
+        forest, _ = fitted_forest()
+        payload = forest_to_dict(forest)
+        payload["model"] = "svm"
+        with pytest.raises(ValueError, match="random forest"):
+            forest_from_dict(payload)
+
+
+class TestPipelineIntegration:
+    def test_segugio_model_travels(self, scenario, train_context, test_context):
+        """Train at one ISP, serialize, deploy the clone: same detections."""
+        from repro.core.pipeline import Segugio, SegugioConfig
+
+        model = Segugio(SegugioConfig(n_estimators=10)).fit(train_context)
+        payload = forest_to_dict(model.classifier_)
+        clone = Segugio(SegugioConfig(n_estimators=10))
+        clone.classifier_ = forest_from_dict(payload)
+        a = model.classify(test_context)
+        b = clone.classify(test_context)
+        assert (a.scores == b.scores).all()

@@ -1,0 +1,165 @@
+"""Tests for the histogram CART decision tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.preprocessing import BinMapper
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def binned(X, max_bins=32):
+    return BinMapper(max_bins=max_bins).fit_transform(X)
+
+
+def make_separable(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 4))
+    y = (X[:, 1] > 0.3).astype(np.int64)
+    return X, y
+
+
+class TestFitting:
+    def test_learns_separable_rule(self):
+        X, y = make_separable()
+        Xb = binned(X)
+        tree = DecisionTreeClassifier(max_depth=4, rng=np.random.default_rng(0))
+        tree.fit(Xb, y)
+        pred = (tree.predict_proba_binned(Xb) >= 0.5).astype(int)
+        assert (pred == y).mean() > 0.97
+
+    def test_pure_node_is_leaf(self):
+        X = np.zeros((10, 2))
+        y = np.ones(10, dtype=np.int64) * 0
+        y[0] = 0
+        Xb = binned(X)
+        tree = DecisionTreeClassifier(rng=np.random.default_rng(0))
+        # All-one-class labels are rejected upstream by the forest; the tree
+        # itself handles a pure root by not splitting.
+        tree.fit(Xb, np.zeros(10, dtype=np.int64))
+        assert tree.n_nodes == 1
+
+    def test_max_depth_respected(self):
+        X, y = make_separable(400)
+        tree = DecisionTreeClassifier(max_depth=2, rng=np.random.default_rng(0))
+        tree.fit(binned(X), y)
+        # depth 2 -> at most 1 + 2 + 4 nodes
+        assert tree.n_nodes <= 7
+
+    def test_min_samples_leaf(self):
+        X, y = make_separable(50)
+        tree = DecisionTreeClassifier(
+            max_depth=10, min_samples_leaf=20, rng=np.random.default_rng(0)
+        )
+        tree.fit(binned(X), y)
+        # Each split must leave >= 20 on each side: at most 1 split chain.
+        assert tree.n_nodes <= 5
+
+    def test_sample_weight_shifts_leaf_values(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0, 1])
+        Xb = binned(X)
+        tree = DecisionTreeClassifier(max_depth=1, rng=np.random.default_rng(0))
+        w = np.array([1.0, 3.0])
+        tree.fit(Xb, y, sample_weight=w)
+        root_before_split = 3.0 / 4.0
+        # The root leaf value is the weighted positive fraction.
+        assert tree.node_value_[0] == pytest.approx(root_before_split)
+
+    def test_feature_gain_tracks_used_features(self):
+        X, y = make_separable(300)
+        tree = DecisionTreeClassifier(max_depth=4, rng=np.random.default_rng(0))
+        tree.fit(binned(X), y)
+        assert np.argmax(tree.feature_gain_) == 1
+
+
+class TestTextRendering:
+    def test_rules_rendered(self):
+        X, y = make_separable(200)
+        tree = DecisionTreeClassifier(max_depth=3, rng=np.random.default_rng(0))
+        tree.fit(binned(X), y)
+        text = tree.to_text(feature_names=["a", "signal", "c", "d"])
+        assert "leaf: P(malware)=" in text
+        assert "signal" in text  # the informative feature appears in a rule
+
+    def test_depth_cap_collapses_to_leaves(self):
+        X, y = make_separable(200)
+        tree = DecisionTreeClassifier(max_depth=6, rng=np.random.default_rng(0))
+        tree.fit(binned(X), y)
+        text = tree.to_text(max_depth=1)
+        # At cap depth every line below the root split is a leaf.
+        assert all(
+            "leaf" in line or line.endswith(":")
+            for line in text.splitlines()
+        )
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().to_text()
+
+
+class TestValidation:
+    def test_requires_uint8(self):
+        with pytest.raises(TypeError, match="uint8"):
+            DecisionTreeClassifier().fit(np.zeros((4, 2)), np.zeros(4, dtype=int))
+
+    def test_rejects_nonbinary_labels(self):
+        Xb = np.zeros((3, 1), dtype=np.uint8)
+        with pytest.raises(ValueError, match="binary"):
+            DecisionTreeClassifier().fit(Xb, np.array([0, 1, 2]))
+
+    def test_rejects_negative_weights(self):
+        Xb = np.zeros((2, 1), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(
+                Xb, np.array([0, 1]), sample_weight=np.array([1.0, -1.0])
+            )
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict_proba_binned(
+                np.zeros((2, 1), dtype=np.uint8)
+            )
+
+    def test_hyperparameter_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_split=1)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_leaf=0)
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    n=st.integers(min_value=5, max_value=80),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_leaf_probabilities_in_unit_interval(n, seed):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 3))
+    y = rng.integers(0, 2, size=n)
+    Xb = binned(X)
+    tree = DecisionTreeClassifier(max_depth=6, rng=rng)
+    tree.fit(Xb, y)
+    proba = tree.predict_proba_binned(Xb)
+    assert ((proba >= 0) & (proba <= 1)).all()
+
+
+@settings(deadline=None, max_examples=25)
+@given(seed=st.integers(min_value=0, max_value=1000))
+def test_property_training_accuracy_beats_base_rate(seed):
+    """A deep unconstrained tree should fit binned training data at least as
+    well as the majority-class predictor."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(60, 3))
+    y = (X[:, 0] + 0.2 * rng.normal(size=60) > 0).astype(np.int64)
+    if len(np.unique(y)) < 2:
+        return
+    Xb = binned(X, max_bins=64)
+    tree = DecisionTreeClassifier(max_depth=12, rng=rng)
+    tree.fit(Xb, y)
+    pred = (tree.predict_proba_binned(Xb) >= 0.5).astype(int)
+    base = max(y.mean(), 1 - y.mean())
+    assert (pred == y).mean() >= base - 1e-9

@@ -1,0 +1,147 @@
+"""Tests for the IP-abuse oracle (F3 features)."""
+
+import numpy as np
+import pytest
+
+from repro.dns.records import parse_ipv4
+from repro.pdns.abuse import AbuseOracle, _in_sorted
+from repro.pdns.database import PassiveDNSDatabase
+
+MAL = 1  # domain ids
+BEN = 2
+UNK = 3
+
+IP_MAL = parse_ipv4("12.0.0.5")
+IP_MAL2 = parse_ipv4("12.0.0.200")  # same /24 as IP_MAL
+IP_BEN = parse_ipv4("10.0.0.5")
+IP_UNK = parse_ipv4("13.0.0.5")
+
+
+@pytest.fixture()
+def oracle():
+    db = PassiveDNSDatabase()
+    db.observe_day(10, [MAL, BEN, UNK], [IP_MAL, IP_BEN, IP_UNK])
+    return AbuseOracle(
+        db, end_day=20, window_days=30,
+        malware_domain_ids=[MAL], benign_domain_ids=[BEN],
+    )
+
+
+class TestAbuseFeatures:
+    def test_exact_malware_ip(self, oracle):
+        frac_ip, frac_p24, n_unk_ip, n_unk_p24 = oracle.abuse_features(
+            np.array([IP_MAL], dtype=np.uint32)
+        )
+        assert frac_ip == 1.0
+        assert frac_p24 == 1.0
+        assert n_unk_ip == 0.0
+
+    def test_same_prefix_different_ip(self, oracle):
+        frac_ip, frac_p24, _, _ = oracle.abuse_features(
+            np.array([IP_MAL2], dtype=np.uint32)
+        )
+        assert frac_ip == 0.0  # exact IP never seen with malware
+        assert frac_p24 == 1.0  # but its /24 was
+
+    def test_unknown_ip_counts(self, oracle):
+        _, _, n_unk_ip, n_unk_p24 = oracle.abuse_features(
+            np.array([IP_UNK, IP_BEN], dtype=np.uint32)
+        )
+        assert n_unk_ip == 1.0
+        assert n_unk_p24 == 1.0
+
+    def test_benign_ip_all_zero(self, oracle):
+        features = oracle.abuse_features(np.array([IP_BEN], dtype=np.uint32))
+        assert features == (0.0, 0.0, 0.0, 0.0)
+
+    def test_mixed_fraction(self, oracle):
+        frac_ip, _, _, _ = oracle.abuse_features(
+            np.array([IP_MAL, IP_BEN], dtype=np.uint32)
+        )
+        assert frac_ip == 0.5
+
+    def test_empty_ip_set(self, oracle):
+        assert oracle.abuse_features(np.empty(0, dtype=np.uint32)) == (
+            0.0, 0.0, 0.0, 0.0,
+        )
+
+    def test_duplicate_ips_deduplicated(self, oracle):
+        frac_ip, _, _, _ = oracle.abuse_features(
+            np.array([IP_MAL, IP_MAL], dtype=np.uint32)
+        )
+        assert frac_ip == 1.0
+
+
+class TestWindowing:
+    def test_records_outside_window_ignored(self):
+        db = PassiveDNSDatabase()
+        db.observe_day(1, [MAL], [IP_MAL])  # far in the past
+        oracle = AbuseOracle(db, end_day=100, window_days=10, malware_domain_ids=[MAL])
+        frac_ip, _, _, _ = oracle.abuse_features(np.array([IP_MAL], dtype=np.uint32))
+        assert frac_ip == 0.0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            AbuseOracle(PassiveDNSDatabase(), end_day=5, window_days=0, malware_domain_ids=[])
+
+    def test_point_queries(self, oracle):
+        assert oracle.ip_was_malware_pointed(IP_MAL)
+        assert not oracle.ip_was_malware_pointed(IP_BEN)
+        assert oracle.prefix_was_malware_pointed(IP_MAL2)
+
+    def test_counts_properties(self, oracle):
+        assert oracle.n_malware_ips == 1
+        assert oracle.n_malware_prefixes == 1
+
+
+class TestHidingExclusion:
+    """Fig. 5 semantics: a hidden malware domain's own history must not
+    count as abuse evidence against itself."""
+
+    def _dual_oracle(self):
+        db = PassiveDNSDatabase()
+        # MAL is the sole user of IP_MAL; MAL and a second malware domain
+        # (id 9) share IP_MAL2's /24 via another address in the same block.
+        shared = parse_ipv4("12.0.0.210")
+        db.observe_day(10, [MAL, MAL, 9], [IP_MAL, IP_MAL2, shared])
+        return AbuseOracle(
+            db, end_day=20, window_days=30, malware_domain_ids=[MAL, 9]
+        )
+
+    def test_sole_owner_excluded(self):
+        oracle = self._dual_oracle()
+        with_self = oracle.abuse_features(np.array([IP_MAL], dtype=np.uint32))
+        without_self = oracle.abuse_features(
+            np.array([IP_MAL], dtype=np.uint32), exclude_domain=MAL
+        )
+        assert with_self[0] == 1.0
+        assert without_self[0] == 0.0
+
+    def test_shared_infrastructure_still_counts(self):
+        oracle = self._dual_oracle()
+        # IP_MAL2's /24 is also used by domain 9, so prefix evidence
+        # survives the exclusion even though the exact IP was MAL's alone.
+        features = oracle.abuse_features(
+            np.array([IP_MAL2], dtype=np.uint32), exclude_domain=MAL
+        )
+        assert features[0] == 0.0  # exact IP solely MAL's
+        assert features[1] == 1.0  # /24 shared with domain 9
+
+    def test_exclusion_of_other_domain_is_noop(self):
+        oracle = self._dual_oracle()
+        features = oracle.abuse_features(
+            np.array([IP_MAL], dtype=np.uint32), exclude_domain=12345
+        )
+        assert features[0] == 1.0
+
+
+class TestInSorted:
+    def test_membership(self):
+        sorted_set = np.array([2, 5, 9], dtype=np.int64)
+        values = np.array([1, 2, 5, 6, 9, 10], dtype=np.int64)
+        assert _in_sorted(values, sorted_set).tolist() == [
+            False, True, True, False, True, False,
+        ]
+
+    def test_empty_set(self):
+        assert not _in_sorted(np.array([1, 2]), np.empty(0, dtype=np.int64)).any()

@@ -1,0 +1,86 @@
+"""Tests for the passive-DNS store."""
+
+import numpy as np
+import pytest
+
+from repro.pdns.database import PassiveDNSDatabase
+
+
+def make_db():
+    db = PassiveDNSDatabase()
+    db.observe_day(1, [10, 10, 11], [100, 101, 200])
+    db.observe_day(3, [10, 12], [100, 300])
+    db.observe_day(7, [11], [201])
+    return db
+
+
+class TestIngestion:
+    def test_counts(self):
+        db = make_db()
+        assert db.n_records == 6
+        assert db.last_day == 7
+
+    def test_days_must_be_ordered(self):
+        db = make_db()
+        with pytest.raises(ValueError, match="order"):
+            db.observe_day(5, [1], [1])
+
+    def test_same_day_appends_allowed(self):
+        db = PassiveDNSDatabase()
+        db.observe_day(2, [1], [5])
+        db.observe_day(2, [2], [6])
+        assert db.n_records == 2
+
+    def test_parallel_arrays_required(self):
+        with pytest.raises(ValueError, match="parallel"):
+            PassiveDNSDatabase().observe_day(0, [1, 2], [1])
+
+    def test_empty_day_advances_clock(self):
+        db = PassiveDNSDatabase()
+        db.observe_day(4, [], [])
+        assert db.last_day == 4
+        assert db.n_records == 0
+
+    def test_observe_single(self):
+        db = PassiveDNSDatabase()
+        db.observe(0, 9, [1, 2, 3])
+        assert db.n_records == 3
+
+
+class TestWindowQueries:
+    def test_window_inclusive(self):
+        db = make_db()
+        days, domains, ips = db.window_records(1, 3)
+        assert days.tolist() == [1, 1, 1, 3, 3]
+        assert set(domains.tolist()) == {10, 11, 12}
+
+    def test_window_single_day(self):
+        db = make_db()
+        days, domains, _ = db.window_records(7, 7)
+        assert domains.tolist() == [11]
+
+    def test_window_outside_range_empty(self):
+        db = make_db()
+        days, _, _ = db.window_records(100, 200)
+        assert days.size == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            make_db().window_records(5, 4)
+
+    def test_domain_ips_in_window(self):
+        db = make_db()
+        ips = db.domain_ips_in_window(10, 0, 10)
+        assert ips.tolist() == [100, 101]
+
+    def test_query_then_append_invalidates_cache(self):
+        db = make_db()
+        db.window_records(0, 10)
+        db.observe_day(9, [50], [999])
+        _, domains, _ = db.window_records(9, 9)
+        assert domains.tolist() == [50]
+
+    def test_empty_database_queries(self):
+        db = PassiveDNSDatabase()
+        days, domains, ips = db.window_records(0, 10)
+        assert days.size == domains.size == ips.size == 0

@@ -1,0 +1,51 @@
+"""Tests for world self-diagnostics: the paper's preconditions hold in
+every generated world."""
+
+import pytest
+
+from repro.synth.diagnostics import diagnose
+from repro.synth.scenario import Scenario
+
+
+@pytest.fixture(scope="module")
+def diagnostics(scenario):
+    return diagnose(scenario, "isp1", scenario.eval_day(2))
+
+
+class TestPreconditions:
+    def test_world_is_healthy(self, diagnostics):
+        assert diagnostics.healthy(), diagnostics.report()
+
+    def test_intuition1_agility(self, diagnostics):
+        assert diagnostics.frac_infected_query_multiple >= 0.5
+
+    def test_intuition2_overlap(self, diagnostics):
+        assert (
+            diagnostics.family_overlap_mean
+            > diagnostics.benign_overlap_mean + 0.1
+        )
+
+    def test_intuition3_separation(self, diagnostics):
+        assert diagnostics.clean_machine_cnc_queries == 0
+
+    def test_ecology(self, diagnostics):
+        assert 0.4 < diagnostics.blacklist_coverage < 0.98
+        assert diagnostics.mean_blacklist_lag_days > 1.0
+        assert diagnostics.n_whitelist_noise_services > 0
+        assert diagnostics.prefix_reuse_rate > 0.05
+
+    def test_report_renders(self, diagnostics):
+        text = diagnostics.report()
+        assert "intuition 1" in text
+        assert "ok" in text
+
+
+class TestOtherWorlds:
+    def test_second_isp_healthy(self, scenario):
+        result = diagnose(scenario, "isp2", scenario.eval_day(5))
+        assert result.healthy(), result.report()
+
+    def test_other_seed_healthy(self):
+        world = Scenario.small(seed=123)
+        result = diagnose(world, "isp1", world.eval_day(1))
+        assert result.healthy(), result.report()

@@ -1,0 +1,75 @@
+"""Tests for the hosting landscape."""
+
+import numpy as np
+import pytest
+
+from repro.dns.records import prefix24
+from repro.synth.config import HostingConfig
+from repro.synth.hosting import HostingLandscape
+from repro.utils.rng import RngFactory
+
+
+@pytest.fixture()
+def landscape():
+    return HostingLandscape(HostingConfig(), RngFactory(3))
+
+
+class TestPools:
+    def test_pools_disjoint(self, landscape):
+        pools = ["clean", "dirty", "bulletproof", "fresh"]
+        prefix_sets = [set(landscape.pool_prefixes(p).tolist()) for p in pools]
+        for i in range(len(pools)):
+            for j in range(i + 1, len(pools)):
+                assert not prefix_sets[i] & prefix_sets[j]
+
+    def test_pool_sizes_match_config(self):
+        config = HostingConfig(n_clean_blocks=5, n_dirty_blocks=3)
+        landscape = HostingLandscape(config, RngFactory(0))
+        assert landscape.pool_prefixes("clean").size == 5
+        assert landscape.pool_prefixes("dirty").size == 3
+
+    def test_unknown_pool_rejected(self, landscape):
+        with pytest.raises(KeyError):
+            landscape.pool_prefixes("nonexistent")
+
+    def test_pool_of_ip(self, landscape):
+        ip = int(landscape.allocate("dirty", 1, "probe")[0])
+        assert landscape.pool_of_ip(ip) == "dirty"
+        assert landscape.pool_of_ip(0) == "unassigned"
+
+
+class TestAllocation:
+    def test_ips_land_in_pool(self, landscape):
+        ips = landscape.allocate("bulletproof", 10, "x", spread_blocks=3)
+        pool_prefixes = set(landscape.pool_prefixes("bulletproof").tolist())
+        assert all(int(prefix24(int(ip))) in pool_prefixes for ip in ips)
+
+    def test_same_key_same_ips(self, landscape):
+        a = landscape.allocate("clean", 3, "stable-key")
+        b = landscape.allocate("clean", 3, "stable-key")
+        assert (a == b).all()
+
+    def test_different_keys_differ(self, landscape):
+        a = landscape.allocate("clean", 5, "k1")
+        b = landscape.allocate("clean", 5, "k2")
+        assert set(a.tolist()) != set(b.tolist())
+
+    def test_positive_count_required(self, landscape):
+        with pytest.raises(ValueError):
+            landscape.allocate("clean", 0, "x")
+
+    def test_host_octet_nonzero(self, landscape):
+        ips = landscape.allocate("fresh", 50, "y", spread_blocks=5)
+        assert all(int(ip) & 0xFF != 0 for ip in ips)
+
+    def test_mixed_allocation_across_pools(self, landscape):
+        ips = landscape.allocate_mixed(
+            ["clean", "dirty"], [0.5, 0.5], 40, "mix"
+        )
+        pools = {landscape.pool_of_ip(int(ip)) for ip in ips}
+        assert pools <= {"clean", "dirty"}
+        assert len(pools) == 2
+
+    def test_mixed_requires_parallel_args(self, landscape):
+        with pytest.raises(ValueError):
+            landscape.allocate_mixed(["clean"], [0.5, 0.5], 5, "m")

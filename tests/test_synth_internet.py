@@ -1,0 +1,117 @@
+"""Tests for the benign-universe generator."""
+
+import numpy as np
+import pytest
+
+from repro.dns.publicsuffix import PublicSuffixList
+from repro.synth.config import UniverseConfig
+from repro.synth.hosting import HostingLandscape
+from repro.synth.internet import (
+    KIND_ADULT,
+    KIND_CORE,
+    KIND_FREE_SITE,
+    KIND_TAIL,
+    BenignUniverse,
+)
+from repro.synth.config import HostingConfig
+from repro.utils.ids import Interner
+from repro.utils.rng import RngFactory
+
+
+@pytest.fixture(scope="module")
+def universe():
+    rngs = RngFactory(5)
+    domains = Interner()
+    psl = PublicSuffixList()
+    hosting = HostingLandscape(HostingConfig(), rngs)
+    config = UniverseConfig(
+        n_core_e2lds=50,
+        n_tail_e2lds=100,
+        n_adult_e2lds=10,
+        n_free_hosting_services=4,
+        free_hosting_sites=20,
+        known_free_hosting_fraction=0.5,
+    )
+    return BenignUniverse(config, hosting, domains, psl, rngs)
+
+
+class TestPopulation:
+    def test_counts(self, universe):
+        assert len(universe.core_e2lds) == 50
+        assert (universe.kinds == KIND_TAIL).sum() == 100
+        assert (universe.kinds == KIND_ADULT).sum() == 10
+        assert (universe.kinds == KIND_FREE_SITE).sum() == 80
+        assert universe.n_fqds == universe.fqd_ids.size
+
+    def test_core_has_multiple_fqds_per_e2ld(self, universe):
+        core_count = (universe.kinds == KIND_CORE).sum()
+        assert core_count >= 2 * 50
+
+    def test_weights_normalized(self, universe):
+        assert universe.query_weights.sum() == pytest.approx(1.0)
+        assert (universe.query_weights > 0).all()
+
+    def test_core_concentrates_popularity(self, universe):
+        core_mass = universe.query_weights[universe.kinds == KIND_CORE].sum()
+        assert core_mass > 0.5
+
+    def test_activity_prob_bounds(self, universe):
+        assert (universe.activity_prob >= 0.05).all()
+        assert (universe.activity_prob <= 1.0).all()
+        assert (universe.activity_prob[universe.kinds == KIND_CORE] == 1.0).all()
+
+
+class TestHosting:
+    def test_every_fqd_has_ips(self, universe):
+        lengths = np.diff(universe.ip_offsets)
+        assert (lengths >= 1).all()
+
+    def test_free_sites_share_service_ips(self, universe):
+        free = np.flatnonzero(universe.kinds == KIND_FREE_SITE)
+        service = universe.free_services[0]
+        members = [
+            i
+            for i in free
+            if universe.domains.name(int(universe.fqd_ids[i])).endswith(service)
+        ]
+        assert len(members) >= 2
+        first_ips = universe.ips_of(members[0]).tolist()
+        for member in members[1:]:
+            assert universe.ips_of(member).tolist() == first_ips
+
+    def test_adult_in_dirty_space(self, universe):
+        adult = np.flatnonzero(universe.kinds == KIND_ADULT)[0]
+        ip = int(universe.ips_of(adult)[0])
+        assert universe.hosting.pool_of_ip(ip) == "dirty"
+
+
+class TestWhitelist:
+    def test_identified_services_excluded(self, universe):
+        for service in universe.identified_services:
+            assert service not in universe.whitelist.e2lds
+
+    def test_unidentified_services_whitelisted(self, universe):
+        for service in universe.unidentified_services:
+            assert service in universe.whitelist.e2lds
+
+    def test_identified_services_in_psl(self, universe):
+        for service in universe.identified_services:
+            site = f"user00001.{service}"
+            assert universe.psl.e2ld(site) == site
+
+    def test_churned_core_not_whitelisted(self, universe):
+        missing = set(universe.core_e2lds) - universe.whitelist.e2lds
+        present = set(universe.core_e2lds) & universe.whitelist.e2lds
+        assert present, "most core e2LDs should be consistently top"
+        # With churn, at least some core e2LD drops out across snapshots.
+        assert missing, "ranking churn should exclude some core e2LDs"
+
+    def test_burst_domains_never_whitelisted(self, universe):
+        assert not any(
+            e2ld.startswith("burst") for e2ld in universe.whitelist.e2lds
+        )
+
+    def test_tail_never_whitelisted(self, universe):
+        tail = np.flatnonzero(universe.kinds == KIND_TAIL)[0]
+        name = universe.domains.name(int(universe.fqd_ids[tail]))
+        assert not universe.whitelist.is_whitelisted(name)

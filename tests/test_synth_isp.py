@@ -1,0 +1,98 @@
+"""Tests for the per-day traffic generator strata."""
+
+import numpy as np
+import pytest
+
+from repro.synth.machines import ARCH_INACTIVE, ARCH_NORMAL
+from repro.synth.scenario import Scenario
+
+
+@pytest.fixture(scope="module")
+def world():
+    return Scenario.small(seed=19)
+
+
+class TestBenignStratum:
+    def test_inactive_machines_query_few_domains(self, world):
+        trace = world.trace("isp1", world.eval_day(0))
+        pop = world.populations["isp1"]
+        degrees = np.bincount(trace.edge_machines, minlength=pop.n_machines)
+        inactive = pop.machines_of_archetype(ARCH_INACTIVE)
+        clean_inactive = np.setdiff1d(inactive, pop.infected_machines())
+        assert degrees[clean_inactive].max() <= pop.config.inactive_queries_max
+
+    def test_normal_machines_query_dozens(self, world):
+        trace = world.trace("isp1", world.eval_day(0))
+        pop = world.populations["isp1"]
+        degrees = np.bincount(trace.edge_machines, minlength=pop.n_machines)
+        normal = pop.machines_of_archetype(ARCH_NORMAL)
+        median = np.median(degrees[normal])
+        assert 10 < median < 60
+
+    def test_popular_domains_queried_by_many(self, world):
+        trace = world.trace("isp1", world.eval_day(0))
+        domain_degrees = np.bincount(
+            trace.edge_domains, minlength=len(world.domains)
+        )
+        # The head of the Zipf distribution reaches a large machine share.
+        assert domain_degrees.max() > world.populations["isp1"].n_machines * 0.2
+
+
+class TestBotStratum:
+    def test_online_bots_query_at_least_one_cnc(self, world):
+        day = world.eval_day(1)
+        trace = world.trace("isp1", day)
+        pop = world.populations["isp1"]
+        mw = world.malware
+        malware_ids = set(mw.fqd_ids.tolist())
+        queried_malware = {}
+        for m, d in zip(trace.edge_machines, trace.edge_domains):
+            if int(d) in malware_ids:
+                queried_malware.setdefault(int(m), 0)
+                queried_malware[int(m)] += 1
+        # A healthy share of infected machines called home this day.
+        infected = pop.infected_machines()
+        active_with_family = [
+            m
+            for m in infected
+            if any(
+                mw.active_indices_of_family(f, day).size
+                for f in pop.families_of_machine(int(m))
+            )
+        ]
+        if active_with_family:
+            calling = sum(1 for m in active_with_family if int(m) in queried_malware)
+            assert calling / len(active_with_family) > 0.5
+
+    def test_bot_queries_only_own_families_domains(self, world):
+        day = world.eval_day(1)
+        trace = world.trace("isp1", day)
+        pop = world.populations["isp1"]
+        mw = world.malware
+        probe_proxy = set(
+            int(m)
+            for arch in (3, 4)
+            for m in pop.machines_of_archetype(arch)
+        )
+        malware_ids = {int(g): i for i, g in enumerate(mw.fqd_ids)}
+        for m, d in zip(trace.edge_machines, trace.edge_domains):
+            if int(d) not in malware_ids or int(m) in probe_proxy:
+                continue
+            fam = int(mw.family[malware_ids[int(d)]])
+            assert fam in pop.families_of_machine(int(m))
+
+    def test_dga_miss_traffic_dropped_at_boundary(self, world):
+        """Bots emit DGA NXDOMAIN probes; none become graph edges."""
+        generator = world.generators["isp1"]
+        trace = world.trace("isp1", world.eval_day(2))
+        assert generator.last_nx_dropped > 0
+        # No trace domain is a generated DGA name.
+        for domain_id in trace.unique_domain_ids()[:500]:
+            assert not world.domains.name(int(domain_id)).endswith(".dga.biz")
+
+    def test_distinct_days_distinct_traffic(self, world):
+        t1 = world.trace("isp2", world.eval_day(0))
+        t2 = world.trace("isp2", world.eval_day(1))
+        assert t1.n_edges != t2.n_edges or not (
+            t1.edge_domains[:100] == t2.edge_domains[:100]
+        ).all()

@@ -1,0 +1,75 @@
+"""Tests for ISP populations and infection assignment."""
+
+import numpy as np
+import pytest
+
+from repro.synth.machines import (
+    ARCH_HEAVY,
+    ARCH_INACTIVE,
+    ARCH_NORMAL,
+    ARCH_PROBE,
+    ARCH_PROXY,
+)
+
+
+@pytest.fixture(scope="module")
+def population(scenario):
+    # Reuse the session scenario's isp1 population.
+    return None
+
+
+class TestArchetypes:
+    def test_counts_add_up(self, scenario):
+        pop = scenario.populations["isp1"]
+        cfg = pop.config
+        assert pop.archetype.size == cfg.n_machines
+        assert (pop.archetype == ARCH_PROXY).sum() == cfg.n_proxies
+        assert (pop.archetype == ARCH_PROBE).sum() == cfg.n_probes
+
+    def test_inactive_fraction_approximate(self, scenario):
+        pop = scenario.populations["isp1"]
+        frac = (pop.archetype == ARCH_INACTIVE).mean()
+        assert 0.15 < frac < 0.35
+
+    def test_machine_names_namespaced(self, scenario):
+        pop = scenario.populations["isp2"]
+        assert pop.machines.name(0).startswith("isp2-m")
+
+
+class TestInfections:
+    def test_infection_rate_respected(self, scenario):
+        pop = scenario.populations["isp1"]
+        infected = pop.infected_machines()
+        assert 0 < infected.size <= pop.config.infection_rate * pop.n_machines * 1.5
+
+    def test_proxies_and_probes_never_infected(self, scenario):
+        pop = scenario.populations["isp1"]
+        infected = set(pop.infected_machines().tolist())
+        for special in (ARCH_PROXY, ARCH_PROBE):
+            for machine in pop.machines_of_archetype(special):
+                assert int(machine) not in infected
+
+    def test_multi_infections_exist(self, scenario):
+        pop = scenario.populations["isp1"]
+        counts = pop.infection_counts()
+        assert (counts >= 2).any(), "some machines must carry several families"
+
+    def test_families_of_machine_consistent(self, scenario):
+        pop = scenario.populations["isp1"]
+        some_machine = int(pop.infected_machines()[0])
+        families = pop.families_of_machine(some_machine)
+        assert families
+        for fam in families:
+            assert some_machine in pop.family_members[fam].tolist()
+
+    def test_not_all_families_present(self, scenario):
+        """~20% of families should be absent from a given ISP (this is what
+        makes cross-network generalization non-trivial)."""
+        pop = scenario.populations["isp1"]
+        n_total = scenario.malware.config.n_families
+        assert len(pop.family_members) < n_total
+
+    def test_family_membership_sorted_unique(self, scenario):
+        pop = scenario.populations["isp2"]
+        for members in pop.family_members.values():
+            assert (np.diff(members) > 0).all()

@@ -1,0 +1,45 @@
+"""Tests for the shared name morphology generator."""
+
+import numpy as np
+
+from repro.dns.names import is_valid_domain
+from repro.synth.naming import NameForge, TLD_CHOICES
+
+
+class TestNameForge:
+    def test_labels_unique_per_index(self):
+        forge = NameForge(np.random.default_rng(0))
+        labels = [forge.site_label(i) for i in range(500)]
+        assert len(set(labels)) == 500
+
+    def test_index_embedded(self):
+        forge = NameForge(np.random.default_rng(0))
+        for i in (7, 123, 99999):
+            label = forge.site_label(i)
+            assert str(i) in label or f"{i:x}" in label
+
+    def test_e2ld_valid_and_in_tld_set(self):
+        forge = NameForge(np.random.default_rng(1))
+        for i in range(100):
+            e2ld = forge.e2ld(i)
+            assert is_valid_domain(e2ld)
+            assert any(e2ld.endswith("." + tld) for tld in TLD_CHOICES)
+
+    def test_tld_distribution_varied(self):
+        forge = NameForge(np.random.default_rng(2))
+        tlds = {forge.tld() for _ in range(300)}
+        assert len(tlds) >= 6
+
+    def test_subdomain_labels_valid(self):
+        forge = NameForge(np.random.default_rng(3))
+        for _ in range(50):
+            assert is_valid_domain(forge.subdomain_label() + ".x.com")
+
+    def test_morphology_indistinguishable(self):
+        """Benign-style and malware-style draws come from one generator, so
+        simple lexical statistics must overlap (no kind oracle)."""
+        forge_a = NameForge(np.random.default_rng(4))
+        forge_b = NameForge(np.random.default_rng(5))
+        lengths_a = [len(forge_a.e2ld(i)) for i in range(1000, 1300)]
+        lengths_b = [len(forge_b.e2ld(i)) for i in range(1000, 1300)]
+        assert abs(np.mean(lengths_a) - np.mean(lengths_b)) < 2.0

@@ -1,0 +1,169 @@
+"""Tests for the scenario orchestrator and trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.synth.machines import ARCH_PROBE, ARCH_PROXY
+from repro.synth.scenario import Scenario
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        a = Scenario.small(seed=3)
+        b = Scenario.small(seed=3)
+        day = a.eval_day(1)
+        trace_a = a.trace("isp1", day)
+        trace_b = b.trace("isp1", day)
+        assert trace_a.n_edges == trace_b.n_edges
+        assert (trace_a.edge_machines == trace_b.edge_machines).all()
+        assert (trace_a.edge_domains == trace_b.edge_domains).all()
+
+    def test_different_seed_different_world(self):
+        a = Scenario.small(seed=3)
+        b = Scenario.small(seed=4)
+        assert a.malware.n_domains != b.malware.n_domains or (
+            a.trace("isp1", a.eval_day(0)).n_edges
+            != b.trace("isp1", b.eval_day(0)).n_edges
+        )
+
+    def test_trace_cached(self, scenario):
+        day = scenario.eval_day(3)
+        assert scenario.trace("isp1", day) is scenario.trace("isp1", day)
+
+
+class TestIdSpaces:
+    def test_benign_then_malware_layout(self, scenario):
+        assert int(scenario.universe.fqd_ids[0]) == 0
+        assert int(scenario.malware.fqd_ids[0]) == scenario.universe.n_fqds
+
+    def test_ips_of_global_consistent(self, scenario):
+        benign_id = int(scenario.universe.fqd_ids[10])
+        assert (
+            scenario.ips_of_global(benign_id).tolist()
+            == scenario.universe.ips_of(10).tolist()
+        )
+        malware_id = int(scenario.malware.fqd_ids[0])
+        assert (
+            scenario.ips_of_global(malware_id).tolist()
+            == scenario.malware.ips_of(0).tolist()
+        )
+
+    def test_ips_of_unregistered_domain_empty(self, scenario):
+        ghost = scenario.domains.intern("never-registered.example")
+        assert scenario.ips_of_global(ghost).size == 0
+
+
+class TestTraces:
+    def test_trace_day_bounds(self, scenario):
+        with pytest.raises(ValueError):
+            scenario.eval_day(-1)
+        with pytest.raises(ValueError):
+            scenario.eval_day(10_000)
+
+    def test_every_machine_appears(self, scenario):
+        trace = scenario.trace("isp1", scenario.eval_day(0))
+        assert len(trace.unique_machine_ids()) == scenario.populations["isp1"].n_machines
+
+    def test_bots_query_their_family_domains(self, scenario):
+        day = scenario.eval_day(2)
+        trace = scenario.trace("isp1", day)
+        pop = scenario.populations["isp1"]
+        mw = scenario.malware
+        hits = 0
+        for fam, members in pop.family_members.items():
+            active = mw.active_indices_of_family(fam, day)
+            if active.size == 0:
+                continue
+            fam_ids = set(mw.fqd_ids[active].tolist())
+            member_set = set(members.tolist())
+            for m, d in zip(trace.edge_machines, trace.edge_domains):
+                if int(m) in member_set and int(d) in fam_ids:
+                    hits += 1
+                    break
+            if hits:
+                break
+        assert hits, "at least one bot must query its family's C&C"
+
+    def test_proxies_have_high_degree(self, scenario):
+        trace = scenario.trace("isp1", scenario.eval_day(0))
+        pop = scenario.populations["isp1"]
+        degrees = np.bincount(trace.edge_machines, minlength=pop.n_machines)
+        proxy_deg = degrees[pop.machines_of_archetype(ARCH_PROXY)].mean()
+        normal_deg = np.median(degrees)
+        assert proxy_deg > 10 * normal_deg
+
+    def test_probes_query_many_malware_domains(self, scenario):
+        day = scenario.eval_day(0)
+        trace = scenario.trace("isp1", day)
+        pop = scenario.populations["isp1"]
+        probe = int(pop.machines_of_archetype(ARCH_PROBE)[0])
+        malware_ids = set(scenario.malware.fqd_ids.tolist())
+        queried = set(
+            int(d) for m, d in zip(trace.edge_machines, trace.edge_domains)
+            if int(m) == probe
+        )
+        assert len(queried & malware_ids) > 50
+
+    def test_resolutions_cover_traffic(self, scenario):
+        trace = scenario.trace("isp2", scenario.eval_day(1))
+        covered = sum(
+            1 for d in trace.unique_domain_ids() if trace.resolved_ips(int(d)).size
+        )
+        assert covered / len(trace.unique_domain_ids()) > 0.99
+
+
+class TestBackstory:
+    def test_pdns_spans_history(self, scenario):
+        cfg = scenario.config
+        start = cfg.epoch_day - cfg.history_days
+        days, _, _ = scenario.pdns.window_records(start, start + 2)
+        assert days.size > 0
+
+    def test_activity_backfill(self, scenario):
+        cfg = scenario.config
+        day = cfg.epoch_day - cfg.activity_backfill_days
+        core_id = int(scenario.universe.fqd_ids[0])
+        # Core domains are active every recorded day.
+        assert scenario.fqd_activity.days_active(core_id, cfg.epoch_day, 14) == 14
+
+    def test_malware_activity_follows_lifecycle(self, scenario):
+        mw = scenario.malware
+        cfg = scenario.config
+        # A domain activated during the eval window has no activity before.
+        during = np.flatnonzero(
+            (mw.activation > cfg.epoch_day + 2)
+            & (mw.activation <= cfg.last_eval_day - 2)
+        )
+        assert during.size > 0
+        i = int(during[0])
+        gid = int(mw.fqd_ids[i])
+        activation = int(mw.activation[i])
+        assert scenario.fqd_activity.days_active(gid, activation - 1, 14) == 0
+
+    def test_ground_truth_oracle(self, scenario):
+        assert scenario.is_true_malware(scenario.malware.name_of(0))
+        core_name = scenario.domains.name(int(scenario.universe.fqd_ids[0]))
+        assert not scenario.is_true_malware(core_name)
+
+
+class TestContexts:
+    def test_context_defaults(self, scenario):
+        ctx = scenario.context("isp1", scenario.eval_day(0))
+        assert ctx.blacklist is scenario.commercial_blacklist
+        assert ctx.whitelist is scenario.whitelist
+
+    def test_context_overrides(self, scenario):
+        ctx = scenario.context(
+            "isp1", scenario.eval_day(0), blacklist=scenario.public_blacklist
+        )
+        assert ctx.blacklist is scenario.public_blacklist
+
+    def test_unknown_isp_rejected(self, scenario):
+        with pytest.raises(KeyError):
+            scenario.context("isp9", scenario.eval_day(0))
+
+    def test_domain_ids_helper(self, scenario):
+        ctx = scenario.context("isp1", scenario.eval_day(0))
+        name = scenario.malware.name_of(0)
+        ids = ctx.domain_ids([name, "not-a-domain.example"])
+        assert ids.size == 1

@@ -1,0 +1,78 @@
+"""Tests for the string interner."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.ids import Interner
+
+
+class TestBasics:
+    def test_sequential_ids(self):
+        interner = Interner()
+        assert interner.intern("a") == 0
+        assert interner.intern("b") == 1
+        assert interner.intern("c") == 2
+
+    def test_idempotent(self):
+        interner = Interner()
+        first = interner.intern("x")
+        assert interner.intern("x") == first
+        assert len(interner) == 1
+
+    def test_round_trip(self):
+        interner = Interner()
+        node_id = interner.intern("example.com")
+        assert interner.name(node_id) == "example.com"
+
+    def test_lookup_missing_returns_none(self):
+        assert Interner().lookup("nothing") is None
+
+    def test_contains(self):
+        interner = Interner(["a"])
+        assert "a" in interner
+        assert "b" not in interner
+
+    def test_constructor_seeds_names(self):
+        interner = Interner(["x", "y", "x"])
+        assert len(interner) == 2
+        assert interner.lookup("y") == 1
+
+    def test_iteration_order(self):
+        interner = Interner(["c", "a", "b"])
+        assert list(interner) == ["c", "a", "b"]
+
+    def test_names_bulk(self):
+        interner = Interner(["a", "b", "c"])
+        assert interner.names([2, 0]) == ["c", "a"]
+
+
+class TestInternMany:
+    def test_returns_int64_array(self):
+        interner = Interner()
+        ids = interner.intern_many(["a", "b", "a"])
+        assert ids.dtype == np.int64
+        assert ids.tolist() == [0, 1, 0]
+
+    def test_empty(self):
+        assert Interner().intern_many([]).size == 0
+
+
+@given(st.lists(st.text(min_size=1, max_size=20), min_size=1, max_size=50))
+def test_property_round_trip(names):
+    """Every interned name is recoverable from its id."""
+    interner = Interner()
+    ids = [interner.intern(name) for name in names]
+    for name, node_id in zip(names, ids):
+        assert interner.name(node_id) == name
+
+
+@given(st.lists(st.text(min_size=1, max_size=20), min_size=1, max_size=50))
+def test_property_ids_dense(names):
+    """Ids are exactly 0..n-1 for n distinct names."""
+    interner = Interner(names)
+    assert len(interner) == len(set(names))
+    assert sorted(interner.lookup(n) for n in set(names)) == list(
+        range(len(interner))
+    )

@@ -1,0 +1,75 @@
+"""Tests for the seeded RNG stream factory."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngFactory
+
+
+class TestStreamDeterminism:
+    def test_same_key_same_sequence(self):
+        a = RngFactory(7).stream("alpha").integers(0, 1000, size=16)
+        b = RngFactory(7).stream("alpha").integers(0, 1000, size=16)
+        assert (a == b).all()
+
+    def test_different_keys_differ(self):
+        a = RngFactory(7).stream("alpha").integers(0, 1000, size=16)
+        b = RngFactory(7).stream("beta").integers(0, 1000, size=16)
+        assert not (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = RngFactory(7).stream("alpha").integers(0, 1000, size=16)
+        b = RngFactory(8).stream("alpha").integers(0, 1000, size=16)
+        assert not (a == b).all()
+
+    def test_tuple_keys(self):
+        rngs = RngFactory(7)
+        a = rngs.stream(("day", 3)).random(4)
+        b = RngFactory(7).stream(("day", 3)).random(4)
+        assert (a == b).all()
+
+    def test_tuple_key_components_distinguished(self):
+        rngs = RngFactory(7)
+        a = rngs.stream(("day", 3)).random(4)
+        b = rngs.stream(("day", 30)).random(4)
+        assert not (a == b).all()
+
+    def test_int_vs_string_key_components_differ(self):
+        rngs = RngFactory(7)
+        assert rngs.stream_seed(3) != rngs.stream_seed("3")
+
+    def test_stream_independent_of_creation_order(self):
+        rngs1 = RngFactory(7)
+        rngs1.stream("first").random(100)
+        late = rngs1.stream("second").random(5)
+        early = RngFactory(7).stream("second").random(5)
+        assert (late == early).all()
+
+
+class TestChildFactories:
+    def test_child_namespacing(self):
+        root = RngFactory(7)
+        a = root.child("isp1").stream("traffic").random(4)
+        b = root.child("isp2").stream("traffic").random(4)
+        assert not (a == b).all()
+
+    def test_child_deterministic(self):
+        a = RngFactory(7).child("x").stream("y").random(4)
+        b = RngFactory(7).child("x").stream("y").random(4)
+        assert (a == b).all()
+
+    def test_seed_property(self):
+        assert RngFactory(42).seed == 42
+
+
+class TestValidation:
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RngFactory("seed")
+
+    def test_unsupported_key_type_rejected(self):
+        with pytest.raises(TypeError):
+            RngFactory(7).stream(3.14)
+
+    def test_repr(self):
+        assert "7" in repr(RngFactory(7))

@@ -1,0 +1,59 @@
+"""Tests for the argument-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils import validation as V
+
+
+class TestScalarChecks:
+    def test_require_positive_accepts(self):
+        V.require_positive(1, "x")
+
+    def test_require_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            V.require_positive(0, "x")
+
+    def test_require_non_negative(self):
+        V.require_non_negative(0, "x")
+        with pytest.raises(ValueError):
+            V.require_non_negative(-1, "x")
+
+    def test_require_fraction_bounds(self):
+        V.require_fraction(0.0, "f")
+        V.require_fraction(1.0, "f")
+        with pytest.raises(ValueError):
+            V.require_fraction(1.5, "f")
+
+    def test_require_in(self):
+        V.require_in("a", ("a", "b"), "opt")
+        with pytest.raises(ValueError):
+            V.require_in("c", ("a", "b"), "opt")
+
+
+class TestArrayChecks:
+    def test_as_2d_float_array_coerces(self):
+        arr = V.as_2d_float_array([[1, 2], [3, 4]])
+        assert arr.dtype == np.float64
+        assert arr.shape == (2, 2)
+
+    def test_as_2d_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            V.as_2d_float_array([1, 2, 3])
+
+    def test_as_2d_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            V.as_2d_float_array([[np.nan, 1.0]])
+
+    def test_as_1d_int_array(self):
+        arr = V.as_1d_int_array([1, 0, 1])
+        assert arr.dtype == np.int64
+
+    def test_as_1d_rejects_2d(self):
+        with pytest.raises(ValueError):
+            V.as_1d_int_array([[1], [0]])
+
+    def test_check_same_length(self):
+        V.check_same_length(np.zeros(3), np.zeros(3))
+        with pytest.raises(ValueError, match="matching"):
+            V.check_same_length(np.zeros(3), np.zeros(4))
