@@ -5,9 +5,11 @@ Examples::
     segugio demo --seed 7
     segugio experiment fig6 --scale small
     segugio experiment table1 --scale benchmark
-    segugio track --days 3
+    segugio track --days 3 --checkpoint /tmp/run.ckpt
+    segugio track --days 5 --resume /tmp/run.ckpt --checkpoint /tmp/run.ckpt
     segugio export-day /tmp/obs --day-offset 2
-    segugio classify-dir /tmp/obs
+    segugio health /tmp/obs
+    segugio classify-dir /tmp/obs --lenient
     segugio list
 """
 
@@ -148,14 +150,30 @@ def _run_track(args: argparse.Namespace) -> None:
     from repro.core.tracker import DomainTracker
 
     scenario = _scenario(args.scale, args.seed)
-    tracker = DomainTracker(fp_target=args.fp_target)
+    if args.resume:
+        tracker = DomainTracker.resume(args.resume)
+        print(
+            f"resumed from {args.resume}: "
+            f"{len(tracker.days_processed)} days already scored, "
+            f"{len(tracker)} domains tracked"
+        )
+    else:
+        tracker = DomainTracker(fp_target=args.fp_target)
+    last_done = tracker.days_processed[-1] if tracker.days_processed else None
     for offset in range(args.days):
-        context = scenario.context(args.isp, scenario.eval_day(offset))
+        day = scenario.eval_day(offset)
+        if last_done is not None and day <= last_done:
+            continue  # completed before the interruption; do not re-score
+        context = scenario.context(args.isp, day)
         report = tracker.process_day(context)
         print(report.summary())
         for entry in report.new_detections[:5]:
             truth = "MALWARE" if scenario.is_true_malware(entry.name) else "unknown"
             print(f"    new: {entry.name:<42s} [{truth}]")
+        if args.checkpoint:
+            tracker.save_checkpoint(args.checkpoint)
+    if args.checkpoint:
+        print(f"checkpoint written to {args.checkpoint}")
     confirmed = tracker.confirmations(scenario.commercial_blacklist, horizon=35)
     print(
         f"\ntracked {len(tracker)} domains; {len(confirmed)} later entered "
@@ -265,12 +283,31 @@ def _run_export_day(args: argparse.Namespace) -> None:
     )
 
 
+def _run_health(args: argparse.Namespace) -> None:
+    from repro.runtime.health import check_context
+    from repro.runtime.ingest import load_observation_checked
+
+    context, ingest = load_observation_checked(
+        args.directory, mode=args.mode, max_error_rate=args.max_error_rate
+    )
+    if ingest.n_quarantined:
+        print(ingest.summary())
+    report = check_context(context)
+    print(report.summary())
+    if not report.ok:
+        raise SystemExit(2)
+
+
 def _run_classify_dir(args: argparse.Namespace) -> None:
     from repro import Segugio
-    from repro.datasets.store import load_observation
     from repro.ml.metrics import threshold_for_fpr
+    from repro.runtime.ingest import load_observation_checked
 
-    context = load_observation(args.directory)
+    context, ingest = load_observation_checked(
+        args.directory, mode=args.mode, max_error_rate=args.max_error_rate
+    )
+    if ingest.n_quarantined:
+        print(ingest.summary())
     model = Segugio().fit(context)
     training = model.training_set_
     benign_scores = model.classifier_.predict_proba(training.X[training.y == 0])
@@ -281,8 +318,39 @@ def _run_classify_dir(args: argparse.Namespace) -> None:
         f"day {context.day}: {len(report)} unknown domains scored, "
         f"{len(detections)} detected at <= {args.fp_target:.2%} training FPs"
     )
+    if report.provenance:
+        print("degraded inputs: " + ", ".join(report.provenance))
     for name, score in detections[: args.top]:
         print(f"  {score:6.3f}  {name}")
+
+
+def _add_ingest_flags(parser: argparse.ArgumentParser) -> None:
+    """--strict/--lenient ingest mode plus the lenient error-rate cap."""
+    from repro.runtime.ingest import DEFAULT_MAX_ERROR_RATE
+
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--strict",
+        dest="mode",
+        action="store_const",
+        const="strict",
+        help="fail on the first malformed record (default)",
+    )
+    mode.add_argument(
+        "--lenient",
+        dest="mode",
+        action="store_const",
+        const="lenient",
+        help="quarantine malformed records up to --max-error-rate",
+    )
+    parser.set_defaults(mode="strict")
+    parser.add_argument(
+        "--max-error-rate",
+        type=float,
+        default=DEFAULT_MAX_ERROR_RATE,
+        help="lenient mode: malformed-record fraction above which the "
+        "load fails loudly",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -312,6 +380,17 @@ def build_parser() -> argparse.ArgumentParser:
     track.add_argument("--isp", default="isp1")
     track.add_argument("--days", type=int, default=3)
     track.add_argument("--fp-target", type=float, default=0.001)
+    track.add_argument(
+        "--checkpoint",
+        default=None,
+        help="write a checksummed checkpoint here after every day",
+    )
+    track.add_argument(
+        "--resume",
+        default=None,
+        help="resume a killed run from this checkpoint (already-scored "
+        "days are skipped; the ledger continues bit-identically)",
+    )
     track.set_defaults(func=_run_track)
 
     report = sub.add_parser(
@@ -370,7 +449,16 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument("directory")
     classify.add_argument("--fp-target", type=float, default=0.005)
     classify.add_argument("--top", type=int, default=15)
+    _add_ingest_flags(classify)
     classify.set_defaults(func=_run_classify_dir)
+
+    health = sub.add_parser(
+        "health",
+        help="pre-flight health checks on an exported observation day",
+    )
+    health.add_argument("directory")
+    _add_ingest_flags(health)
+    health.set_defaults(func=_run_health)
     return parser
 
 

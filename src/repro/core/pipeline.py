@@ -55,6 +55,36 @@ from repro.utils.timing import Stopwatch
 DEFAULT_PDNS_WINDOW_DAYS = 150  # ~ the paper's five months
 
 
+def context_degradations(
+    context: "ObservationContext", config: "SegugioConfig"
+) -> List[str]:
+    """Which feature groups will silently fall back on this context.
+
+    Each tag is ``<fault>:<consequence>`` — e.g. a dead pDNS collector
+    yields ``pdns_empty_window:f3_zero`` because the F3 IP-abuse features
+    measure zero for every domain.  The tags are recorded as provenance on
+    :class:`DetectionReport` (and, via the tracker, on ``DayReport``) so a
+    day scored under degraded inputs is distinguishable from a healthy one
+    after the fact.
+    """
+    tags: List[str] = []
+    day = context.day
+    pdns_start = max(day - config.pdns_window_days, 0)
+    pdns_days, _, _ = context.pdns.window_records(pdns_start, day - 1)
+    if pdns_days.size == 0:
+        tags.append("pdns_empty_window:f3_zero")
+    act_start = max(day - config.activity_window + 1, 0)
+    if not context.fqd_activity.days_with_activity(act_start, day):
+        tags.append("fqd_activity_empty:f2_zero")
+    if not context.e2ld_activity.days_with_activity(act_start, day):
+        tags.append("e2ld_activity_empty:f2_zero")
+    if not context.blacklist.domains(as_of_day=day):
+        tags.append("blacklist_empty:no_malware_labels")
+    if len(context.whitelist) == 0:
+        tags.append("whitelist_empty:no_benign_labels")
+    return tags
+
+
 @dataclass
 class ObservationContext:
     """One network, one observation day, and all side information."""
@@ -129,6 +159,10 @@ class DetectionReport:
     scores: np.ndarray
     graph: BehaviorGraph
     labels: GraphLabels
+    provenance: List[str] = field(default_factory=list)
+    """Degradation tags (see :func:`context_degradations`) recording which
+    feature groups fell back on the classified day — empty for a healthy
+    day."""
 
     def score_map(self) -> Dict[int, float]:
         return {int(d): float(s) for d, s in zip(self.domain_ids, self.scores)}
@@ -181,6 +215,10 @@ class Segugio:
         self.training_set_: Optional[TrainingSet] = None
         self.train_stats_: Dict[str, float] = {}
         self.timings_: Stopwatch = Stopwatch()
+        self.degradations_: List[str] = []
+        """Degradation tags observed on the *training* context (see
+        :func:`context_degradations`); empty when training inputs were
+        healthy."""
 
     # ------------------------------------------------------------------ #
     # shared graph preparation
@@ -262,6 +300,7 @@ class Segugio:
         so they neither enter the training set nor influence machine labels.
         """
         watch = self.timings_ = Stopwatch()
+        self.degradations_ = context_degradations(context, self.config)
         graph, labels, extractor, prune_stats = self.prepare_day(
             context, hide_domains=exclude_domains, watch=watch
         )
@@ -328,6 +367,7 @@ class Segugio:
             scores=scores,
             graph=graph,
             labels=labels,
+            provenance=context_degradations(context, self.config),
         )
 
     # ------------------------------------------------------------------ #

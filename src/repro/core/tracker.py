@@ -50,13 +50,23 @@ class DayReport:
     new_detections: List[TrackedDomain] = field(default_factory=list)
     repeat_detections: List[str] = field(default_factory=list)
     implicated_machines: List[str] = field(default_factory=list)
+    provenance: List[str] = field(default_factory=list)
+    """Health warnings and feature-group degradations in effect while this
+    day was scored (``pdns_empty_window:warning``, ...); empty for a
+    healthy day."""
 
     def summary(self) -> str:
+        degraded = (
+            f" [degraded: {', '.join(self.provenance)}]"
+            if self.provenance
+            else ""
+        )
         return (
             f"day {self.day}: scored {self.n_scored} unknown domains, "
             f"{len(self.new_detections)} new + "
             f"{len(self.repeat_detections)} repeat detections, "
             f"{len(self.implicated_machines)} machines implicated"
+            f"{degraded}"
         )
 
 
@@ -87,16 +97,30 @@ class DomainTracker:
         self.fp_target = fp_target
         self.tracked: Dict[str, TrackedDomain] = {}
         self.days_processed: List[int] = []
+        self.day_thresholds: Dict[int, float] = {}
 
     # ------------------------------------------------------------------ #
 
     def process_day(self, context: ObservationContext) -> DayReport:
-        """Train on *context*, detect, and fold results into the ledger."""
+        """Train on *context*, detect, and fold results into the ledger.
+
+        Pre-flight health warnings (stale blacklist, collector gaps,
+        degenerate graph) and feature-group degradations are recorded in
+        the returned report's ``provenance`` — the day still runs, but its
+        detections carry the record of what was known-degraded at the time.
+        """
         if self.days_processed and context.day <= self.days_processed[-1]:
             raise ValueError(
                 f"days must be processed in order; got {context.day} after "
                 f"{self.days_processed[-1]}"
             )
+        from repro.runtime.health import check_context
+
+        health = check_context(
+            context,
+            activity_window=self.config.activity_window,
+            pdns_window=self.config.pdns_window_days,
+        )
         model = Segugio(self.config)
         model.fit(context)
 
@@ -109,11 +133,13 @@ class DomainTracker:
         report = model.classify(context)
         detections = report.detections(threshold)
 
+        provenance = sorted(set(health.provenance()) | set(report.provenance))
         day_report = DayReport(
             day=context.day,
             threshold=threshold,
             n_scored=len(report),
             implicated_machines=report.infected_machines(threshold),
+            provenance=provenance,
         )
         for name, score in detections:
             entry = self.tracked.get(name)
@@ -130,6 +156,7 @@ class DomainTracker:
                 entry.update(context.day, score)
                 day_report.repeat_detections.append(name)
         self.days_processed.append(context.day)
+        self.day_thresholds[context.day] = threshold
         return day_report
 
     # ------------------------------------------------------------------ #
@@ -157,6 +184,81 @@ class DomainTracker:
                 )
             )
         return sorted(confirmed, key=lambda c: (c.detected_day, c.name))
+
+    # ------------------------------------------------------------------ #
+    # checkpoint / resume (see repro.runtime.checkpoint)
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot of the tracker's mutable state.
+
+        Captures everything :meth:`process_day` mutates — the ledger, the
+        processed-day cursor, and per-day thresholds — so that
+        ``from_state(state_dict())`` continues a run to a bit-identical
+        ledger.  The (immutable) config and fp_target are serialized by the
+        checkpoint layer alongside this state.
+        """
+        return {
+            "fp_target": self.fp_target,
+            "days_processed": list(self.days_processed),
+            "day_thresholds": {
+                str(day): threshold
+                for day, threshold in sorted(self.day_thresholds.items())
+            },
+            "tracked": [
+                {
+                    "name": entry.name,
+                    "first_detected_day": entry.first_detected_day,
+                    "last_detected_day": entry.last_detected_day,
+                    "sightings": entry.sightings,
+                    "best_score": entry.best_score,
+                }
+                for entry in sorted(
+                    self.tracked.values(), key=lambda e: e.name
+                )
+            ],
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        state: Dict[str, object],
+        config: Optional[SegugioConfig] = None,
+    ) -> "DomainTracker":
+        """Rebuild a tracker from :meth:`state_dict` output."""
+        tracker = cls(config=config, fp_target=float(state["fp_target"]))
+        tracker.days_processed = [int(d) for d in state["days_processed"]]
+        tracker.day_thresholds = {
+            int(day): float(threshold)
+            for day, threshold in state["day_thresholds"].items()
+        }
+        for row in state["tracked"]:
+            entry = TrackedDomain(
+                name=str(row["name"]),
+                first_detected_day=int(row["first_detected_day"]),
+                last_detected_day=int(row["last_detected_day"]),
+                sightings=int(row["sightings"]),
+                best_score=float(row["best_score"]),
+            )
+            tracker.tracked[entry.name] = entry
+        return tracker
+
+    def save_checkpoint(self, path: str) -> None:
+        """Write a checksummed checkpoint (atomic write-then-rename)."""
+        from repro.runtime.checkpoint import save_checkpoint
+
+        save_checkpoint(self, path)
+
+    @classmethod
+    def resume(cls, path: str) -> "DomainTracker":
+        """Load a checkpoint written by :meth:`save_checkpoint`.
+
+        Raises :class:`repro.utils.errors.CheckpointError` for corrupted,
+        truncated, or version-incompatible checkpoints.
+        """
+        from repro.runtime.checkpoint import resume_tracker
+
+        return resume_tracker(path)
 
     def persistent_domains(self, min_sightings: int = 2) -> List[TrackedDomain]:
         """Domains detected on several days (stable C&C, prime takedown

@@ -17,6 +17,14 @@ and scores of the context that was saved (asserted by the round-trip
 tests).  The activity and pDNS stores are windowed at save time to what
 the pipeline can ever read for this day (activity window + pDNS window),
 keeping exports compact.
+
+Saves are atomic: everything is staged into ``<directory>.tmp`` and swapped
+into place only once complete (see :func:`repro.runtime.retry
+.atomic_directory`), so a crash mid-save can never leave a torn directory
+behind.  Loading a directory written by a newer library raises
+:class:`FormatVersionError` naming both versions; the strict/lenient
+malformed-record handling lives one layer up in :mod:`repro.runtime.ingest`,
+which reuses the ``load_*`` helpers below.
 """
 
 from __future__ import annotations
@@ -36,9 +44,24 @@ from repro.dns.trace import DayTrace
 from repro.intel.blacklist import CncBlacklist
 from repro.intel.whitelist import DomainWhitelist
 from repro.pdns.database import PassiveDNSDatabase
+from repro.runtime.retry import atomic_directory
+from repro.utils.errors import FormatVersionError, IngestError
 from repro.utils.ids import Interner
 
 FORMAT_VERSION = 1
+
+OBSERVATION_FILES = (
+    "meta.json",
+    "domains.txt",
+    "machines.txt",
+    "trace.tsv",
+    "blacklist.tsv",
+    "whitelist.txt",
+    "pdns.npz",
+    "activity.npz",
+)
+
+_REQUIRED_META_KEYS = ("format_version", "day", "n_domains", "n_machines")
 
 
 def _activity_pairs(
@@ -64,13 +87,30 @@ def save_observation(
     activity_window: int = DEFAULT_ACTIVITY_WINDOW,
     pdns_window: int = DEFAULT_PDNS_WINDOW_DAYS,
 ) -> None:
-    """Write *context* to *directory* (created if missing).
+    """Write *context* to *directory* (replaced atomically if it exists).
 
     ``private_suffixes`` are the dynamic-DNS/free-hosting zones the PSL was
     augmented with; they are required to recompute e2LDs identically at
     load time.
+
+    The write is staged into ``<directory>.tmp`` and renamed into place
+    only once every file is complete, so readers never observe a
+    half-written observation and a crash mid-save leaves any previous
+    *directory* untouched.
     """
-    os.makedirs(directory, exist_ok=True)
+    with atomic_directory(directory) as staging:
+        _write_observation(
+            staging, context, private_suffixes, activity_window, pdns_window
+        )
+
+
+def _write_observation(
+    directory: str,
+    context: ObservationContext,
+    private_suffixes: Optional[List[str]],
+    activity_window: int,
+    pdns_window: int,
+) -> None:
     day = context.day
 
     with open(os.path.join(directory, "domains.txt"), "w") as stream:
@@ -126,23 +166,103 @@ def save_observation(
         json.dump(meta, stream, indent=2)
 
 
-def load_observation(directory: str) -> ObservationContext:
-    """Read a directory written by :func:`save_observation`."""
-    with open(os.path.join(directory, "meta.json")) as stream:
-        meta = json.load(stream)
+# ---------------------------------------------------------------------- #
+# loading — small composable pieces, reused by repro.runtime.ingest
+# ---------------------------------------------------------------------- #
+
+
+def load_meta(directory: str) -> dict:
+    """Read and validate ``meta.json``.
+
+    Raises :class:`FormatVersionError` (naming the found and supported
+    versions) on a version mismatch, and :class:`IngestError` on a missing
+    or structurally broken meta file.
+    """
+    path = os.path.join(directory, "meta.json")
+    if not os.path.exists(path):
+        raise IngestError(
+            f"{directory}: not an observation directory (no meta.json)"
+        )
+    try:
+        with open(path) as stream:
+            meta = json.load(stream)
+    except json.JSONDecodeError as error:
+        raise IngestError(f"{path}: meta.json is not valid JSON: {error}")
+    if not isinstance(meta, dict):
+        raise IngestError(f"{path}: meta.json must hold a JSON object")
     version = meta.get("format_version")
     if version != FORMAT_VERSION:
-        raise ValueError(f"unsupported dataset format version: {version}")
+        raise FormatVersionError(version, FORMAT_VERSION, what="observation")
+    missing = [key for key in _REQUIRED_META_KEYS if key not in meta]
+    if missing:
+        raise IngestError(f"{path}: meta.json is missing keys {missing}")
+    return meta
+
+
+def load_interner(path: str, expected: int, label: str) -> Interner:
+    """Read a positional-id name file, checking the count against meta."""
+    with open(path) as stream:
+        interner = Interner(
+            line.rstrip("\n") for line in stream if line.strip()
+        )
+    if len(interner) != expected:
+        raise IngestError(
+            f"{path}: {os.path.basename(path)} holds {len(interner)} "
+            f"{label} but meta.json promises {expected} — the export is "
+            f"torn or was edited"
+        )
+    return interner
+
+
+def load_pdns_arrays(directory: str) -> tuple:
+    """The raw (days, domain ids, ips) columns of ``pdns.npz``."""
+    with np.load(os.path.join(directory, "pdns.npz")) as payload:
+        return payload["days"], payload["domains"], payload["ips"]
+
+
+def build_pdns(
+    days: np.ndarray, domains: np.ndarray, ips: np.ndarray
+) -> PassiveDNSDatabase:
+    """Replay (day, domain, ip) columns into a fresh pDNS store."""
+    pdns = PassiveDNSDatabase()
+    for unique_day in np.unique(days):
+        mask = days == unique_day
+        pdns.observe_day(int(unique_day), domains[mask], ips[mask])
+    return pdns
+
+
+def load_activity_arrays(directory: str) -> tuple:
+    """The raw (fqd pairs, e2ld pairs) arrays of ``activity.npz``."""
+    with np.load(os.path.join(directory, "activity.npz")) as payload:
+        return payload["fqd"], payload["e2ld"]
+
+
+def build_activity_index(pairs: np.ndarray) -> ActivityIndex:
+    """Replay (day, key) rows into a fresh activity index."""
+    index = ActivityIndex()
+    for unique_day in np.unique(pairs[:, 0]) if pairs.size else []:
+        index.record(int(unique_day), pairs[pairs[:, 0] == unique_day, 1])
+    return index
+
+
+def load_observation(directory: str) -> ObservationContext:
+    """Read a directory written by :func:`save_observation` (strict mode).
+
+    Any malformed record raises a located error immediately; for
+    quarantine-and-continue loading use
+    :func:`repro.runtime.ingest.load_observation_checked`.
+    """
+    meta = load_meta(directory)
     day = int(meta["day"])
 
-    with open(os.path.join(directory, "domains.txt")) as stream:
-        domains = Interner(line.rstrip("\n") for line in stream if line.strip())
-    with open(os.path.join(directory, "machines.txt")) as stream:
-        machines = Interner(line.rstrip("\n") for line in stream if line.strip())
-    if len(domains) != meta["n_domains"]:
-        raise ValueError("domains.txt does not match meta.json")
-    if len(machines) != meta["n_machines"]:
-        raise ValueError("machines.txt does not match meta.json")
+    domains = load_interner(
+        os.path.join(directory, "domains.txt"), int(meta["n_domains"]), "domains"
+    )
+    machines = load_interner(
+        os.path.join(directory, "machines.txt"),
+        int(meta["n_machines"]),
+        "machines",
+    )
 
     trace = DayTrace.load(
         os.path.join(directory, "trace.tsv"), machines=machines, domains=domains
@@ -150,30 +270,17 @@ def load_observation(directory: str) -> ObservationContext:
     blacklist = CncBlacklist.load(os.path.join(directory, "blacklist.tsv"))
 
     psl = PublicSuffixList()
-    psl.add_private_suffixes(meta["private_suffixes"])
+    psl.add_private_suffixes(meta.get("private_suffixes", []))
     whitelist = DomainWhitelist.load(
         os.path.join(directory, "whitelist.txt"), psl=psl
     )
     e2ld_index = E2ldIndex(domains, psl)
 
-    pdns = PassiveDNSDatabase()
-    with np.load(os.path.join(directory, "pdns.npz")) as payload:
-        days = payload["days"]
-        dom = payload["domains"]
-        ips = payload["ips"]
-    for unique_day in np.unique(days):
-        mask = days == unique_day
-        pdns.observe_day(int(unique_day), dom[mask], ips[mask])
+    pdns = build_pdns(*load_pdns_arrays(directory))
 
-    fqd_activity = ActivityIndex()
-    e2ld_activity = ActivityIndex()
-    with np.load(os.path.join(directory, "activity.npz")) as payload:
-        for target, key in ((fqd_activity, "fqd"), (e2ld_activity, "e2ld")):
-            pairs = payload[key]
-            for unique_day in np.unique(pairs[:, 0]) if pairs.size else []:
-                target.record(
-                    int(unique_day), pairs[pairs[:, 0] == unique_day, 1]
-                )
+    fqd_pairs, e2ld_pairs = load_activity_arrays(directory)
+    fqd_activity = build_activity_index(fqd_pairs)
+    e2ld_activity = build_activity_index(e2ld_pairs)
 
     return ObservationContext(
         day=day,

@@ -18,7 +18,7 @@ its own id space).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Optional
 
 
 class ActivityIndex:
@@ -73,6 +73,28 @@ class ActivityIndex:
             streak += 1
             day -= 1
         return streak
+
+    def days_with_activity(self, start_day: int, end_day: int) -> List[int]:
+        """Days in ``[start_day, end_day]`` on which *any* key was active.
+
+        One pass OR-combines all per-key masks, so the cost is O(keys)
+        regardless of window width — cheap enough for per-day health checks
+        even at ISP scale.  Used to detect collector gaps: a day inside the
+        feature window with no activity at all means the index is missing
+        data, not that every domain went quiet.
+        """
+        if start_day < 0:
+            start_day = 0
+        if end_day < start_day:
+            return []
+        combined = 0
+        for mask in self._masks.values():
+            combined |= mask
+        return [
+            day
+            for day in range(start_day, end_day + 1)
+            if (combined >> day) & 1
+        ]
 
     def __len__(self) -> int:
         return len(self._masks)

@@ -16,12 +16,55 @@ database reference domains across days without string comparisons.
 from __future__ import annotations
 
 import io
-from typing import Dict, Iterable, Optional, TextIO, Tuple, Union
+from typing import Dict, Iterable, List, Optional, TextIO, Tuple, Union
 
 import numpy as np
 
 from repro.dns.records import AResponse, format_ipv4, parse_ipv4
+from repro.utils.errors import FeedFormatError
 from repro.utils.ids import Interner
+
+
+def parse_trace_line(
+    line: str, *, source: str = "trace", lineno: int = 0
+) -> Tuple[str, str, List[int]]:
+    """Parse one ``machine\\tdomain\\tip1,ip2`` record, or raise a located error.
+
+    Every malformed shape — wrong column count, empty machine/domain field,
+    invalid IPv4 — raises :class:`FeedFormatError` carrying *source* and the
+    1-based *lineno*, so a truncated ``trace.tsv`` names the exact record at
+    fault instead of surfacing as a bare unpack/int error.
+    """
+    parts = line.split("\t")
+    if len(parts) != 3:
+        raise FeedFormatError(
+            f"expected 3 tab-separated fields "
+            f"(machine, domain, ips), got {len(parts)}",
+            source=source,
+            line=lineno,
+            category="bad_columns",
+        )
+    machine, domain, ips_text = parts
+    if not machine or not domain:
+        raise FeedFormatError(
+            "machine and domain fields must be non-empty",
+            source=source,
+            line=lineno,
+            category="empty_field",
+        )
+    ips: List[int] = []
+    if ips_text:
+        for token in ips_text.split(","):
+            try:
+                ips.append(parse_ipv4(token))
+            except ValueError:
+                raise FeedFormatError(
+                    f"invalid IPv4 address {token!r}",
+                    source=source,
+                    line=lineno,
+                    category="bad_ipv4",
+                ) from None
+    return machine, domain, ips
 
 
 class DayTrace:
@@ -144,33 +187,58 @@ class DayTrace:
         machines: Optional[Interner] = None,
         domains: Optional[Interner] = None,
     ) -> "DayTrace":
-        """Read a trace previously written by :meth:`save`."""
+        """Read a trace previously written by :meth:`save`.
+
+        Malformed records — wrong column counts, non-numeric day headers,
+        invalid IPv4 strings — raise :class:`FeedFormatError` naming the
+        file and 1-based line number of the offending record.
+        """
         own = isinstance(stream_or_path, str)
         stream = open(stream_or_path) if own else stream_or_path
+        source = (
+            stream_or_path
+            if own
+            else getattr(stream, "name", "<trace stream>")
+        )
         machines = machines if machines is not None else Interner()
         domains = domains if domains is not None else Interner()
         try:
             day = 0
             edge_m, edge_d = [], []
             resolutions: Dict[int, set] = {}
-            for line in stream:
+            for lineno, line in enumerate(stream, start=1):
                 line = line.rstrip("\n")
                 if not line:
                     continue
                 if line.startswith("#"):
                     parts = line[1:].split()
                     if len(parts) == 2 and parts[0] == "day":
-                        day = int(parts[1])
+                        try:
+                            day = int(parts[1])
+                        except ValueError:
+                            raise FeedFormatError(
+                                f"non-numeric day header {parts[1]!r}",
+                                source=source,
+                                line=lineno,
+                                category="bad_day",
+                            ) from None
+                        if day < 0:
+                            raise FeedFormatError(
+                                f"day header must be non-negative, got {day}",
+                                source=source,
+                                line=lineno,
+                                category="bad_day",
+                            )
                     continue
-                machine, domain, ips_text = line.split("\t")
+                machine, domain, ips = parse_trace_line(
+                    line, source=source, lineno=lineno
+                )
                 mid = machines.intern(machine)
                 did = domains.intern(domain)
                 edge_m.append(mid)
                 edge_d.append(did)
-                if ips_text:
-                    resolutions.setdefault(did, set()).update(
-                        parse_ipv4(ip) for ip in ips_text.split(",")
-                    )
+                if ips:
+                    resolutions.setdefault(did, set()).update(ips)
             packed = {
                 did: np.array(sorted(ips), dtype=np.uint32)
                 for did, ips in resolutions.items()

@@ -17,6 +17,52 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Set, TextIO, Union
 
 from repro.dns.names import normalize_domain
+from repro.utils.errors import FeedFormatError
+
+
+def parse_blacklist_line(
+    line: str, *, source: str = "blacklist", lineno: int = 0
+) -> "tuple[str, int, Optional[str]]":
+    """Parse one ``domain\\tadded_day\\tfamily`` record, or raise located.
+
+    Raises :class:`FeedFormatError` naming *source* and the 1-based
+    *lineno* for wrong column counts, empty domains, and non-numeric or
+    negative addition days.
+    """
+    parts = line.split("\t")
+    if len(parts) != 3:
+        raise FeedFormatError(
+            f"expected 3 tab-separated fields "
+            f"(domain, added_day, family), got {len(parts)}",
+            source=source,
+            line=lineno,
+            category="bad_columns",
+        )
+    domain, added_text, family = parts
+    if not domain:
+        raise FeedFormatError(
+            "domain field must be non-empty",
+            source=source,
+            line=lineno,
+            category="empty_field",
+        )
+    try:
+        added_day = int(added_text)
+    except ValueError:
+        raise FeedFormatError(
+            f"non-numeric added_day {added_text!r}",
+            source=source,
+            line=lineno,
+            category="bad_day",
+        ) from None
+    if added_day < 0:
+        raise FeedFormatError(
+            f"added_day must be non-negative, got {added_day}",
+            source=source,
+            line=lineno,
+            category="bad_day",
+        )
+    return domain, added_day, family or None
 
 
 @dataclass(frozen=True)
@@ -157,16 +203,28 @@ class CncBlacklist:
     def load(
         cls, stream_or_path: Union[str, TextIO], name: str = "blacklist"
     ) -> "CncBlacklist":
+        """Read a TSV feed; blank lines and ``#`` comments are skipped.
+
+        Malformed records raise :class:`FeedFormatError` naming the file and
+        1-based line number, never a bare unpack or ``int()`` error.
+        """
         own = isinstance(stream_or_path, str)
         stream = open(stream_or_path) if own else stream_or_path
+        source = (
+            stream_or_path
+            if own
+            else getattr(stream, "name", "<blacklist stream>")
+        )
         blacklist = cls(name)
         try:
-            for line in stream:
+            for lineno, line in enumerate(stream, start=1):
                 line = line.rstrip("\n")
-                if not line or line.startswith("#"):
+                if not line.strip() or line.startswith("#"):
                     continue
-                domain, added_day, family = line.split("\t")
-                blacklist.add(domain, int(added_day), family or None)
+                domain, added_day, family = parse_blacklist_line(
+                    line, source=source, lineno=lineno
+                )
+                blacklist.add(domain, added_day, family)
             return blacklist
         finally:
             if own:

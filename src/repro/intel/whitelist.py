@@ -20,6 +20,32 @@ from typing import Dict, Iterable, Iterator, Optional, Set, TextIO, Union
 
 from repro.dns.names import normalize_domain
 from repro.dns.publicsuffix import PublicSuffixList
+from repro.utils.errors import FeedFormatError
+
+
+def parse_whitelist_line(
+    line: str, *, source: str = "whitelist", lineno: int = 0
+) -> str:
+    """Parse one e2LD line, or raise a located :class:`FeedFormatError`.
+
+    A valid line is a single domain token; embedded whitespace or tabs
+    (the signature of a truncated or mis-delimited file) and empty domain
+    names raise with the file name and 1-based line number.
+    """
+    token = line.strip()
+    if len(token.split()) != 1 or "\t" in token:
+        raise FeedFormatError(
+            f"expected a single domain per line, got {line!r}",
+            source=source,
+            line=lineno,
+            category="bad_columns",
+        )
+    try:
+        return normalize_domain(token)
+    except ValueError as error:
+        raise FeedFormatError(
+            str(error), source=source, line=lineno, category="bad_domain"
+        ) from None
 
 
 class RankingArchive:
@@ -146,14 +172,26 @@ class DomainWhitelist:
         psl: Optional[PublicSuffixList] = None,
         name: str = "whitelist",
     ) -> "DomainWhitelist":
+        """Read one e2LD per line; blanks and ``#`` comments are skipped.
+
+        Malformed lines raise :class:`FeedFormatError` naming the file and
+        1-based line number.
+        """
         own = isinstance(stream_or_path, str)
         stream = open(stream_or_path) if own else stream_or_path
+        source = (
+            stream_or_path
+            if own
+            else getattr(stream, "name", "<whitelist stream>")
+        )
         try:
-            e2lds = [
-                line.strip()
-                for line in stream
-                if line.strip() and not line.startswith("#")
-            ]
+            e2lds = []
+            for lineno, line in enumerate(stream, start=1):
+                if not line.strip() or line.lstrip().startswith("#"):
+                    continue
+                e2lds.append(
+                    parse_whitelist_line(line, source=source, lineno=lineno)
+                )
             return cls(e2lds, psl=psl, name=name)
         finally:
             if own:

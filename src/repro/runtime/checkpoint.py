@@ -1,0 +1,162 @@
+"""Checksummed checkpoint/resume for multi-week tracking runs.
+
+A :class:`~repro.core.tracker.DomainTracker` deployment runs for weeks; a
+crash halfway must not force re-scoring completed days (each day is a full
+train+classify cycle), nor may it silently resume from a half-written or
+bit-rotted file.  A checkpoint therefore:
+
+* persists the full mutable state (ledger, day cursor, per-day thresholds)
+  *and* the :class:`~repro.core.pipeline.SegugioConfig`, so the resumed run
+  reproduces the original bit-for-bit;
+* is written atomically (staged then renamed, never torn);
+* carries a SHA-256 of its payload in a one-line header, so corruption —
+  truncation, a flipped byte, a partial rsync — is *refused* with an
+  actionable :class:`CheckpointError` instead of resuming a wrong ledger.
+
+Format: a single text file whose first line is
+``segugio-checkpoint v<N> sha256=<hex>`` and whose remainder is canonical
+(sorted-keys) JSON.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import Optional
+
+from repro.core.pipeline import SegugioConfig
+from repro.core.pruning import PruneConfig
+from repro.runtime.retry import atomic_file
+from repro.utils.errors import CheckpointError
+
+CHECKPOINT_VERSION = 1
+_HEADER_PREFIX = "segugio-checkpoint"
+
+
+def config_to_dict(config: SegugioConfig) -> dict:
+    """JSON-serializable form of a :class:`SegugioConfig`."""
+    payload = dataclasses.asdict(config)
+    if payload.get("feature_columns") is not None:
+        payload["feature_columns"] = list(payload["feature_columns"])
+    return payload
+
+
+def config_from_dict(payload: dict) -> SegugioConfig:
+    """Rebuild a :class:`SegugioConfig` from :func:`config_to_dict`."""
+    payload = dict(payload)
+    prune = payload.get("prune")
+    if isinstance(prune, dict):
+        payload["prune"] = PruneConfig(**prune)
+    if payload.get("feature_columns") is not None:
+        payload["feature_columns"] = tuple(payload["feature_columns"])
+    try:
+        return SegugioConfig(**payload)
+    except TypeError as error:
+        raise CheckpointError(
+            f"checkpoint config does not match this library's "
+            f"SegugioConfig ({error}); the checkpoint was written by an "
+            f"incompatible version"
+        ) from None
+
+
+def _digest(body: str) -> str:
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+def save_checkpoint(tracker, path: str) -> None:
+    """Atomically write *tracker* (a :class:`DomainTracker`) to *path*."""
+    payload = {
+        "checkpoint_version": CHECKPOINT_VERSION,
+        "config": config_to_dict(tracker.config),
+        "state": tracker.state_dict(),
+    }
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    header = f"{_HEADER_PREFIX} v{CHECKPOINT_VERSION} sha256={_digest(body)}"
+    with atomic_file(path) as staging:
+        with open(staging, "w") as stream:
+            stream.write(header + "\n" + body + "\n")
+
+
+def load_checkpoint(path: str) -> dict:
+    """Read and verify a checkpoint; returns the decoded payload.
+
+    Raises :class:`CheckpointError` — never a bare parse error — for every
+    corruption mode: missing file, foreign format, unsupported version,
+    checksum mismatch (truncation or bit-rot), undecodable body.
+    """
+    if not os.path.exists(path):
+        raise CheckpointError(f"{path}: checkpoint file does not exist")
+    # Read as bytes: a flipped bit can make the file invalid UTF-8, and
+    # that too must surface as a CheckpointError, not a codec error.
+    with open(path, "rb") as stream:
+        head, _, body_bytes = stream.read().partition(b"\n")
+    body_bytes = body_bytes.rstrip(b"\n")
+    try:
+        header = head.decode("utf-8")
+    except UnicodeDecodeError:
+        raise CheckpointError(
+            f"{path}: not a segugio checkpoint (undecodable header)"
+        ) from None
+    parts = header.split()
+    if len(parts) != 3 or parts[0] != _HEADER_PREFIX:
+        raise CheckpointError(
+            f"{path}: not a segugio checkpoint (bad header {header[:60]!r})"
+        )
+    version_text, checksum_text = parts[1], parts[2]
+    if not version_text.startswith("v") or not checksum_text.startswith(
+        "sha256="
+    ):
+        raise CheckpointError(
+            f"{path}: malformed checkpoint header {header[:60]!r}"
+        )
+    try:
+        version = int(version_text[1:])
+    except ValueError:
+        raise CheckpointError(
+            f"{path}: non-numeric checkpoint version {version_text!r}"
+        ) from None
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{path}: checkpoint version {version} is not supported by "
+            f"this library (supports version {CHECKPOINT_VERSION}); "
+            f"re-run the original tracking job or upgrade the library"
+        )
+    expected = checksum_text[len("sha256="):]
+    actual = hashlib.sha256(body_bytes).hexdigest()
+    if actual != expected:
+        raise CheckpointError(
+            f"{path}: checksum mismatch (header says {expected[:12]}..., "
+            f"body hashes to {actual[:12]}...) — the file is truncated or "
+            f"corrupted; restore it from a good copy or restart the "
+            f"tracking run from scratch"
+        )
+    try:
+        payload = json.loads(body_bytes.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise CheckpointError(
+            f"{path}: checkpoint body is not valid JSON ({error})"
+        ) from None
+    for key in ("checkpoint_version", "config", "state"):
+        if key not in payload:
+            raise CheckpointError(
+                f"{path}: checkpoint payload is missing {key!r}"
+            )
+    return payload
+
+
+def resume_tracker(path: str, config: Optional[SegugioConfig] = None):
+    """Rebuild the :class:`DomainTracker` stored at *path*.
+
+    The persisted config is used unless *config* overrides it (overriding
+    forfeits the bit-identical-resume guarantee and is for experiments
+    only).
+    """
+    from repro.core.tracker import DomainTracker
+
+    payload = load_checkpoint(path)
+    resolved = (
+        config if config is not None else config_from_dict(payload["config"])
+    )
+    return DomainTracker.from_state(payload["state"], config=resolved)

@@ -1,0 +1,450 @@
+"""Strict/lenient observation loading with quarantine accounting.
+
+Real intelligence feeds and collector outputs are routinely stale, partial,
+and malformed.  This module loads an observation directory (the layout of
+:mod:`repro.datasets.store`) in one of two modes:
+
+* ``strict`` — the first malformed record raises a located error
+  (:class:`FeedFormatError` with file and 1-based line number, or
+  :class:`IngestError` for structural faults).  This is the right mode for
+  round-trip pipelines where any fault means a bug.
+* ``lenient`` — malformed records are *quarantined*: dropped from the
+  loaded context and tallied per category (``trace:bad_ipv4``,
+  ``pdns:id_range``, ...) in an :class:`IngestReport`, with the first few
+  offenders kept verbatim for the post-mortem.  If the overall malformed
+  fraction exceeds ``max_error_rate`` the load fails loudly instead — a
+  feed that is 30% garbage is a dead feed, not a noisy one.
+
+Structural faults abort in *both* modes: a missing file, a torn positional
+interner (``domains.txt`` disagreeing with ``meta.json``), or a trace whose
+day header contradicts the metadata would silently shift every id or
+feature window — exactly the "silent wrong answer" this layer exists to
+prevent.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.pipeline import ObservationContext
+from repro.datasets import store
+from repro.dns.activity import ActivityIndex
+from repro.dns.e2ld import E2ldIndex
+from repro.dns.publicsuffix import PublicSuffixList
+from repro.dns.trace import DayTrace, parse_trace_line
+from repro.intel.blacklist import CncBlacklist, parse_blacklist_line
+from repro.intel.whitelist import DomainWhitelist, parse_whitelist_line
+from repro.utils.errors import FeedFormatError, IngestError
+
+DEFAULT_MAX_ERROR_RATE = 0.05
+MAX_QUARANTINE_SAMPLES = 25
+
+
+@dataclass(frozen=True)
+class QuarantinedRecord:
+    """One malformed record set aside by a lenient load."""
+
+    source: str
+    line: int  # 1-based; 0 for array-valued (npz) records
+    category: str
+    detail: str
+
+
+@dataclass
+class IngestReport:
+    """Accounting for one observation load: what was kept, what was not.
+
+    ``counters`` maps quarantine categories (``trace:bad_ipv4``, ...) to
+    how many records each absorbed; ``quarantined`` keeps the first
+    :data:`MAX_QUARANTINE_SAMPLES` offenders verbatim so the operator can
+    see *which* lines were bad, not just how many.
+    """
+
+    source: str
+    mode: str = "strict"
+    n_ok: int = 0
+    counters: Dict[str, int] = field(default_factory=dict)
+    quarantined: List[QuarantinedRecord] = field(default_factory=list)
+
+    @property
+    def n_quarantined(self) -> int:
+        return sum(self.counters.values())
+
+    @property
+    def n_seen(self) -> int:
+        return self.n_ok + self.n_quarantined
+
+    @property
+    def error_rate(self) -> float:
+        seen = self.n_seen
+        return self.n_quarantined / seen if seen else 0.0
+
+    def keep(self, n: int = 1) -> None:
+        self.n_ok += n
+
+    def quarantine(
+        self, source: str, line: int, category: str, detail: str
+    ) -> None:
+        self.counters[category] = self.counters.get(category, 0) + 1
+        if len(self.quarantined) < MAX_QUARANTINE_SAMPLES:
+            self.quarantined.append(
+                QuarantinedRecord(source, line, category, detail)
+            )
+
+    def summary(self) -> str:
+        lines = [
+            f"ingest of {self.source} ({self.mode}): "
+            f"{self.n_ok} records kept, {self.n_quarantined} quarantined "
+            f"({self.error_rate:.2%})"
+        ]
+        for category in sorted(self.counters):
+            lines.append(f"  {category}: {self.counters[category]}")
+        for record in self.quarantined[:5]:
+            location = (
+                f"{record.source}:{record.line}"
+                if record.line
+                else record.source
+            )
+            lines.append(f"    e.g. {location}: {record.detail}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# lenient feed/trace loaders
+# ---------------------------------------------------------------------- #
+
+
+def load_trace_lenient(
+    path: str,
+    report: IngestReport,
+    machines=None,
+    domains=None,
+) -> DayTrace:
+    """Line-by-line :meth:`DayTrace.load` that quarantines bad records."""
+    from repro.utils.ids import Interner
+
+    machines = machines if machines is not None else Interner()
+    domains = domains if domains is not None else Interner()
+    day = 0
+    edge_m: List[int] = []
+    edge_d: List[int] = []
+    resolutions: Dict[int, set] = {}
+    with open(path) as stream:
+        for lineno, line in enumerate(stream, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split()
+                if len(parts) == 2 and parts[0] == "day":
+                    try:
+                        candidate = int(parts[1])
+                    except ValueError:
+                        report.quarantine(
+                            path, lineno, "trace:bad_day",
+                            f"non-numeric day header {parts[1]!r}",
+                        )
+                        continue
+                    if candidate < 0:
+                        report.quarantine(
+                            path, lineno, "trace:bad_day",
+                            f"negative day header {candidate}",
+                        )
+                        continue
+                    day = candidate
+                continue
+            try:
+                machine, domain, ips = parse_trace_line(
+                    line, source=path, lineno=lineno
+                )
+            except FeedFormatError as error:
+                report.quarantine(
+                    path, lineno, f"trace:{error.category}", error.detail
+                )
+                continue
+            mid = machines.intern(machine)
+            did = domains.intern(domain)
+            edge_m.append(mid)
+            edge_d.append(did)
+            if ips:
+                resolutions.setdefault(did, set()).update(ips)
+            report.keep()
+    packed = {
+        did: np.array(sorted(ips), dtype=np.uint32)
+        for did, ips in resolutions.items()
+    }
+    return DayTrace.build(day, machines, domains, edge_m, edge_d, packed)
+
+
+def load_blacklist_lenient(
+    path: str, report: IngestReport, name: str = "blacklist"
+) -> CncBlacklist:
+    """Line-by-line :meth:`CncBlacklist.load` that quarantines bad records."""
+    blacklist = CncBlacklist(name)
+    with open(path) as stream:
+        for lineno, line in enumerate(stream, start=1):
+            line = line.rstrip("\n")
+            if not line.strip() or line.startswith("#"):
+                continue
+            try:
+                domain, added_day, family = parse_blacklist_line(
+                    line, source=path, lineno=lineno
+                )
+            except FeedFormatError as error:
+                report.quarantine(
+                    path, lineno, f"blacklist:{error.category}", error.detail
+                )
+                continue
+            blacklist.add(domain, added_day, family)
+            report.keep()
+    return blacklist
+
+
+def load_whitelist_lenient(
+    path: str,
+    report: IngestReport,
+    psl: Optional[PublicSuffixList] = None,
+    name: str = "whitelist",
+) -> DomainWhitelist:
+    """Line-by-line :meth:`DomainWhitelist.load` that quarantines bad
+    records."""
+    e2lds: List[str] = []
+    with open(path) as stream:
+        for lineno, line in enumerate(stream, start=1):
+            if not line.strip() or line.lstrip().startswith("#"):
+                continue
+            try:
+                e2lds.append(
+                    parse_whitelist_line(line, source=path, lineno=lineno)
+                )
+            except FeedFormatError as error:
+                report.quarantine(
+                    path, lineno, f"whitelist:{error.category}", error.detail
+                )
+                continue
+            report.keep()
+    return DomainWhitelist(e2lds, psl=psl, name=name)
+
+
+# ---------------------------------------------------------------------- #
+# id-range screening for the binary (npz) payloads
+# ---------------------------------------------------------------------- #
+
+
+def _screen_pdns(
+    days: np.ndarray,
+    domains: np.ndarray,
+    ips: np.ndarray,
+    n_domains: int,
+    observation_day: int,
+    strict: bool,
+    report: IngestReport,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    bad_id = (domains < 0) | (domains >= n_domains)
+    bad_day = (days < 0) | (days > observation_day)
+    if strict:
+        if bad_id.any():
+            offender = int(domains[bad_id][0])
+            raise IngestError(
+                f"{report.source}/pdns.npz: domain id {offender} outside "
+                f"[0, {n_domains}) — the export is torn or ids were remapped"
+            )
+        if bad_day.any():
+            offender = int(days[bad_day][0])
+            raise IngestError(
+                f"{report.source}/pdns.npz: day {offender} outside "
+                f"[0, {observation_day}] for an observation of day "
+                f"{observation_day}"
+            )
+    else:
+        n_bad_id = int(bad_id.sum())
+        n_bad_day = int(bad_day[~bad_id].sum())
+        if n_bad_id:
+            report.counters["pdns:id_range"] = (
+                report.counters.get("pdns:id_range", 0) + n_bad_id
+            )
+            if len(report.quarantined) < MAX_QUARANTINE_SAMPLES:
+                report.quarantined.append(
+                    QuarantinedRecord(
+                        f"{report.source}/pdns.npz",
+                        0,
+                        "pdns:id_range",
+                        f"{n_bad_id} rows with domain ids outside "
+                        f"[0, {n_domains})",
+                    )
+                )
+        if n_bad_day:
+            report.counters["pdns:bad_day"] = (
+                report.counters.get("pdns:bad_day", 0) + n_bad_day
+            )
+    keep = ~(bad_id | bad_day)
+    report.keep(int(keep.sum()))
+    return days[keep], domains[keep], ips[keep]
+
+
+def _screen_activity(
+    pairs: np.ndarray,
+    n_keys: int,
+    observation_day: int,
+    label: str,
+    strict: bool,
+    report: IngestReport,
+) -> np.ndarray:
+    if pairs.size == 0:
+        return pairs
+    days = pairs[:, 0]
+    keys = pairs[:, 1]
+    bad_key = (keys < 0) | (keys >= n_keys)
+    bad_day = (days < 0) | (days > observation_day)
+    if strict:
+        if bad_key.any():
+            offender = int(keys[bad_key][0])
+            raise IngestError(
+                f"{report.source}/activity.npz[{label}]: key {offender} "
+                f"outside [0, {n_keys}) — the export is torn or ids were "
+                f"remapped"
+            )
+        if bad_day.any():
+            offender = int(days[bad_day][0])
+            raise IngestError(
+                f"{report.source}/activity.npz[{label}]: day {offender} "
+                f"outside [0, {observation_day}]"
+            )
+    else:
+        n_bad = int((bad_key | bad_day).sum())
+        if n_bad:
+            report.counters[f"activity:{label}:id_range"] = (
+                report.counters.get(f"activity:{label}:id_range", 0) + n_bad
+            )
+    keep = ~(bad_key | bad_day)
+    report.keep(int(keep.sum()))
+    return pairs[keep]
+
+
+# ---------------------------------------------------------------------- #
+# the checked directory load
+# ---------------------------------------------------------------------- #
+
+
+def load_observation_checked(
+    directory: str,
+    mode: str = "strict",
+    max_error_rate: float = DEFAULT_MAX_ERROR_RATE,
+) -> Tuple[ObservationContext, IngestReport]:
+    """Load an observation directory with explicit fault accounting.
+
+    Returns ``(context, report)``.  In ``strict`` mode any malformed record
+    raises immediately; in ``lenient`` mode malformed records are
+    quarantined into the report, and an :class:`IngestError` is raised only
+    when the malformed fraction exceeds *max_error_rate* or a structural
+    fault (missing file, torn interner, day mismatch) makes the directory
+    unloadable without silent corruption.
+    """
+    if mode not in ("strict", "lenient"):
+        raise ValueError(f"mode must be 'strict' or 'lenient', got {mode!r}")
+    if not 0 <= max_error_rate < 1:
+        raise ValueError(
+            f"max_error_rate must be in [0, 1), got {max_error_rate}"
+        )
+    strict = mode == "strict"
+    report = IngestReport(source=directory, mode=mode)
+
+    missing = [
+        name
+        for name in store.OBSERVATION_FILES
+        if not os.path.exists(os.path.join(directory, name))
+    ]
+    if missing:
+        raise IngestError(
+            f"{directory}: missing observation files {missing} — "
+            f"the directory is torn or is not a Segugio export"
+        )
+
+    meta = store.load_meta(directory)
+    day = int(meta["day"])
+    n_domains = int(meta["n_domains"])
+    n_machines = int(meta["n_machines"])
+
+    # Positional interners: a count mismatch shifts every id, so this
+    # aborts in both modes.
+    domains = store.load_interner(
+        os.path.join(directory, "domains.txt"), n_domains, "domains"
+    )
+    machines = store.load_interner(
+        os.path.join(directory, "machines.txt"), n_machines, "machines"
+    )
+    report.keep(n_domains + n_machines)
+
+    trace_path = os.path.join(directory, "trace.tsv")
+    if strict:
+        trace = DayTrace.load(trace_path, machines=machines, domains=domains)
+        report.keep(trace.n_edges)
+    else:
+        trace = load_trace_lenient(
+            trace_path, report, machines=machines, domains=domains
+        )
+    if trace.day != day:
+        raise IngestError(
+            f"{trace_path}: trace is for day {trace.day} but meta.json "
+            f"says day {day} — wrong file in the directory"
+        )
+    if len(domains) != n_domains or len(machines) != n_machines:
+        raise IngestError(
+            f"{trace_path}: trace references "
+            f"{len(domains) - n_domains} domains / "
+            f"{len(machines) - n_machines} machines beyond the positional "
+            f"interners — the export is torn"
+        )
+
+    blacklist_path = os.path.join(directory, "blacklist.tsv")
+    whitelist_path = os.path.join(directory, "whitelist.txt")
+    psl = PublicSuffixList()
+    psl.add_private_suffixes(meta.get("private_suffixes", []))
+    if strict:
+        blacklist = CncBlacklist.load(blacklist_path)
+        whitelist = DomainWhitelist.load(whitelist_path, psl=psl)
+        report.keep(len(blacklist) + len(whitelist))
+    else:
+        blacklist = load_blacklist_lenient(blacklist_path, report)
+        whitelist = load_whitelist_lenient(whitelist_path, report, psl=psl)
+    e2ld_index = E2ldIndex(domains, psl)
+
+    days, dom, ips = store.load_pdns_arrays(directory)
+    days, dom, ips = _screen_pdns(
+        days, dom, ips, n_domains, day, strict, report
+    )
+    pdns = store.build_pdns(days, dom, ips)
+
+    fqd_pairs, e2ld_pairs = store.load_activity_arrays(directory)
+    fqd_pairs = _screen_activity(
+        fqd_pairs, n_domains, day, "fqd", strict, report
+    )
+    e2ld_pairs = _screen_activity(
+        e2ld_pairs, len(e2ld_index), day, "e2ld", strict, report
+    )
+    fqd_activity = store.build_activity_index(fqd_pairs)
+    e2ld_activity = store.build_activity_index(e2ld_pairs)
+
+    if report.error_rate > max_error_rate:
+        raise IngestError(
+            f"{directory}: {report.n_quarantined} of {report.n_seen} "
+            f"records malformed ({report.error_rate:.2%}), above the "
+            f"{max_error_rate:.2%} cap — refusing to train on a gutted "
+            f"observation; breakdown: {dict(sorted(report.counters.items()))}"
+        )
+
+    context = ObservationContext(
+        day=day,
+        trace=trace,
+        fqd_activity=fqd_activity,
+        e2ld_activity=e2ld_activity,
+        e2ld_index=e2ld_index,
+        pdns=pdns,
+        blacklist=blacklist,
+        whitelist=whitelist,
+    )
+    return context, report

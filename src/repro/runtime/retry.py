@@ -1,0 +1,129 @@
+"""Deterministic retries and atomic filesystem writes.
+
+Two failure classes dominate a long-running ISP deployment:
+
+* *transient* I/O errors — a feed fetch hitting a flaky NFS mount, a
+  collector file still being rotated — which deserve a bounded, reproducible
+  retry schedule rather than an immediate abort, and
+* *torn writes* — a crash halfway through ``save_observation`` leaving a
+  directory that parses but lies — which atomic write-temp-then-rename
+  staging makes structurally impossible.
+
+The backoff here is deliberately deterministic (no jitter): two runs of the
+same pipeline see the same schedule, which keeps failure-injection tests and
+post-mortems reproducible.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import shutil
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator, List, Optional, Tuple, Type
+
+
+def backoff_schedule(
+    attempts: int, base_delay: float, multiplier: float
+) -> List[float]:
+    """The exact sleep (seconds) before each retry: ``base * multiplier**k``.
+
+    Length is ``attempts - 1`` — there is no sleep after the final attempt.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    if base_delay < 0:
+        raise ValueError(f"base_delay must be non-negative, got {base_delay}")
+    if multiplier < 1:
+        raise ValueError(f"multiplier must be >= 1, got {multiplier}")
+    return [base_delay * multiplier**k for k in range(attempts - 1)]
+
+
+def retry(
+    attempts: int = 3,
+    base_delay: float = 0.05,
+    multiplier: float = 2.0,
+    retry_on: Tuple[Type[BaseException], ...] = (OSError,),
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+) -> Callable:
+    """Decorator: re-invoke a flaky loader on *retry_on* exceptions.
+
+    ``on_retry(attempt_index, error)`` is called before each sleep, letting
+    callers log or count retries; ``sleep`` is injectable so tests run at
+    full speed.  The final failure is re-raised unchanged.
+    """
+    schedule = backoff_schedule(attempts, base_delay, multiplier)
+
+    def decorator(func: Callable) -> Callable:
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            for attempt, delay in enumerate(schedule):
+                try:
+                    return func(*args, **kwargs)
+                except retry_on as error:
+                    if on_retry is not None:
+                        on_retry(attempt, error)
+                    sleep(delay)
+            return func(*args, **kwargs)
+
+        return wrapper
+
+    return decorator
+
+
+def _fsync_file(path: str) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+@contextmanager
+def atomic_file(path: str) -> Iterator[str]:
+    """Yield a staging path; on clean exit fsync it and rename onto *path*.
+
+    If the body raises, the staging file is removed and *path* is left
+    exactly as it was — a reader can never observe a half-written file.
+    """
+    staging = path + ".tmp"
+    if os.path.exists(staging):
+        os.remove(staging)
+    try:
+        yield staging
+        _fsync_file(staging)
+        os.replace(staging, path)
+    except BaseException:
+        if os.path.exists(staging):
+            os.remove(staging)
+        raise
+
+
+@contextmanager
+def atomic_directory(directory: str) -> Iterator[str]:
+    """Yield a staging directory; on clean exit swap it into *directory*.
+
+    The body writes into ``<directory>.tmp``; only after it returns without
+    raising is the staging tree fsynced and renamed into place.  A crash
+    mid-body leaves any previous *directory* untouched (and at worst a stale
+    ``.tmp`` sibling, which the next save clears).  A crash between the
+    removal of an old *directory* and the final rename leaves *directory*
+    missing and the complete staging tree on disk — detectably absent, never
+    torn.
+    """
+    staging = directory.rstrip(os.sep) + ".tmp"
+    if os.path.exists(staging):
+        shutil.rmtree(staging)
+    os.makedirs(staging)
+    try:
+        yield staging
+    except BaseException:
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+    for name in os.listdir(staging):
+        _fsync_file(os.path.join(staging, name))
+    if os.path.exists(directory):
+        shutil.rmtree(directory)
+    os.replace(staging, directory)

@@ -1,0 +1,75 @@
+"""Exception types shared by the ingestion and runtime layers.
+
+These live under :mod:`repro.utils` (not :mod:`repro.runtime`) so that the
+low-level parsers in :mod:`repro.dns` and :mod:`repro.intel` can raise them
+without importing the runtime package, which itself imports those parsers.
+
+All of them subclass :class:`ValueError` so existing callers that catch
+``ValueError`` keep working; new code can catch the precise type.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class FeedFormatError(ValueError):
+    """A feed or trace file contains a record that cannot be parsed.
+
+    Carries the *source* (file name or stream description) and the 1-based
+    *line* number of the offending record, so a truncated ``trace.tsv`` is
+    distinguishable from a schema bug at a glance.
+
+    Also carries a machine-readable *category* (``bad_columns``,
+    ``bad_ipv4``, ...) which the lenient ingest path uses as its quarantine
+    counter key.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        source: Optional[str] = None,
+        line: Optional[int] = None,
+        category: str = "bad_record",
+    ) -> None:
+        self.source = source
+        self.line = line
+        self.category = category
+        self.detail = message  # unprefixed, for quarantine records
+        location = ""
+        if source is not None and line is not None:
+            location = f"{source}:{line}: "
+        elif source is not None:
+            location = f"{source}: "
+        super().__init__(f"{location}{message}")
+
+
+class FormatVersionError(ValueError):
+    """An on-disk artifact was written by a newer (or unknown) format.
+
+    Names both the found and the supported version so the operator knows
+    whether to upgrade the library or re-export the data.
+    """
+
+    def __init__(self, found: object, supported: int, *, what: str = "dataset") -> None:
+        self.found = found
+        self.supported = supported
+        super().__init__(
+            f"{what} format version {found!r} is not supported by this "
+            f"library (supports version {supported}); upgrade the library "
+            f"or re-export the data with a matching version"
+        )
+
+
+class IngestError(ValueError):
+    """Loading an observation failed loudly (error-rate cap, torn files).
+
+    Raised by :mod:`repro.runtime.ingest` when a directory cannot be loaded
+    even leniently — e.g. the malformed-record rate exceeds the configured
+    cap, or a required file is missing entirely.
+    """
+
+
+class CheckpointError(ValueError):
+    """A tracker checkpoint is corrupted, truncated, or incompatible."""

@@ -1,23 +1,29 @@
 """Failure injection: degraded and hostile inputs through the pipeline.
 
 A production deployment will eventually see an empty feed, a dead pDNS
-collector, a day of missing traffic, or a whitelist that covers nothing.
-Each case must either degrade gracefully (documented fallback) or fail
-loudly with an actionable error — never a silent wrong answer.
+collector, a day of missing traffic, a kill -9 mid-save, or a checkpoint
+mangled in transit.  Each case must either degrade gracefully (documented
+fallback, recorded in provenance) or fail loudly with an actionable error
+— never a silent wrong answer.
 """
 
 import dataclasses
+import os
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.pipeline import ObservationContext, Segugio, SegugioConfig
+from repro.core.tracker import DomainTracker
 from repro.dns.activity import ActivityIndex
 from repro.dns.e2ld import E2ldIndex
 from repro.dns.trace import DayTrace
 from repro.intel.blacklist import CncBlacklist
 from repro.intel.whitelist import DomainWhitelist
 from repro.pdns.database import PassiveDNSDatabase
+from repro.utils.errors import CheckpointError, IngestError
 from repro.utils.ids import Interner
 
 FAST = SegugioConfig(n_estimators=5)
@@ -121,3 +127,205 @@ class TestHostileInputs:
         context = degraded_context(train_context, blacklist=future)
         with pytest.raises(ValueError, match="malware"):
             Segugio(FAST).fit(context)
+
+
+class TestDegradationProvenance:
+    """Every degraded run must carry the record of *what* was degraded."""
+
+    def test_dead_pdns_day_is_tagged(self, scenario):
+        context = degraded_context(
+            scenario.context("isp1", scenario.eval_day(0)),
+            pdns=PassiveDNSDatabase(),
+        )
+        tracker = DomainTracker(config=FAST)
+        report = tracker.process_day(context)
+        assert "pdns_empty_window:f3_zero" in report.provenance
+        assert "pdns_empty_window:warning" in report.provenance
+        assert "degraded" in report.summary()
+
+    def test_dead_activity_day_is_tagged(self, scenario):
+        context = degraded_context(
+            scenario.context("isp1", scenario.eval_day(0)),
+            fqd_activity=ActivityIndex(),
+            e2ld_activity=ActivityIndex(),
+        )
+        report = DomainTracker(config=FAST).process_day(context)
+        assert "fqd_activity_empty:f2_zero" in report.provenance
+        assert "e2ld_activity_empty:f2_zero" in report.provenance
+
+    def test_healthy_day_carries_no_tags(self, scenario):
+        context = scenario.context("isp1", scenario.eval_day(0))
+        report = DomainTracker(config=FAST).process_day(context)
+        assert report.provenance == []
+        assert "degraded" not in report.summary()
+
+
+class TestKillAndResume:
+    """A tracking run killed after day *k* must resume bit-identically."""
+
+    @pytest.fixture(scope="class")
+    def four_days(self, scenario):
+        return [
+            scenario.context("isp1", scenario.eval_day(i)) for i in range(4)
+        ]
+
+    @pytest.fixture(scope="class")
+    def uninterrupted(self, four_days):
+        tracker = DomainTracker(config=FAST, fp_target=0.01)
+        for context in four_days:
+            tracker.process_day(context)
+        return tracker
+
+    def test_resumed_ledger_is_bit_identical(
+        self, four_days, uninterrupted, tmp_path, test_context
+    ):
+        interrupted = DomainTracker(config=FAST, fp_target=0.01)
+        for context in four_days[:2]:
+            interrupted.process_day(context)
+        ckpt = str(tmp_path / "killed-after-day-2.ckpt")
+        interrupted.save_checkpoint(ckpt)
+        del interrupted  # the process dies here
+
+        resumed = DomainTracker.resume(ckpt)
+        assert resumed.days_processed == [c.day for c in four_days[:2]]
+        for context in four_days[2:]:
+            resumed.process_day(context)
+
+        assert resumed.state_dict() == uninterrupted.state_dict()
+        assert resumed.day_thresholds == uninterrupted.day_thresholds
+        feed = test_context.blacklist
+        assert resumed.confirmations(feed) == uninterrupted.confirmations(feed)
+
+    def test_resume_refuses_replaying_a_scored_day(self, four_days, tmp_path):
+        tracker = DomainTracker(config=FAST, fp_target=0.01)
+        tracker.process_day(four_days[0])
+        ckpt = str(tmp_path / "day-one.ckpt")
+        tracker.save_checkpoint(ckpt)
+        resumed = DomainTracker.resume(ckpt)
+        with pytest.raises(ValueError, match="order"):
+            resumed.process_day(four_days[0])
+
+    def test_corrupted_checkpoint_refused_not_resumed(
+        self, four_days, tmp_path
+    ):
+        tracker = DomainTracker(config=FAST, fp_target=0.01)
+        tracker.process_day(four_days[0])
+        ckpt = str(tmp_path / "mangled.ckpt")
+        tracker.save_checkpoint(ckpt)
+        with open(ckpt, "rb") as stream:
+            blob = bytearray(stream.read())
+        blob[len(blob) // 2] ^= 0xFF  # one flipped bit in transit
+        with open(ckpt, "wb") as stream:
+            stream.write(bytes(blob))
+        with pytest.raises(CheckpointError, match="checksum"):
+            DomainTracker.resume(ckpt)
+
+
+class TestTornSaves:
+    """kill -9 during a save must never leave a half-written observation."""
+
+    def test_interrupted_observation_save_keeps_previous(
+        self, tmp_path, train_context, test_context, scenario, monkeypatch
+    ):
+        from repro.datasets import store
+
+        directory = str(tmp_path / "obs")
+        suffixes = scenario.universe.identified_services
+        store.save_observation(
+            directory, train_context, private_suffixes=suffixes
+        )
+        real_write = store._write_observation
+
+        def dies_midway(staging, context, *args, **kwargs):
+            real_write(staging, context, *args, **kwargs)
+            os.remove(os.path.join(staging, "pdns.npz"))  # torn output
+            raise OSError("disk full")
+
+        monkeypatch.setattr(store, "_write_observation", dies_midway)
+        with pytest.raises(OSError, match="disk full"):
+            store.save_observation(
+                directory, test_context, private_suffixes=suffixes
+            )
+        assert not os.path.exists(directory + ".tmp")
+        survivor = store.load_observation(directory)
+        assert survivor.day == train_context.day
+        assert survivor.trace.n_edges == train_context.trace.n_edges
+
+    @given(
+        old=st.binary(min_size=1, max_size=64),
+        new=st.binary(min_size=1, max_size=64),
+        kill_at=st.integers(min_value=0, max_value=80),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_atomic_file_never_tears(self, old, new, kill_at):
+        """Round trip: an interrupted save leaves the old bytes exactly; a
+        completed save leaves the new bytes exactly; never a mixture."""
+        import tempfile
+
+        from repro.runtime.retry import atomic_file
+
+        with tempfile.TemporaryDirectory() as tmp:
+            target = os.path.join(tmp, "payload.bin")
+            with open(target, "wb") as stream:
+                stream.write(old)
+            interrupted = kill_at < len(new)
+            try:
+                with atomic_file(target) as staging:
+                    with open(staging, "wb") as stream:
+                        stream.write(new[:kill_at] if interrupted else new)
+                    if interrupted:
+                        raise KeyboardInterrupt  # kill -9 stand-in
+            except KeyboardInterrupt:
+                pass
+            with open(target, "rb") as stream:
+                assert stream.read() == (old if interrupted else new)
+            assert not os.path.exists(target + ".tmp")
+
+
+class TestFuzzedDirectoryEndToEnd:
+    """A fuzzed export must still score (lenient) with counters, or abort."""
+
+    def test_lenient_load_of_fuzzed_export_still_scores(
+        self, tmp_path, train_context, scenario
+    ):
+        from repro.datasets.store import save_observation
+        from repro.runtime.ingest import load_observation_checked
+
+        directory = str(tmp_path / "obs")
+        save_observation(
+            directory,
+            train_context,
+            private_suffixes=scenario.universe.identified_services,
+        )
+        with open(os.path.join(directory, "trace.tsv"), "a") as stream:
+            stream.write("mX\tzzz.example\t999.999.999.999\n")
+            stream.write("half a line\n")
+        with open(os.path.join(directory, "blacklist.tsv"), "a") as stream:
+            stream.write("no-day-column.example\n")
+
+        context, report = load_observation_checked(directory, mode="lenient")
+        assert report.counters == {
+            "trace:bad_ipv4": 1,
+            "trace:bad_columns": 1,
+            "blacklist:bad_columns": 1,
+        }
+        model = Segugio(FAST).fit(context)
+        assert len(model.classify(context)) > 0
+
+    def test_error_rate_cap_aborts_instead_of_scoring_garbage(
+        self, tmp_path, train_context, scenario
+    ):
+        from repro.datasets.store import save_observation
+        from repro.runtime.ingest import load_observation_checked
+
+        directory = str(tmp_path / "obs")
+        save_observation(
+            directory,
+            train_context,
+            private_suffixes=scenario.universe.identified_services,
+        )
+        with open(os.path.join(directory, "trace.tsv"), "a") as stream:
+            for i in range(20_000):  # far beyond the 5% default cap
+                stream.write(f"garbage-row-{i}\n")
+        with pytest.raises(IngestError, match="cap"):
+            load_observation_checked(directory, mode="lenient")

@@ -1,0 +1,158 @@
+"""Pre-flight health checks: severities and degradation decisions."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.pipeline import ObservationContext
+from repro.dns.activity import ActivityIndex
+from repro.dns.trace import DayTrace
+from repro.intel.blacklist import CncBlacklist
+from repro.intel.whitelist import DomainWhitelist
+from repro.pdns.database import PassiveDNSDatabase
+from repro.runtime.health import (
+    CRITICAL,
+    OK,
+    WARNING,
+    check_context,
+    HealthReport,
+)
+from repro.utils.ids import Interner
+
+
+def degraded(base: ObservationContext, **overrides) -> ObservationContext:
+    return dataclasses.replace(base, **overrides)
+
+
+def finding(report, check):
+    hits = [f for f in report.findings if f.check == check]
+    assert len(hits) <= 1
+    return hits[0] if hits else None
+
+
+class TestHealthyDay:
+    def test_scenario_day_is_healthy(self, train_context):
+        report = check_context(train_context)
+        assert report.ok
+        assert report.worst in (OK, WARNING)
+        assert not report.criticals()
+        report.raise_for_critical()  # must not raise
+
+    def test_summary_names_day_and_worst(self, train_context):
+        report = check_context(train_context)
+        text = report.summary()
+        assert str(train_context.day) in text
+
+
+class TestFeedChecks:
+    def test_empty_blacklist_is_critical(self, train_context):
+        context = degraded(train_context, blacklist=CncBlacklist("empty"))
+        report = check_context(context)
+        found = finding(report, "blacklist_empty")
+        assert found is not None and found.severity == CRITICAL
+        assert not report.ok
+        with pytest.raises(ValueError, match="blacklist_empty"):
+            report.raise_for_critical()
+
+    def test_future_only_blacklist_is_critical(self, train_context):
+        future = CncBlacklist("future")
+        for entry in train_context.blacklist:
+            future.add(entry.domain, added_day=train_context.day + 50)
+        context = degraded(train_context, blacklist=future)
+        report = check_context(context)
+        found = finding(report, "blacklist_unpublished")
+        assert found is not None and found.severity == CRITICAL
+
+    def test_stale_blacklist_is_warning_not_critical(self, train_context):
+        stale = CncBlacklist("stale")
+        for entry in train_context.blacklist:
+            stale.add(entry.domain, added_day=0, family=entry.family)
+        context = degraded(train_context, blacklist=stale)
+        report = check_context(context, blacklist_stale_days=30)
+        found = finding(report, "blacklist_stale")
+        assert found is not None and found.severity == WARNING
+        assert report.ok  # degraded, not dead
+
+    def test_uncovered_blacklist_is_critical(self, train_context):
+        foreign = CncBlacklist("foreign")
+        foreign.add("never-queried-here.example", added_day=0)
+        context = degraded(train_context, blacklist=foreign)
+        report = check_context(context)
+        found = finding(report, "blacklist_coverage")
+        assert found is not None and found.severity == CRITICAL
+
+    def test_empty_whitelist_is_critical(self, train_context):
+        context = degraded(train_context, whitelist=DomainWhitelist([]))
+        report = check_context(context)
+        found = finding(report, "whitelist_empty")
+        assert found is not None and found.severity == CRITICAL
+
+
+class TestCollectorChecks:
+    def test_dead_pdns_is_warning_with_f3_decision(self, train_context):
+        context = degraded(train_context, pdns=PassiveDNSDatabase())
+        report = check_context(context)
+        found = finding(report, "pdns_empty_window")
+        assert found is not None and found.severity == WARNING
+        assert "F3" in found.decision
+        assert report.ok
+
+    def test_empty_activity_is_warning_with_f2_decision(self, train_context):
+        context = degraded(train_context, fqd_activity=ActivityIndex())
+        report = check_context(context)
+        found = finding(report, "activity_empty")
+        assert found is not None and found.severity == WARNING
+        assert "F2" in found.decision
+
+    def test_activity_gap_names_missing_days(self, train_context):
+        day = train_context.day
+        gappy = ActivityIndex()
+        keys = range(min(50, len(train_context.trace.domains)))
+        for d in range(day - 13, day + 1):
+            if d == day - 5:
+                continue  # the collector died for one day
+            gappy.record(d, keys)
+        context = degraded(train_context, fqd_activity=gappy)
+        report = check_context(context, activity_window=14)
+        found = finding(report, "activity_gaps")
+        assert found is not None and found.severity == WARNING
+        assert str(day - 5) in found.message
+
+
+class TestGraphChecks:
+    def test_empty_trace_is_critical(self, train_context):
+        empty = DayTrace.build(
+            train_context.day, Interner(), Interner(), [], []
+        )
+        context = degraded(train_context, trace=empty)
+        report = check_context(context)
+        found = finding(report, "graph_empty")
+        assert found is not None and found.severity == CRITICAL
+
+    def test_single_machine_graph_is_degenerate(self, train_context):
+        machines, domains = Interner(), Interner()
+        mid = machines.intern("lonely")
+        dids = [domains.intern(f"d{i}.example") for i in range(3)]
+        trace = DayTrace.build(
+            train_context.day, machines, domains, [mid] * 3, dids
+        )
+        context = degraded(train_context, trace=trace)
+        report = check_context(context)
+        found = finding(report, "graph_degenerate")
+        assert found is not None and found.severity == WARNING
+
+
+class TestProvenanceTags:
+    def test_warnings_become_provenance_tags(self, train_context):
+        context = degraded(train_context, pdns=PassiveDNSDatabase())
+        report = check_context(context)
+        assert "pdns_empty_window:warning" in report.provenance()
+
+    def test_healthy_report_has_no_provenance(self, train_context):
+        report = check_context(train_context)
+        criticals_or_warnings = report.warnings() + report.criticals()
+        assert len(report.provenance()) == len(criticals_or_warnings)
+
+    def test_empty_report_is_ok(self):
+        assert HealthReport(day=3).worst == OK
+        assert HealthReport(day=3).ok

@@ -1,0 +1,146 @@
+"""Deterministic retry schedules and atomic write primitives."""
+
+import os
+
+import pytest
+
+from repro.runtime.retry import (
+    atomic_directory,
+    atomic_file,
+    backoff_schedule,
+    retry,
+)
+
+
+class TestBackoffSchedule:
+    def test_deterministic_geometric(self):
+        assert backoff_schedule(4, 0.1, 2.0) == [0.1, 0.2, 0.4]
+
+    def test_single_attempt_never_sleeps(self):
+        assert backoff_schedule(1, 0.1, 2.0) == []
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="attempts"):
+            backoff_schedule(0, 0.1, 2.0)
+        with pytest.raises(ValueError, match="base_delay"):
+            backoff_schedule(3, -1.0, 2.0)
+        with pytest.raises(ValueError, match="multiplier"):
+            backoff_schedule(3, 0.1, 0.5)
+
+
+class TestRetry:
+    def test_flaky_loader_eventually_succeeds(self):
+        sleeps = []
+        calls = {"n": 0}
+
+        @retry(attempts=3, base_delay=0.5, sleep=sleeps.append)
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("feed briefly unavailable")
+            return "payload"
+
+        assert flaky() == "payload"
+        assert calls["n"] == 3
+        assert sleeps == [0.5, 1.0]
+
+    def test_final_failure_reraised(self):
+        @retry(attempts=2, base_delay=0.0, sleep=lambda _: None)
+        def dead():
+            raise OSError("feed is gone")
+
+        with pytest.raises(OSError, match="gone"):
+            dead()
+
+    def test_non_retryable_error_propagates_immediately(self):
+        calls = {"n": 0}
+
+        @retry(attempts=5, base_delay=0.0, sleep=lambda _: None)
+        def broken():
+            calls["n"] += 1
+            raise ValueError("schema bug, not flakiness")
+
+        with pytest.raises(ValueError):
+            broken()
+        assert calls["n"] == 1
+
+    def test_on_retry_callback_sees_each_failure(self):
+        seen = []
+
+        @retry(
+            attempts=3,
+            base_delay=0.0,
+            sleep=lambda _: None,
+            on_retry=lambda attempt, error: seen.append(attempt),
+        )
+        def dead():
+            raise OSError("nope")
+
+        with pytest.raises(OSError):
+            dead()
+        assert seen == [0, 1]
+
+
+class TestAtomicFile:
+    def test_success_replaces_target(self, tmp_path):
+        target = str(tmp_path / "out.txt")
+        with open(target, "w") as stream:
+            stream.write("old")
+        with atomic_file(target) as staging:
+            with open(staging, "w") as stream:
+                stream.write("new")
+        with open(target) as stream:
+            assert stream.read() == "new"
+        assert not os.path.exists(target + ".tmp")
+
+    def test_failure_preserves_target_and_cleans_staging(self, tmp_path):
+        target = str(tmp_path / "out.txt")
+        with open(target, "w") as stream:
+            stream.write("old")
+        with pytest.raises(RuntimeError):
+            with atomic_file(target) as staging:
+                with open(staging, "w") as stream:
+                    stream.write("half-writ")
+                raise RuntimeError("killed mid-save")
+        with open(target) as stream:
+            assert stream.read() == "old"
+        assert not os.path.exists(target + ".tmp")
+
+
+class TestAtomicDirectory:
+    def test_success_swaps_directory(self, tmp_path):
+        target = str(tmp_path / "obs")
+        os.makedirs(target)
+        with open(os.path.join(target, "f"), "w") as stream:
+            stream.write("old")
+        with atomic_directory(target) as staging:
+            with open(os.path.join(staging, "f"), "w") as stream:
+                stream.write("new")
+        with open(os.path.join(target, "f")) as stream:
+            assert stream.read() == "new"
+        assert not os.path.exists(target + ".tmp")
+
+    def test_failure_preserves_previous_directory(self, tmp_path):
+        target = str(tmp_path / "obs")
+        os.makedirs(target)
+        with open(os.path.join(target, "f"), "w") as stream:
+            stream.write("old")
+        with pytest.raises(RuntimeError):
+            with atomic_directory(target) as staging:
+                with open(os.path.join(staging, "f"), "w") as stream:
+                    stream.write("torn")
+                raise RuntimeError("killed mid-save")
+        with open(os.path.join(target, "f")) as stream:
+            assert stream.read() == "old"
+        assert not os.path.exists(target + ".tmp")
+
+    def test_stale_staging_from_a_crash_is_cleared(self, tmp_path):
+        target = str(tmp_path / "obs")
+        os.makedirs(target + ".tmp")
+        with open(os.path.join(target + ".tmp", "stale"), "w") as stream:
+            stream.write("leftover from a crash")
+        with atomic_directory(target) as staging:
+            assert not os.path.exists(os.path.join(staging, "stale"))
+            with open(os.path.join(staging, "f"), "w") as stream:
+                stream.write("fresh")
+        assert os.listdir(target) == ["f"]
