@@ -7,6 +7,8 @@ Examples::
     segugio experiment table1 --scale benchmark
     segugio track --days 3 --checkpoint /tmp/run.ckpt
     segugio track --days 5 --resume /tmp/run.ckpt --checkpoint /tmp/run.ckpt
+    segugio track --days 3 --telemetry-dir /tmp/telemetry
+    segugio telemetry /tmp/telemetry/manifest.json
     segugio export-day /tmp/obs --day-offset 2
     segugio health /tmp/obs
     segugio classify-dir /tmp/obs --lenient
@@ -159,6 +161,13 @@ def _run_track(args: argparse.Namespace) -> None:
         )
     else:
         tracker = DomainTracker(fp_target=args.fp_target)
+    if args.telemetry_dir:
+        from repro.obs import RunTelemetry
+        from repro.runtime.checkpoint import config_to_dict
+
+        tracker.telemetry = RunTelemetry(
+            command="track", config=config_to_dict(tracker.config)
+        )
     last_done = tracker.days_processed[-1] if tracker.days_processed else None
     for offset in range(args.days):
         day = scenario.eval_day(offset)
@@ -174,6 +183,11 @@ def _run_track(args: argparse.Namespace) -> None:
             tracker.save_checkpoint(args.checkpoint)
     if args.checkpoint:
         print(f"checkpoint written to {args.checkpoint}")
+    if tracker.telemetry is not None and args.telemetry_dir:
+        manifest_path, trace_path = tracker.telemetry.write(args.telemetry_dir)
+        print(f"run manifest written to {manifest_path}")
+        print(f"span trace written to {trace_path}")
+        print(f"inspect with: segugio telemetry {manifest_path}")
     confirmed = tracker.confirmations(scenario.commercial_blacklist, horizon=35)
     print(
         f"\ntracked {len(tracker)} domains; {len(confirmed)} later entered "
@@ -299,21 +313,51 @@ def _run_health(args: argparse.Namespace) -> None:
 
 
 def _run_classify_dir(args: argparse.Namespace) -> None:
+    from contextlib import nullcontext
+
     from repro import Segugio
     from repro.ml.metrics import threshold_for_fpr
     from repro.runtime.ingest import load_observation_checked
 
-    context, ingest = load_observation_checked(
-        args.directory, mode=args.mode, max_error_rate=args.max_error_rate
-    )
-    if ingest.n_quarantined:
-        print(ingest.summary())
-    model = Segugio().fit(context)
-    training = model.training_set_
-    benign_scores = model.classifier_.predict_proba(training.X[training.y == 0])
-    threshold = threshold_for_fpr(benign_scores, args.fp_target)
-    report = model.classify(context)
-    detections = report.detections(threshold)
+    telemetry = None
+    if args.telemetry_dir:
+        from repro.obs import RunTelemetry
+
+        telemetry = RunTelemetry(command="classify-dir")
+    with telemetry.activate() if telemetry else nullcontext():
+        context, ingest = load_observation_checked(
+            args.directory, mode=args.mode, max_error_rate=args.max_error_rate
+        )
+        if ingest.n_quarantined:
+            print(ingest.summary())
+        model = Segugio()
+        with (
+            telemetry.day_scope(context.day)
+            if telemetry
+            else nullcontext({})
+        ) as record:
+            model.fit(context)
+            training = model.training_set_
+            benign_scores = model.classifier_.predict_proba(
+                training.X[training.y == 0]
+            )
+            threshold = threshold_for_fpr(benign_scores, args.fp_target)
+            report = model.classify(context)
+            detections = report.detections(threshold)
+            record.update(
+                threshold=threshold,
+                n_scored=len(report),
+                n_new_detections=len(detections),
+                provenance=list(report.provenance),
+            )
+    if telemetry is not None:
+        from repro.runtime.checkpoint import config_to_dict
+
+        telemetry.config = config_to_dict(model.config)
+        telemetry.add_ingest_report(ingest)
+        manifest_path, trace_path = telemetry.write(args.telemetry_dir)
+        print(f"run manifest written to {manifest_path}")
+        print(f"span trace written to {trace_path}")
     print(
         f"day {context.day}: {len(report)} unknown domains scored, "
         f"{len(detections)} detected at <= {args.fp_target:.2%} training FPs"
@@ -322,6 +366,16 @@ def _run_classify_dir(args: argparse.Namespace) -> None:
         print("degraded inputs: " + ", ".join(report.provenance))
     for name, score in detections[: args.top]:
         print(f"  {score:6.3f}  {name}")
+
+
+def _run_telemetry(args: argparse.Namespace) -> None:
+    from repro.obs import ManifestError, load_manifest, render_telemetry
+
+    try:
+        manifest = load_manifest(args.manifest)
+    except ManifestError as error:
+        raise SystemExit(str(error))
+    print(render_telemetry(manifest))
 
 
 def _add_ingest_flags(parser: argparse.ArgumentParser) -> None:
@@ -358,6 +412,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="segugio",
         description="Segugio (DSN 2015) reproduction: experiments and demos",
     )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured JSON logs on stderr",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     demo = sub.add_parser("demo", help="train + classify on a synthetic ISP")
@@ -390,6 +449,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="resume a killed run from this checkpoint (already-scored "
         "days are skipped; the ledger continues bit-identically)",
+    )
+    track.add_argument(
+        "--telemetry-dir",
+        default=None,
+        help="write a run manifest (manifest.json) and span trace "
+        "(trace.jsonl) into this directory",
     )
     track.set_defaults(func=_run_track)
 
@@ -449,6 +514,12 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument("directory")
     classify.add_argument("--fp-target", type=float, default=0.005)
     classify.add_argument("--top", type=int, default=15)
+    classify.add_argument(
+        "--telemetry-dir",
+        default=None,
+        help="write a run manifest (manifest.json) and span trace "
+        "(trace.jsonl) into this directory",
+    )
     _add_ingest_flags(classify)
     classify.set_defaults(func=_run_classify_dir)
 
@@ -459,12 +530,23 @@ def build_parser() -> argparse.ArgumentParser:
     health.add_argument("directory")
     _add_ingest_flags(health)
     health.set_defaults(func=_run_health)
+
+    telemetry = sub.add_parser(
+        "telemetry",
+        help="render the per-phase cost breakdown of a run manifest",
+    )
+    telemetry.add_argument("manifest", help="path to a manifest.json")
+    telemetry.set_defaults(func=_run_telemetry)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "log_json", False):
+        from repro.obs import logs
+
+        logs.configure(sys.stderr)
     args.func(args)
     return 0
 

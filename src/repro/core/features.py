@@ -46,6 +46,7 @@ from repro.core.graph import BehaviorGraph
 from repro.core.labeling import MALWARE, GraphLabels
 from repro.dns.activity import ActivityIndex
 from repro.dns.e2ld import E2ldIndex
+from repro.obs.tracing import current_tracer
 from repro.pdns.abuse import AbuseOracle
 
 FEATURE_NAMES: List[str] = [
@@ -117,9 +118,14 @@ class FeatureExtractor:
         features = np.zeros((ids.size, N_FEATURES), dtype=np.float64)
         if ids.size == 0:
             return features
-        self._machine_behavior(ids, hide_labels, out=features[:, 0:3])
-        self._domain_activity(ids, out=features[:, 3:7])
-        self._ip_abuse(ids, hide_labels, out=features[:, 7:11])
+        tracer = current_tracer()
+        n = int(ids.size)
+        with tracer.span("features.f1_machine", n_domains=n):
+            self._machine_behavior(ids, hide_labels, out=features[:, 0:3])
+        with tracer.span("features.f2_activity", n_domains=n):
+            self._domain_activity(ids, out=features[:, 3:7])
+        with tracer.span("features.f3_ip", n_domains=n):
+            self._ip_abuse(ids, hide_labels, out=features[:, 7:11])
         return features
 
     def features_for(self, domain_id: int, hide_labels: bool = False) -> np.ndarray:

@@ -48,11 +48,85 @@ from repro.intel.blacklist import CncBlacklist
 from repro.intel.whitelist import DomainWhitelist
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.logistic import LogisticRegression
+from repro.obs.logs import get_logger
+from repro.obs.metrics import SCORE_BUCKETS, MetricsRegistry, get_registry
+from repro.obs.tracing import Stopwatch
 from repro.pdns.abuse import AbuseOracle
 from repro.pdns.database import PassiveDNSDatabase
-from repro.utils.timing import Stopwatch
 
 DEFAULT_PDNS_WINDOW_DAYS = 150  # ~ the paper's five months
+
+_log = get_logger("pipeline")
+
+
+def _emit_graph_metrics(
+    registry: MetricsRegistry, graph: BehaviorGraph, stage: str
+) -> None:
+    """Node/edge counts and degree stats for one built graph."""
+    if not registry.enabled:
+        return
+    nodes = registry.gauge(
+        "segugio_graph_nodes", "graph node counts", labels=("kind", "stage")
+    )
+    nodes.set(graph.n_machines, kind="machine", stage=stage)
+    nodes.set(graph.n_domains, kind="domain", stage=stage)
+    registry.gauge(
+        "segugio_graph_edges", "graph edge count", labels=("stage",)
+    ).set(graph.n_edges, stage=stage)
+    degree = registry.gauge(
+        "segugio_graph_degree",
+        "degree distribution stats",
+        labels=("kind", "stat", "stage"),
+    )
+    for kind, degrees in (
+        ("machine", graph.machine_degrees()),
+        ("domain", graph.domain_degrees()),
+    ):
+        present = degrees[degrees > 0]
+        mean = float(present.mean()) if present.size else 0.0
+        peak = int(present.max()) if present.size else 0
+        degree.set(mean, kind=kind, stat="mean", stage=stage)
+        degree.set(peak, kind=kind, stat="max", stage=stage)
+
+
+def _emit_label_metrics(
+    registry: MetricsRegistry, graph: BehaviorGraph, labels: "GraphLabels"
+) -> None:
+    """How many present domains carry each ground-truth label."""
+    if not registry.enabled:
+        return
+    from repro.core.labeling import BENIGN
+
+    present = graph.domain_ids()
+    values = labels.domain_labels[present]
+    gauge = registry.gauge(
+        "segugio_labels_domains", "labeled domain counts", labels=("label",)
+    )
+    gauge.set(int((values == MALWARE).sum()), label="malware")
+    gauge.set(int((values == BENIGN).sum()), label="benign")
+    gauge.set(int((values == UNKNOWN).sum()), label="unknown")
+
+
+def _emit_prune_metrics(registry: MetricsRegistry, stats: Dict[str, float]) -> None:
+    """Per-rule node removals and aggregate reductions (paper §III)."""
+    if not registry.enabled:
+        return
+    removed = registry.gauge(
+        "segugio_pruning_removed",
+        "nodes removed per pruning rule",
+        labels=("rule", "kind"),
+    )
+    removed.set(stats.get("removed_r1_machines", 0.0), rule="r1", kind="machines")
+    removed.set(stats.get("removed_r2_machines", 0.0), rule="r2", kind="machines")
+    removed.set(stats.get("removed_r3_domains", 0.0), rule="r3", kind="domains")
+    removed.set(stats.get("removed_r4_domains", 0.0), rule="r4", kind="domains")
+    pct = registry.gauge(
+        "segugio_pruning_removed_pct",
+        "percentage of the graph removed by pruning",
+        labels=("dimension",),
+    )
+    for dimension in ("domains", "machines", "edges"):
+        pct.set(stats.get(f"{dimension}_removed_pct", 0.0), dimension=dimension)
 
 
 def context_degradations(
@@ -237,8 +311,10 @@ class Segugio:
         is measured — the paper's leak-free evaluation procedure (§IV-A).
         """
         watch = watch if watch is not None else Stopwatch()
+        registry = get_registry()
         with watch.phase("build_graph"):
             graph = BehaviorGraph.from_trace(context.trace)
+        _emit_graph_metrics(registry, graph, stage="raw")
         with watch.phase("label_nodes"):
             domain_labels = label_domains(
                 graph, context.blacklist, context.whitelist, as_of_day=context.day
@@ -261,6 +337,9 @@ class Segugio:
             pruned = result.graph
             # Degrees changed; rederive machine labels on the pruned graph.
             labels = derive_machine_labels(pruned, domain_labels)
+        _emit_prune_metrics(registry, result.stats)
+        _emit_graph_metrics(registry, pruned, stage="pruned")
+        _emit_label_metrics(registry, pruned, labels)
         with watch.phase("build_abuse_oracle"):
             known_malware = np.flatnonzero(domain_labels == MALWARE)
             from repro.core.labeling import BENIGN  # narrow import
@@ -325,6 +404,23 @@ class Segugio:
             n_train_malware=float(training.n_malware),
             n_train_benign=float(training.n_benign),
         )
+        registry = get_registry()
+        if registry.enabled:
+            samples = registry.gauge(
+                "segugio_train_samples",
+                "training-set size by class",
+                labels=("label",),
+            )
+            samples.set(training.n_malware, label="malware")
+            samples.set(training.n_benign, label="benign")
+        _log.info(
+            "fit_complete",
+            day=context.day,
+            n_train_malware=training.n_malware,
+            n_train_benign=training.n_benign,
+            degradations=self.degradations_,
+            seconds=round(watch.total(), 6),
+        )
         return self
 
     # ------------------------------------------------------------------ #
@@ -361,6 +457,20 @@ class Segugio:
                 if unknown_ids.size
                 else np.empty(0, dtype=np.float64)
             )
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "segugio_classified_domains_total",
+                "unknown domains scored",
+            ).inc(int(unknown_ids.size))
+            registry.histogram(
+                "segugio_classify_score",
+                "malware-score distribution over scored domains",
+                buckets=SCORE_BUCKETS,
+            ).observe_many(scores)
+        _log.info(
+            "classify_complete", day=context.day, n_scored=int(unknown_ids.size)
+        )
         return DetectionReport(
             day=context.day,
             domain_ids=unknown_ids,

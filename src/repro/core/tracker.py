@@ -22,6 +22,11 @@ from typing import Dict, List, Optional
 from repro.core.pipeline import ObservationContext, Segugio, SegugioConfig
 from repro.intel.blacklist import CncBlacklist
 from repro.ml.metrics import threshold_for_fpr
+from repro.obs.logs import get_logger
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import current_tracer
+
+_log = get_logger("tracker")
 
 
 @dataclass
@@ -90,6 +95,7 @@ class DomainTracker:
         self,
         config: Optional[SegugioConfig] = None,
         fp_target: float = 0.001,
+        telemetry=None,
     ) -> None:
         if not 0 < fp_target < 1:
             raise ValueError("fp_target must be in (0, 1)")
@@ -98,6 +104,10 @@ class DomainTracker:
         self.tracked: Dict[str, TrackedDomain] = {}
         self.days_processed: List[int] = []
         self.day_thresholds: Dict[int, float] = {}
+        self.telemetry = telemetry
+        """Optional :class:`repro.obs.run.RunTelemetry`: when set, every
+        :meth:`process_day` records spans, metric deltas, and a day record
+        into it, ready to be written as a run manifest."""
 
     # ------------------------------------------------------------------ #
 
@@ -109,6 +119,22 @@ class DomainTracker:
         the returned report's ``provenance`` — the day still runs, but its
         detections carry the record of what was known-degraded at the time.
         """
+        if self.telemetry is None:
+            return self._process_day(context)
+        with self.telemetry.activate():
+            with self.telemetry.day_scope(context.day) as record:
+                day_report = self._process_day(context)
+                record.update(
+                    threshold=day_report.threshold,
+                    n_scored=day_report.n_scored,
+                    n_new_detections=len(day_report.new_detections),
+                    n_repeat_detections=len(day_report.repeat_detections),
+                    n_implicated_machines=len(day_report.implicated_machines),
+                    provenance=list(day_report.provenance),
+                )
+        return day_report
+
+    def _process_day(self, context: ObservationContext) -> DayReport:
         if self.days_processed and context.day <= self.days_processed[-1]:
             raise ValueError(
                 f"days must be processed in order; got {context.day} after "
@@ -116,21 +142,26 @@ class DomainTracker:
             )
         from repro.runtime.health import check_context
 
-        health = check_context(
-            context,
-            activity_window=self.config.activity_window,
-            pdns_window=self.config.pdns_window_days,
-        )
+        tracer = current_tracer()
+        with tracer.span("health_check", day=context.day):
+            health = check_context(
+                context,
+                activity_window=self.config.activity_window,
+                pdns_window=self.config.pdns_window_days,
+            )
         model = Segugio(self.config)
-        model.fit(context)
+        with tracer.span("fit", day=context.day):
+            model.fit(context)
 
-        training = model.training_set_
-        benign_scores = model.classifier_.predict_proba(
-            training.X[training.y == 0]
-        )
-        threshold = threshold_for_fpr(benign_scores, self.fp_target)
+        with tracer.span("calibrate_threshold"):
+            training = model.training_set_
+            benign_scores = model.classifier_.predict_proba(
+                training.X[training.y == 0]
+            )
+            threshold = threshold_for_fpr(benign_scores, self.fp_target)
 
-        report = model.classify(context)
+        with tracer.span("classify", day=context.day):
+            report = model.classify(context)
         detections = report.detections(threshold)
 
         provenance = sorted(set(health.provenance()) | set(report.provenance))
@@ -141,22 +172,55 @@ class DomainTracker:
             implicated_machines=report.infected_machines(threshold),
             provenance=provenance,
         )
-        for name, score in detections:
-            entry = self.tracked.get(name)
-            if entry is None:
-                entry = TrackedDomain(
-                    name=name,
-                    first_detected_day=context.day,
-                    last_detected_day=context.day,
-                    best_score=score,
-                )
-                self.tracked[name] = entry
-                day_report.new_detections.append(entry)
-            else:
-                entry.update(context.day, score)
-                day_report.repeat_detections.append(name)
+        with tracer.span("update_ledger", n_detections=len(detections)):
+            for name, score in detections:
+                entry = self.tracked.get(name)
+                if entry is None:
+                    entry = TrackedDomain(
+                        name=name,
+                        first_detected_day=context.day,
+                        last_detected_day=context.day,
+                        best_score=score,
+                    )
+                    self.tracked[name] = entry
+                    day_report.new_detections.append(entry)
+                else:
+                    entry.update(context.day, score)
+                    day_report.repeat_detections.append(name)
         self.days_processed.append(context.day)
         self.day_thresholds[context.day] = threshold
+
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "segugio_tracker_days_total", "days processed by the tracker"
+            ).inc()
+            found = registry.counter(
+                "segugio_tracker_detections_total",
+                "domains detected, by first-sighting status",
+                labels=("kind",),
+            )
+            if day_report.new_detections:
+                found.inc(len(day_report.new_detections), kind="new")
+            if day_report.repeat_detections:
+                found.inc(len(day_report.repeat_detections), kind="repeat")
+            registry.gauge(
+                "segugio_tracker_threshold",
+                "per-day detection threshold calibrated to the FP target",
+            ).set(threshold)
+            registry.gauge(
+                "segugio_tracker_ledger_size", "domains in the tracked ledger"
+            ).set(len(self.tracked))
+        _log.info(
+            "day_processed",
+            day=context.day,
+            threshold=round(threshold, 6),
+            n_scored=day_report.n_scored,
+            n_new=len(day_report.new_detections),
+            n_repeat=len(day_report.repeat_detections),
+            n_machines=len(day_report.implicated_machines),
+            provenance=provenance,
+        )
         return day_report
 
     # ------------------------------------------------------------------ #

@@ -30,6 +30,7 @@ from repro.core.graph import BehaviorGraph
 from repro.core.labeling import BENIGN, MALWARE, label_domains
 from repro.core.pipeline import DetectionReport, ObservationContext, Segugio, SegugioConfig
 from repro.ml.metrics import RocCurve, roc_curve
+from repro.obs.tracing import current_tracer
 
 MISS_SCORE = -1.0
 
@@ -179,22 +180,26 @@ def cross_day_experiment(
     Works unchanged for cross-network runs: pass contexts from different
     ISPs (domain ids are global to the scenario world).
     """
+    tracer = current_tracer()
     rng = np.random.default_rng(seed)
-    split = select_test_split(
-        test_context,
-        test_fraction=test_fraction,
-        min_degree=min_degree,
-        rng=rng,
-        max_benign=max_benign,
-    )
+    with tracer.span("experiment.select_split", experiment=name):
+        split = select_test_split(
+            test_context,
+            test_fraction=test_fraction,
+            min_degree=min_degree,
+            rng=rng,
+            max_benign=max_benign,
+        )
     if split.n_malware == 0:
         raise ValueError(f"{name}: empty malware test set")
     if split.n_benign == 0:
         raise ValueError(f"{name}: empty benign test set")
 
     model = Segugio(config)
-    model.fit(train_context, exclude_domains=split.all_ids)
-    report = model.classify(test_context, hide_domains=split.all_ids)
+    with tracer.span("experiment.fit", experiment=name):
+        model.fit(train_context, exclude_domains=split.all_ids)
+    with tracer.span("experiment.classify", experiment=name):
+        report = model.classify(test_context, hide_domains=split.all_ids)
     y_true, scores, miss_mal, miss_ben = score_split(report, split)
     return RocExperiment(
         name=name,

@@ -19,6 +19,8 @@ import numpy as np
 
 from repro.ml.preprocessing import BinMapper
 from repro.ml.tree import DecisionTreeClassifier
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import current_tracer
 from repro.utils.validation import as_1d_int_array, as_2d_float_array, check_same_length
 
 
@@ -79,20 +81,31 @@ class RandomForestClassifier:
         seeds = root_rng.integers(0, 2**63 - 1, size=self.n_estimators)
         self.trees_ = []
         n = y.shape[0]
-        for seed in seeds:
-            rng = np.random.default_rng(int(seed))
-            if self.bootstrap:
-                sample = rng.integers(0, n, size=n)
-            else:
-                sample = np.arange(n)
-            tree = DecisionTreeClassifier(
-                max_depth=self.max_depth,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=self.max_features,
-                rng=rng,
-            )
-            tree.fit(X_binned[sample], y[sample], base_weight[sample])
-            self.trees_.append(tree)
+        with current_tracer().span(
+            "forest.fit", n_trees=self.n_estimators, n_samples=int(n)
+        ):
+            for seed in seeds:
+                rng = np.random.default_rng(int(seed))
+                if self.bootstrap:
+                    sample = rng.integers(0, n, size=n)
+                else:
+                    sample = np.arange(n)
+                tree = DecisionTreeClassifier(
+                    max_depth=self.max_depth,
+                    min_samples_leaf=self.min_samples_leaf,
+                    max_features=self.max_features,
+                    rng=rng,
+                )
+                tree.fit(X_binned[sample], y[sample], base_weight[sample])
+                self.trees_.append(tree)
+        registry = get_registry()
+        if registry.enabled:
+            registry.gauge(
+                "segugio_forest_trees", "trees in the fitted ensemble"
+            ).set(len(self.trees_))
+            registry.gauge(
+                "segugio_forest_train_samples", "rows the ensemble trained on"
+            ).set(int(n))
         return self
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
@@ -104,11 +117,12 @@ class RandomForestClassifier:
             raise ValueError(
                 f"expected {self.n_features_} features, got {X.shape[1]}"
             )
-        X_binned = self.bin_mapper_.transform(X)
-        scores = np.zeros(X.shape[0], dtype=np.float64)
-        for tree in self.trees_:
-            scores += tree.predict_proba_binned(X_binned)
-        return scores / len(self.trees_)
+        with current_tracer().span("forest.predict", n_samples=int(X.shape[0])):
+            X_binned = self.bin_mapper_.transform(X)
+            scores = np.zeros(X.shape[0], dtype=np.float64)
+            for tree in self.trees_:
+                scores += tree.predict_proba_binned(X_binned)
+            return scores / len(self.trees_)
 
     def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
         """Hard labels at the given malware-score threshold."""

@@ -1,0 +1,78 @@
+"""Pipeline-wide observability: metrics, span tracing, structured logging.
+
+Three coordinated zero-dependency layers (stdlib only):
+
+* :mod:`repro.obs.metrics` — a registry of labeled counters, gauges, and
+  histograms with snapshot/delta export to JSON and Prometheus text format;
+* :mod:`repro.obs.tracing` — nested, timed spans over the pipeline's call
+  tree (absorbing the old ``utils.timing.Stopwatch`` as a shim), exported
+  as a span tree and a per-run ``trace.jsonl``;
+* :mod:`repro.obs.logs` — ``get_logger(component)`` emitting JSON records
+  with run-id / day / phase context variables.
+
+:mod:`repro.obs.run` bundles them into a per-run :class:`RunTelemetry`
+whose output is the run manifest (:mod:`repro.obs.manifest`) rendered by
+``segugio telemetry``.
+
+All three layers are **ambient and off by default**: library code
+instruments unconditionally against :func:`get_registry` /
+:func:`current_tracer` / :func:`get_logger`, and pays (only) a
+context-variable lookup per site until a run activates telemetry.
+"""
+
+from repro.obs.logs import StructuredLogger, bound, configure, get_logger
+from repro.obs.manifest import (
+    MANIFEST_FILENAME,
+    MANIFEST_VERSION,
+    TRACE_FILENAME,
+    ManifestError,
+    config_hash,
+    load_manifest,
+    render_telemetry,
+    write_manifest,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    get_registry,
+    use_registry,
+)
+from repro.obs.run import RunTelemetry
+from repro.obs.tracing import (
+    Span,
+    Stopwatch,
+    Tracer,
+    current_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MANIFEST_FILENAME",
+    "MANIFEST_VERSION",
+    "ManifestError",
+    "MetricsError",
+    "MetricsRegistry",
+    "RunTelemetry",
+    "Span",
+    "Stopwatch",
+    "StructuredLogger",
+    "TRACE_FILENAME",
+    "Tracer",
+    "bound",
+    "config_hash",
+    "configure",
+    "current_tracer",
+    "get_logger",
+    "get_registry",
+    "load_manifest",
+    "render_telemetry",
+    "use_registry",
+    "use_tracer",
+    "write_manifest",
+]

@@ -1,0 +1,142 @@
+"""Structured JSON logging with run-id / day / phase context.
+
+``get_logger(component)`` hands out a :class:`StructuredLogger` whose
+``debug/info/warning/error`` methods emit one JSON object per line::
+
+    {"ts": 1754450000.123456, "level": "info", "component": "tracker",
+     "event": "day_processed", "run_id": "a1b2...", "day": 21,
+     "n_scored": 412, "n_new": 3}
+
+Record schema: ``ts`` (unix seconds), ``level``, ``component``, ``event``
+(a stable snake_case identifier — the greppable key), then any bound
+context fields (``run_id``, ``day``, ``phase``), then the call-site fields.
+
+Logging is **disabled by default** (no sink): library code can log
+unconditionally and a logger call costs one attribute check when nothing is
+listening.  A CLI run (``--log-json``), a :class:`repro.obs.run.RunTelemetry`
+capture, or a test enables it with :func:`configure`.
+
+Context propagation uses a :mod:`contextvars` variable so nested scopes
+(run -> day -> phase) stack correctly across the pipeline's call tree:
+:func:`bound` adds fields for a ``with`` block, and the tracing layer binds
+``phase`` to the active span name while telemetry is on.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import time
+from contextlib import contextmanager
+from typing import Dict, IO, Iterator, Optional, Tuple
+
+LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+class _Config:
+    __slots__ = ("stream", "level")
+
+    def __init__(self) -> None:
+        self.stream: Optional[IO[str]] = None
+        self.level: int = LEVELS["info"]
+
+
+_config = _Config()
+
+# Immutable tuple-of-pairs so tokens restore precisely on scope exit.
+_context: contextvars.ContextVar[Tuple[Tuple[str, object], ...]] = (
+    contextvars.ContextVar("segugio_log_context", default=())
+)
+
+
+def configure(
+    stream: Optional[IO[str]], level: str = "info"
+) -> None:
+    """Enable (or, with ``stream=None``, disable) structured logging."""
+    if level not in LEVELS:
+        raise ValueError(f"unknown log level {level!r}; options: {sorted(LEVELS)}")
+    _config.stream = stream
+    _config.level = LEVELS[level]
+
+
+def reset() -> None:
+    """Return to the disabled default (used by tests)."""
+    _config.stream = None
+    _config.level = LEVELS["info"]
+
+
+def enabled() -> bool:
+    return _config.stream is not None
+
+
+def context_fields() -> Dict[str, object]:
+    """The currently bound context fields (run_id, day, phase, ...)."""
+    return dict(_context.get())
+
+
+@contextmanager
+def bound(**fields: object) -> Iterator[None]:
+    """Bind extra context fields for the duration of the ``with`` block."""
+    token = push_context(**fields)
+    try:
+        yield
+    finally:
+        pop_context(token)
+
+
+def push_context(**fields: object) -> "contextvars.Token":
+    """Non-contextmanager bind; pair with :func:`pop_context` (tracing uses
+    this to tag records with the active span's phase name)."""
+    merged = dict(_context.get())
+    merged.update(fields)
+    return _context.set(tuple(merged.items()))
+
+
+def pop_context(token: "contextvars.Token") -> None:
+    _context.reset(token)
+
+
+class StructuredLogger:
+    """Named emitter of JSON log records (one component per logger)."""
+
+    __slots__ = ("component",)
+
+    def __init__(self, component: str) -> None:
+        self.component = component
+
+    def _emit(self, level: str, event: str, fields: Dict[str, object]) -> None:
+        stream = _config.stream
+        if stream is None or LEVELS[level] < _config.level:
+            return
+        record: Dict[str, object] = {
+            "ts": round(time.time(), 6),
+            "level": level,
+            "component": self.component,
+            "event": event,
+        }
+        record.update(_context.get())
+        record.update(fields)
+        stream.write(json.dumps(record, default=str) + "\n")
+
+    def debug(self, event: str, **fields: object) -> None:
+        self._emit("debug", event, fields)
+
+    def info(self, event: str, **fields: object) -> None:
+        self._emit("info", event, fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        self._emit("warning", event, fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        self._emit("error", event, fields)
+
+
+_loggers: Dict[str, StructuredLogger] = {}
+
+
+def get_logger(component: str) -> StructuredLogger:
+    """The (cached) structured logger for one pipeline component."""
+    logger = _loggers.get(component)
+    if logger is None:
+        logger = _loggers[component] = StructuredLogger(component)
+    return logger

@@ -1,0 +1,245 @@
+"""Run manifests: the one artifact that tells a whole run's story.
+
+Every telemetry-enabled ``segugio track`` / ``segugio classify-dir`` run
+writes two files next to its outputs:
+
+* ``manifest.json`` — the run manifest (this module's schema);
+* ``trace.jsonl`` — the flat span trace
+  (:meth:`repro.obs.tracing.Tracer.write_jsonl`).
+
+Manifest layout (``manifest_version`` 1)::
+
+    {
+      "manifest_version": 1,
+      "run_id": "…", "command": "track", "created_unix": 1754450000.0,
+      "config": {…} | null,          # SegugioConfig as a dict
+      "config_sha256": "…" | null,   # hash of the canonical config JSON
+      "days": [                      # one record per processed day
+        {"day": 21, "threshold": 0.97, "n_scored": 412,
+         "n_new_detections": 3, "n_repeat_detections": 1,
+         "n_implicated_machines": 9, "provenance": ["blacklist_stale:warning"],
+         "phases": {"build_graph": 0.41, …},       # span seconds, this day
+         "metrics": {…}}                            # registry delta, this day
+      ],
+      "metrics": {…},                # final whole-run registry snapshot
+      "spans": […],                  # nested span tree
+      "ingest": [{…}],               # IngestReport.to_dict() per loaded source
+      "degradations": ["…"],         # union of day provenance tags
+      "warnings": ["…"],
+      "trace_file": "trace.jsonl"
+    }
+
+``segugio telemetry manifest.json`` renders the per-phase cost breakdown in
+the shape of the paper's §IV-G efficiency table (learning vs. classification
+wall-clock per day), plus the day-by-day counter summary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Mapping, Optional, Sequence
+
+MANIFEST_VERSION = 1
+MANIFEST_FILENAME = "manifest.json"
+TRACE_FILENAME = "trace.jsonl"
+
+# Phase grouping of the paper's §IV-G table: the learning phase covers graph
+# preparation + training; the classification phase covers measuring and
+# scoring the unknown domains (same split as eval.experiments).
+TRAIN_PHASES = (
+    "build_graph",
+    "label_nodes",
+    "filter_probes",
+    "prune_graph",
+    "build_abuse_oracle",
+    "measure_training_features",
+    "train_classifier",
+)
+TEST_PHASES = ("measure_test_features", "score_domains")
+
+
+class ManifestError(ValueError):
+    """Unreadable, foreign, or structurally broken run manifest."""
+
+
+def config_hash(config: Optional[Mapping[str, object]]) -> Optional[str]:
+    """SHA-256 of the canonical (sorted-keys) JSON form of a config dict."""
+    if config is None:
+        return None
+    body = json.dumps(config, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+def write_manifest(manifest: Mapping[str, object], path: str) -> None:
+    """Atomically (stage + rename) write *manifest* as indented JSON."""
+    staging = f"{path}.tmp.{os.getpid()}"
+    with open(staging, "w") as stream:
+        json.dump(manifest, stream, indent=2, sort_keys=True, default=str)
+        stream.write("\n")
+        stream.flush()
+        os.fsync(stream.fileno())
+    os.replace(staging, path)
+
+
+def load_manifest(path: str) -> Dict[str, object]:
+    """Read and validate a run manifest; raises :class:`ManifestError`."""
+    if not os.path.exists(path):
+        raise ManifestError(f"{path}: manifest file does not exist")
+    try:
+        with open(path) as stream:
+            payload = json.load(stream)
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise ManifestError(
+            f"{path}: manifest is not valid JSON ({error})"
+        ) from None
+    if not isinstance(payload, dict):
+        raise ManifestError(f"{path}: manifest must be a JSON object")
+    version = payload.get("manifest_version")
+    if version != MANIFEST_VERSION:
+        raise ManifestError(
+            f"{path}: manifest version {version!r} is not supported "
+            f"(this library speaks version {MANIFEST_VERSION})"
+        )
+    for key in ("run_id", "command", "days", "metrics", "spans"):
+        if key not in payload:
+            raise ManifestError(f"{path}: manifest is missing {key!r}")
+    return payload
+
+
+# ---------------------------------------------------------------------- #
+# §IV-G-style rendering
+# ---------------------------------------------------------------------- #
+
+
+def _phase_order(days: Sequence[Mapping[str, object]]) -> List[str]:
+    """Known train/test phases first (paper order), then everything else."""
+    seen: List[str] = []
+    for day in days:
+        for name in day.get("phases", {}):  # type: ignore[union-attr]
+            if name not in seen:
+                seen.append(name)
+    ordered = [p for p in TRAIN_PHASES if p in seen]
+    ordered += [p for p in TEST_PHASES if p in seen]
+    ordered += [p for p in seen if p not in ordered]
+    return ordered
+
+
+def render_telemetry(manifest: Mapping[str, object]) -> str:
+    """Human-readable per-phase cost breakdown (cf. paper §IV-G)."""
+    days: List[Mapping[str, object]] = manifest.get("days", [])  # type: ignore[assignment]
+    run_id = manifest.get("run_id", "?")
+    command = manifest.get("command", "?")
+    config_sha = manifest.get("config_sha256") or "-"
+    lines = [
+        f"run {run_id} — segugio {command}, {len(days)} day(s), "
+        f"config sha256 {str(config_sha)[:12]}"
+    ]
+
+    day_labels = [f"day {d.get('day', '?')}" for d in days]
+    width = max([9] + [len(label) for label in day_labels]) + 2
+
+    def row(name: str, values: Sequence[str]) -> str:
+        cells = "".join(f"{v:>{width}s}" for v in values)
+        return f"  {name:<28s}{cells}"
+
+    lines.append("")
+    lines.append("per-phase wall-clock cost (seconds), cf. paper §IV-G:")
+    lines.append(row("phase", day_labels + ["total"]))
+    order = _phase_order(days)
+    phase_by_day: Dict[str, List[float]] = {
+        name: [float(d.get("phases", {}).get(name, 0.0)) for d in days]  # type: ignore[union-attr]
+        for name in order
+    }
+    for name in order:
+        values = phase_by_day[name]
+        lines.append(
+            row(name, [f"{v:.3f}" for v in values] + [f"{sum(values):.3f}"])
+        )
+
+    def group_total(names: Sequence[str]) -> List[float]:
+        return [
+            sum(phase_by_day[n][i] for n in names if n in phase_by_day)
+            for i in range(len(days))
+        ]
+
+    train = group_total(TRAIN_PHASES)
+    test = group_total(TEST_PHASES)
+    lines.append(
+        row("learning total", [f"{v:.3f}" for v in train] + [f"{sum(train):.3f}"])
+    )
+    lines.append(
+        row(
+            "classification total",
+            [f"{v:.3f}" for v in test] + [f"{sum(test):.3f}"],
+        )
+    )
+    if any(test) and sum(test) > 0:
+        lines.append(
+            row(
+                "learning/classification",
+                [
+                    f"{(t / c):.1f}x" if c > 0 else "-"
+                    for t, c in zip(train, test)
+                ]
+                + [f"{(sum(train) / sum(test)):.1f}x"],
+            )
+        )
+
+    counter_rows = [
+        ("unknown domains scored", "n_scored"),
+        ("new detections", "n_new_detections"),
+        ("repeat detections", "n_repeat_detections"),
+        ("machines implicated", "n_implicated_machines"),
+    ]
+    if days and any(key in d for d in days for _, key in counter_rows):
+        lines.append("")
+        lines.append("per-day outcomes:")
+        lines.append(row("counter", day_labels + ["total"]))
+        for label, key in counter_rows:
+            values = [int(d.get(key, 0) or 0) for d in days]
+            lines.append(
+                row(label, [str(v) for v in values] + [str(sum(values))])
+            )
+        thresholds = [d.get("threshold") for d in days]
+        if any(t is not None for t in thresholds):
+            lines.append(
+                row(
+                    "detection threshold",
+                    [
+                        f"{float(t):.3f}" if t is not None else "-"
+                        for t in thresholds
+                    ]
+                    + ["-"],
+                )
+            )
+
+    ingest: List[Mapping[str, object]] = manifest.get("ingest", [])  # type: ignore[assignment]
+    if ingest:
+        lines.append("")
+        lines.append("ingest accounting:")
+        for report in ingest:
+            lines.append(
+                f"  {report.get('source', '?')} ({report.get('mode', '?')}): "
+                f"{report.get('n_ok', 0)} kept, "
+                f"{report.get('n_quarantined', 0)} quarantined"
+            )
+            counters: Mapping[str, int] = report.get("counters", {})  # type: ignore[assignment]
+            for category in sorted(counters):
+                lines.append(f"    {category}: {counters[category]}")
+
+    degradations: List[str] = manifest.get("degradations", [])  # type: ignore[assignment]
+    if degradations:
+        lines.append("")
+        lines.append("degradations observed:")
+        for tag in degradations:
+            lines.append(f"  {tag}")
+
+    warnings: List[str] = manifest.get("warnings", [])  # type: ignore[assignment]
+    if warnings:
+        lines.append("")
+        lines.append("warnings:")
+        for text in warnings:
+            lines.append(f"  {text}")
+    return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""Per-run telemetry capture: one object that owns all three layers.
+
+:class:`RunTelemetry` bundles a :class:`~repro.obs.metrics.MetricsRegistry`
+and a :class:`~repro.obs.tracing.Tracer`, binds the run id into the
+structured-logging context, and accumulates per-day records so a
+``track``/``classify-dir`` run can be written out as a run manifest plus a
+span-trace JSONL (see :mod:`repro.obs.manifest` for the schema)::
+
+    telemetry = RunTelemetry(command="track", config=config_to_dict(cfg))
+    tracker = DomainTracker(cfg, telemetry=telemetry)
+    for context in days:
+        tracker.process_day(context)          # records spans/metrics/day rows
+    manifest_path, trace_path = telemetry.write(out_dir)
+
+The object is inert until :meth:`activate` installs its registry and tracer
+as the ambient instances; instrumented library code never sees it directly.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import ExitStack, contextmanager
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.obs import logs as _logs
+from repro.obs import manifest as _manifest
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.tracing import Tracer, use_tracer
+
+
+def _new_run_id() -> str:
+    return f"{int(time.time()):x}-{os.urandom(4).hex()}"
+
+
+class RunTelemetry:
+    """Collects metrics, spans, day records, and warnings for one run."""
+
+    def __init__(
+        self,
+        command: str = "run",
+        config: Optional[Mapping[str, object]] = None,
+        run_id: Optional[str] = None,
+        enabled: bool = True,
+    ) -> None:
+        self.run_id = run_id if run_id is not None else _new_run_id()
+        self.command = command
+        self.config = dict(config) if config is not None else None
+        self.enabled = bool(enabled)
+        self.registry = MetricsRegistry(enabled=enabled)
+        self.tracer = Tracer(enabled=enabled)
+        self.days: List[Dict[str, object]] = []
+        self.ingest_reports: List[Dict[str, object]] = []
+        self.warnings: List[str] = []
+        self.created_unix = time.time()
+
+    # ------------------------------------------------------------------ #
+    # activation
+    # ------------------------------------------------------------------ #
+
+    @contextmanager
+    def activate(self) -> Iterator["RunTelemetry"]:
+        """Install this run's registry/tracer as the ambient telemetry."""
+        with ExitStack() as stack:
+            stack.enter_context(use_registry(self.registry))
+            stack.enter_context(use_tracer(self.tracer))
+            stack.enter_context(_logs.bound(run_id=self.run_id))
+            yield self
+
+    @contextmanager
+    def day_scope(self, day: int) -> Iterator[Dict[str, object]]:
+        """Record one day: spans nest under ``process_day``, and the day
+        record receives the phase-seconds and registry deltas produced
+        inside the block.  The caller fills outcome fields (threshold,
+        detection counts, provenance) into the yielded dict."""
+        metrics_before = self.registry.snapshot()
+        phases_before = self.tracer.phase_totals()
+        record: Dict[str, object] = {"day": int(day)}
+        with _logs.bound(day=int(day)):
+            with self.tracer.span("process_day", day=int(day)):
+                yield record
+        phases_after = self.tracer.phase_totals()
+        record["phases"] = {
+            name: round(seconds - phases_before.get(name, 0.0), 6)
+            for name, seconds in phases_after.items()
+            if name != "process_day"
+            and seconds - phases_before.get(name, 0.0) > 0
+        }
+        record["metrics"] = MetricsRegistry.delta(
+            self.registry.snapshot(), metrics_before
+        )
+        self.days.append(record)
+
+    # ------------------------------------------------------------------ #
+    # accumulation
+    # ------------------------------------------------------------------ #
+
+    def add_ingest_report(self, report) -> None:
+        """Attach an :class:`repro.runtime.ingest.IngestReport` (or its
+        dict form) to the manifest's ingest section."""
+        payload = report.to_dict() if hasattr(report, "to_dict") else dict(report)
+        self.ingest_reports.append(payload)
+
+    def add_warning(self, text: str) -> None:
+        self.warnings.append(str(text))
+
+    # ------------------------------------------------------------------ #
+    # manifest
+    # ------------------------------------------------------------------ #
+
+    def degradations(self) -> List[str]:
+        """Union of provenance tags across all recorded days."""
+        tags = set()
+        for record in self.days:
+            tags.update(record.get("provenance", []))  # type: ignore[arg-type]
+        return sorted(tags)
+
+    def build_manifest(self) -> Dict[str, object]:
+        return {
+            "manifest_version": _manifest.MANIFEST_VERSION,
+            "run_id": self.run_id,
+            "command": self.command,
+            "created_unix": round(self.created_unix, 6),
+            "config": self.config,
+            "config_sha256": _manifest.config_hash(self.config),
+            "days": self.days,
+            "metrics": self.registry.snapshot(),
+            "spans": self.tracer.span_tree(),
+            "ingest": self.ingest_reports,
+            "degradations": self.degradations(),
+            "warnings": self.warnings,
+            "trace_file": _manifest.TRACE_FILENAME,
+        }
+
+    def write(self, out_dir: str) -> Tuple[str, str]:
+        """Write ``manifest.json`` + ``trace.jsonl`` into *out_dir*."""
+        os.makedirs(out_dir, exist_ok=True)
+        manifest_path = os.path.join(out_dir, _manifest.MANIFEST_FILENAME)
+        trace_path = os.path.join(out_dir, _manifest.TRACE_FILENAME)
+        _manifest.write_manifest(self.build_manifest(), manifest_path)
+        staging = f"{trace_path}.tmp.{os.getpid()}"
+        with open(staging, "w") as stream:
+            self.tracer.write_jsonl(stream)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(staging, trace_path)
+        return manifest_path, trace_path
+
+    def __repr__(self) -> str:
+        return (
+            f"RunTelemetry(run_id={self.run_id!r}, command={self.command!r}, "
+            f"days={len(self.days)}, enabled={self.enabled})"
+        )

@@ -28,11 +28,16 @@ from typing import Optional
 
 from repro.core.pipeline import SegugioConfig
 from repro.core.pruning import PruneConfig
+from repro.obs.logs import get_logger
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import current_tracer
 from repro.runtime.retry import atomic_file
 from repro.utils.errors import CheckpointError
 
 CHECKPOINT_VERSION = 1
 _HEADER_PREFIX = "segugio-checkpoint"
+
+_log = get_logger("checkpoint")
 
 
 def config_to_dict(config: SegugioConfig) -> dict:
@@ -74,9 +79,24 @@ def save_checkpoint(tracker, path: str) -> None:
     }
     body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     header = f"{_HEADER_PREFIX} v{CHECKPOINT_VERSION} sha256={_digest(body)}"
-    with atomic_file(path) as staging:
-        with open(staging, "w") as stream:
-            stream.write(header + "\n" + body + "\n")
+    with current_tracer().span("checkpoint.save", path=path):
+        with atomic_file(path) as staging:
+            with open(staging, "w") as stream:
+                stream.write(header + "\n" + body + "\n")
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter(
+            "segugio_checkpoint_saves_total", "checkpoints written"
+        ).inc()
+        registry.gauge(
+            "segugio_checkpoint_bytes", "size of the last checkpoint"
+        ).set(len(header) + len(body) + 2)
+    _log.info(
+        "checkpoint_saved",
+        path=path,
+        n_days=len(tracker.days_processed),
+        n_tracked=len(tracker.tracked),
+    )
 
 
 def load_checkpoint(path: str) -> dict:
@@ -155,8 +175,23 @@ def resume_tracker(path: str, config: Optional[SegugioConfig] = None):
     """
     from repro.core.tracker import DomainTracker
 
-    payload = load_checkpoint(path)
-    resolved = (
-        config if config is not None else config_from_dict(payload["config"])
+    with current_tracer().span("checkpoint.resume", path=path):
+        payload = load_checkpoint(path)
+        resolved = (
+            config
+            if config is not None
+            else config_from_dict(payload["config"])
+        )
+        tracker = DomainTracker.from_state(payload["state"], config=resolved)
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter(
+            "segugio_checkpoint_resumes_total", "checkpoints resumed from"
+        ).inc()
+    _log.info(
+        "checkpoint_resumed",
+        path=path,
+        n_days=len(tracker.days_processed),
+        n_tracked=len(tracker.tracked),
     )
-    return DomainTracker.from_state(payload["state"], config=resolved)
+    return tracker

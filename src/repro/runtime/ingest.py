@@ -38,10 +38,15 @@ from repro.dns.publicsuffix import PublicSuffixList
 from repro.dns.trace import DayTrace, parse_trace_line
 from repro.intel.blacklist import CncBlacklist, parse_blacklist_line
 from repro.intel.whitelist import DomainWhitelist, parse_whitelist_line
+from repro.obs.logs import get_logger
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.tracing import current_tracer
 from repro.utils.errors import FeedFormatError, IngestError
 
 DEFAULT_MAX_ERROR_RATE = 0.05
 MAX_QUARANTINE_SAMPLES = 25
+
+_log = get_logger("ingest")
 
 
 @dataclass(frozen=True)
@@ -111,6 +116,57 @@ class IngestReport:
             )
             lines.append(f"    e.g. {location}: {record.detail}")
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form for the run manifest's ingest section."""
+        return {
+            "source": self.source,
+            "mode": self.mode,
+            "n_ok": self.n_ok,
+            "n_quarantined": self.n_quarantined,
+            "error_rate": round(self.error_rate, 6),
+            "counters": dict(sorted(self.counters.items())),
+            "samples": [
+                {
+                    "source": record.source,
+                    "line": record.line,
+                    "category": record.category,
+                    "detail": record.detail,
+                }
+                for record in self.quarantined
+            ],
+        }
+
+    def emit_metrics(self, registry: Optional[MetricsRegistry] = None) -> None:
+        """Publish this load's accounting as ``segugio_ingest_*`` metrics.
+
+        Called by :func:`load_observation_checked` *before* the error-rate
+        cap can fail the load, so a day that quarantined 30% of its records
+        is visible in the run's metrics and manifest after the fact — not
+        only in the one-shot :class:`IngestError` message.
+        """
+        registry = registry if registry is not None else get_registry()
+        if not registry.enabled:
+            return
+        records = registry.counter(
+            "segugio_ingest_records_total",
+            "records seen by ingest, by outcome",
+            labels=("outcome",),
+        )
+        records.inc(self.n_ok, outcome="kept")
+        if self.n_quarantined:
+            records.inc(self.n_quarantined, outcome="quarantined")
+            per_category = registry.counter(
+                "segugio_ingest_quarantined_total",
+                "quarantined records per category",
+                labels=("category",),
+            )
+            for category, count in self.counters.items():
+                per_category.inc(count, category=category)
+        registry.gauge(
+            "segugio_ingest_error_rate",
+            "malformed fraction of the most recent load",
+        ).set(self.error_rate)
 
 
 # ---------------------------------------------------------------------- #
@@ -350,6 +406,15 @@ def load_observation_checked(
         raise ValueError(
             f"max_error_rate must be in [0, 1), got {max_error_rate}"
         )
+    with current_tracer().span(
+        "ingest.load_observation", directory=directory, mode=mode
+    ):
+        return _load_observation_checked(directory, mode, max_error_rate)
+
+
+def _load_observation_checked(
+    directory: str, mode: str, max_error_rate: float
+) -> Tuple[ObservationContext, IngestReport]:
     strict = mode == "strict"
     report = IngestReport(source=directory, mode=mode)
 
@@ -429,7 +494,36 @@ def load_observation_checked(
     fqd_activity = store.build_activity_index(fqd_pairs)
     e2ld_activity = store.build_activity_index(e2ld_pairs)
 
+    registry = get_registry()
+    if registry.enabled:
+        report.emit_metrics(registry)
+        bytes_read = registry.counter(
+            "segugio_ingest_bytes_total",
+            "bytes read from observation files",
+            labels=("file",),
+        )
+        for name in store.OBSERVATION_FILES:
+            path = os.path.join(directory, name)
+            if os.path.exists(path):
+                bytes_read.inc(os.path.getsize(path), file=name)
+    if report.n_quarantined:
+        _log.warning(
+            "records_quarantined",
+            source=directory,
+            mode=mode,
+            n_ok=report.n_ok,
+            n_quarantined=report.n_quarantined,
+            error_rate=round(report.error_rate, 6),
+            counters=dict(sorted(report.counters.items())),
+        )
+
     if report.error_rate > max_error_rate:
+        _log.error(
+            "error_rate_cap_exceeded",
+            source=directory,
+            error_rate=round(report.error_rate, 6),
+            max_error_rate=max_error_rate,
+        )
         raise IngestError(
             f"{directory}: {report.n_quarantined} of {report.n_seen} "
             f"records malformed ({report.error_rate:.2%}), above the "

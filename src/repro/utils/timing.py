@@ -1,54 +1,17 @@
-"""Lightweight phase timing for the performance experiments (paper §IV-G).
+"""Lightweight phase timing (compatibility shim over :mod:`repro.obs`).
 
-The paper reports wall-clock cost per pipeline phase (graph building,
-labeling, pruning, training, classification).  :class:`Stopwatch` collects
-named phase durations so the efficiency benchmark can print the same
-breakdown.
+.. deprecated::
+    :class:`Stopwatch` now lives in :mod:`repro.obs.tracing`, where each
+    phase also feeds the ambient span tracer; this module re-exports it so
+    existing callers (the §IV-G efficiency benchmark, ``Segugio.timings_``)
+    keep working.  New code should instrument with
+    :func:`repro.obs.tracing.current_tracer` spans instead of holding a
+    private stopwatch — spans nest, carry attributes, and land in the run
+    manifest.
 """
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
-from typing import Dict, Iterator, List, Tuple
+from repro.obs.tracing import Stopwatch
 
-
-class Stopwatch:
-    """Accumulates named wall-clock phase durations."""
-
-    def __init__(self) -> None:
-        self._elapsed: Dict[str, float] = {}
-        self._order: List[str] = []
-
-    @contextmanager
-    def phase(self, name: str) -> Iterator[None]:
-        """Context manager timing one named phase (re-entrant accumulates)."""
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            duration = time.perf_counter() - start
-            if name not in self._elapsed:
-                self._order.append(name)
-                self._elapsed[name] = 0.0
-            self._elapsed[name] += duration
-
-    def elapsed(self, name: str) -> float:
-        """Total seconds recorded for *name* (0.0 if never timed)."""
-        return self._elapsed.get(name, 0.0)
-
-    def total(self) -> float:
-        return sum(self._elapsed.values())
-
-    def items(self) -> List[Tuple[str, float]]:
-        """Phases in first-recorded order with their cumulative seconds."""
-        return [(name, self._elapsed[name]) for name in self._order]
-
-    def report(self) -> str:
-        """Human-readable multi-line breakdown."""
-        lines = [f"{name:<28s} {secs:9.3f}s" for name, secs in self.items()]
-        lines.append(f"{'total':<28s} {self.total():9.3f}s")
-        return "\n".join(lines)
-
-    def __repr__(self) -> str:
-        return f"Stopwatch({dict(self.items())})"
+__all__ = ["Stopwatch"]

@@ -1,0 +1,95 @@
+"""Structured logging: JSON records, bound context, levels, defaults."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import logs
+from repro.obs.logs import bound, configure, enabled, get_logger, reset
+
+
+@pytest.fixture(autouse=True)
+def _clean_logging():
+    reset()
+    yield
+    reset()
+
+
+def records(stream: io.StringIO):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestEmission:
+    def test_disabled_by_default(self):
+        assert enabled() is False
+        get_logger("test").info("ignored", n=1)  # must not raise
+
+    def test_emits_one_json_object_per_line(self):
+        stream = io.StringIO()
+        configure(stream)
+        log = get_logger("tracker")
+        log.info("day_processed", day=21, n_scored=412)
+        log.warning("slow")
+        first, second = records(stream)
+        assert first["component"] == "tracker"
+        assert first["event"] == "day_processed"
+        assert first["level"] == "info"
+        assert first["day"] == 21 and first["n_scored"] == 412
+        assert isinstance(first["ts"], float)
+        assert second["level"] == "warning"
+
+    def test_non_json_values_stringified(self):
+        stream = io.StringIO()
+        configure(stream)
+        get_logger("test").info("odd", value={1, 2})
+        [record] = records(stream)
+        assert isinstance(record["value"], str)
+
+    def test_get_logger_is_cached(self):
+        assert get_logger("pipeline") is get_logger("pipeline")
+
+
+class TestLevels:
+    def test_below_threshold_suppressed(self):
+        stream = io.StringIO()
+        configure(stream, level="warning")
+        log = get_logger("test")
+        log.debug("nope")
+        log.info("nope")
+        log.warning("yes")
+        log.error("yes")
+        assert [r["level"] for r in records(stream)] == ["warning", "error"]
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure(io.StringIO(), level="loud")
+
+
+class TestContext:
+    def test_bound_fields_appear_and_unwind(self):
+        stream = io.StringIO()
+        configure(stream)
+        log = get_logger("test")
+        with bound(run_id="r1"):
+            with bound(day=21):
+                log.info("inner")
+            log.info("outer")
+        log.info("bare")
+        inner, outer, bare = records(stream)
+        assert inner["run_id"] == "r1" and inner["day"] == 21
+        assert outer["run_id"] == "r1" and "day" not in outer
+        assert "run_id" not in bare
+
+    def test_call_site_fields_override_context(self):
+        stream = io.StringIO()
+        configure(stream)
+        with bound(day=1):
+            get_logger("test").info("event", day=2)
+        assert records(stream)[0]["day"] == 2
+
+    def test_push_pop_tokens_restore_exactly(self):
+        token = logs.push_context(phase="fit")
+        assert logs.context_fields() == {"phase": "fit"}
+        logs.pop_context(token)
+        assert logs.context_fields() == {}

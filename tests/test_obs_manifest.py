@@ -1,0 +1,185 @@
+"""Run manifests: hashing, atomic write/load validation, §IV-G rendering."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.manifest import (
+    MANIFEST_VERSION,
+    ManifestError,
+    config_hash,
+    load_manifest,
+    render_telemetry,
+    write_manifest,
+)
+
+
+def minimal_manifest(**overrides):
+    manifest = {
+        "manifest_version": MANIFEST_VERSION,
+        "run_id": "r1",
+        "command": "track",
+        "config": {"n_trees": 100},
+        "config_sha256": config_hash({"n_trees": 100}),
+        "days": [],
+        "metrics": {},
+        "spans": [],
+        "ingest": [],
+        "degradations": [],
+        "warnings": [],
+        "trace_file": "trace.jsonl",
+    }
+    manifest.update(overrides)
+    return manifest
+
+
+class TestConfigHash:
+    def test_key_order_invariant(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+
+    def test_value_sensitive(self):
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+
+    def test_none_config_hashes_to_none(self):
+        assert config_hash(None) is None
+
+
+class TestWriteLoad:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "manifest.json")
+        manifest = minimal_manifest(days=[{"day": 21, "phases": {}}])
+        write_manifest(manifest, path)
+        assert load_manifest(path) == manifest
+
+    def test_write_leaves_no_staging_file(self, tmp_path):
+        path = str(tmp_path / "manifest.json")
+        write_manifest(minimal_manifest(), path)
+        assert os.listdir(tmp_path) == ["manifest.json"]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ManifestError, match="does not exist"):
+            load_manifest(str(tmp_path / "nope.json"))
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{truncated")
+        with pytest.raises(ManifestError, match="not valid JSON"):
+            load_manifest(str(path))
+
+    def test_non_object(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ManifestError, match="JSON object"):
+            load_manifest(str(path))
+
+    def test_wrong_version(self, tmp_path):
+        path = str(tmp_path / "v99.json")
+        write_manifest(minimal_manifest(manifest_version=99), path)
+        with pytest.raises(ManifestError, match="version 99"):
+            load_manifest(path)
+
+    def test_missing_required_key(self, tmp_path):
+        path = str(tmp_path / "partial.json")
+        manifest = minimal_manifest()
+        del manifest["days"]
+        write_manifest(manifest, path)
+        with pytest.raises(ManifestError, match="missing 'days'"):
+            load_manifest(path)
+
+
+class TestRenderTelemetry:
+    def make_manifest(self):
+        return minimal_manifest(
+            days=[
+                {
+                    "day": 21,
+                    "threshold": 0.4,
+                    "n_scored": 930,
+                    "n_new_detections": 23,
+                    "n_repeat_detections": 0,
+                    "n_implicated_machines": 37,
+                    "provenance": [],
+                    "phases": {
+                        "build_graph": 0.5,
+                        "train_classifier": 1.5,
+                        "measure_test_features": 0.6,
+                        "score_domains": 0.4,
+                    },
+                    "metrics": {},
+                },
+                {
+                    "day": 22,
+                    "threshold": 0.37,
+                    "n_scored": 916,
+                    "n_new_detections": 10,
+                    "n_repeat_detections": 15,
+                    "n_implicated_machines": 43,
+                    "provenance": ["blacklist_stale:warning"],
+                    "phases": {
+                        "build_graph": 0.5,
+                        "train_classifier": 1.5,
+                        "measure_test_features": 0.4,
+                        "score_domains": 0.6,
+                    },
+                    "metrics": {},
+                },
+            ],
+            ingest=[
+                {
+                    "source": "/data/obs",
+                    "mode": "lenient",
+                    "n_ok": 1000,
+                    "n_quarantined": 3,
+                    "counters": {"trace:bad_ipv4": 3},
+                }
+            ],
+            degradations=["blacklist_stale:warning"],
+            warnings=["one warning"],
+        )
+
+    def test_header_and_phase_rows(self):
+        text = render_telemetry(self.make_manifest())
+        assert "run r1 — segugio track, 2 day(s)" in text
+        assert "cf. paper §IV-G" in text
+        # Phase rows carry per-day and total columns.
+        build = next(l for l in text.splitlines() if "build_graph" in l)
+        assert "0.500" in build and "1.000" in build
+
+    def test_learning_vs_classification_totals(self):
+        lines = render_telemetry(self.make_manifest()).splitlines()
+        learning = next(l for l in lines if "learning total" in l)
+        classification = next(l for l in lines if "classification total" in l)
+        ratio = next(l for l in lines if "learning/classification" in l)
+        assert "2.000" in learning and "4.000" in learning
+        assert "1.000" in classification and "2.000" in classification
+        assert "2.0x" in ratio  # 4.0 / 2.0 overall
+
+    def test_outcome_counters_summed(self):
+        text = render_telemetry(self.make_manifest())
+        scored = next(
+            l for l in text.splitlines() if "unknown domains scored" in l
+        )
+        assert "1846" in scored  # 930 + 916
+        assert "detection threshold" in text
+        assert "0.400" in text and "0.370" in text
+
+    def test_ingest_degradations_warnings_sections(self):
+        text = render_telemetry(self.make_manifest())
+        assert "/data/obs (lenient): 1000 kept, 3 quarantined" in text
+        assert "trace:bad_ipv4: 3" in text
+        assert "degradations observed:" in text
+        assert "blacklist_stale:warning" in text
+        assert "warnings:" in text
+
+    def test_renders_empty_run_without_crashing(self):
+        text = render_telemetry(minimal_manifest())
+        assert "0 day(s)" in text
+        assert "ingest accounting" not in text
+
+    def test_render_is_json_safe(self, tmp_path):
+        """Whatever write_manifest persisted must render after reload."""
+        path = str(tmp_path / "manifest.json")
+        write_manifest(self.make_manifest(), path)
+        text = render_telemetry(load_manifest(path))
+        assert "run r1" in text

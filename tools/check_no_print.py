@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Lint guard: no bare ``print(`` calls in library code.
+
+Library output must go through ``repro.obs.logs`` (structured, contextual,
+off by default) — a stray ``print`` in the pipeline pollutes stdout that
+``segugio`` subcommands own.  The CLI module is the one legitimate printer.
+
+AST-based on purpose: a grep would false-positive on ``print(`` inside
+docstrings and comments (e.g. usage examples in ``repro/__init__.py``).
+
+Usage: ``python tools/check_no_print.py [root]`` (default ``src/repro``).
+Exits 1 listing every offending ``file:line``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+
+ALLOWED_FILES = frozenset({"cli.py"})
+
+
+def find_prints(path: str) -> list:
+    with open(path, "rb") as stream:
+        source = stream.read()
+    tree = ast.parse(source, filename=path)
+    offenses = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            offenses.append(node.lineno)
+    return offenses
+
+
+def main(argv: list) -> int:
+    root = argv[1] if len(argv) > 1 else os.path.join("src", "repro")
+    if not os.path.isdir(root):
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return 2
+    failed = False
+    for dirpath, _dirnames, filenames in sorted(os.walk(root)):
+        for name in sorted(filenames):
+            if not name.endswith(".py") or name in ALLOWED_FILES:
+                continue
+            path = os.path.join(dirpath, name)
+            for line in find_prints(path):
+                print(
+                    f"{path}:{line}: bare print() in library code — "
+                    f"use repro.obs.logs.get_logger instead",
+                    file=sys.stderr,
+                )
+                failed = True
+    if failed:
+        return 1
+    print(f"check_no_print: OK ({root})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
