@@ -1,0 +1,18 @@
+# Developer entry points (all zero-dependency beyond the dev extras).
+#
+#   make lint   — byte-compile + segugio-lint (same gate CI runs)
+#   make test   — tier-1 suite
+#   make check  — both
+
+PYTHON ?= python
+
+.PHONY: lint test check
+
+lint:
+	$(PYTHON) -m compileall -q src
+	$(PYTHON) -m tools.lint
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+check: lint test

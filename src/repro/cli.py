@@ -378,6 +378,48 @@ def _run_telemetry(args: argparse.Namespace) -> None:
     print(render_telemetry(manifest))
 
 
+def _run_lint(lint_args: List[str]) -> int:
+    """Dev helper: run segugio-lint from a repository checkout.
+
+    The linter lives in ``tools/lint`` (repo tooling, not part of the
+    installed package), so this walks up from the working directory to
+    find the checkout and re-invokes ``python -m tools.lint`` there.
+    """
+    import os
+    import subprocess
+
+    def _checkout_above(start: str) -> Optional[str]:
+        candidate = start
+        while True:
+            if os.path.isfile(os.path.join(candidate, "tools", "lint", "__init__.py")):
+                return candidate
+            parent = os.path.dirname(candidate)
+            if parent == candidate:
+                return None
+            candidate = parent
+
+    # prefer the working directory; fall back to the checkout this very
+    # module was imported from (PYTHONPATH=src development), so the
+    # command works from any directory
+    root = _checkout_above(os.getcwd()) or _checkout_above(
+        os.path.dirname(os.path.abspath(__file__))
+    )
+    if root is None:
+        raise SystemExit(
+            "segugio lint: not inside a repository checkout "
+            "(tools/lint not found above the working directory or the "
+            "imported repro package)"
+        )
+    command = [sys.executable, "-m", "tools.lint"] + list(lint_args)
+    return subprocess.call(command, cwd=root)
+
+
+def _run_lint_namespace(args: argparse.Namespace) -> None:
+    returncode = _run_lint(args.lint_args)
+    if returncode:
+        raise SystemExit(returncode)
+
+
 def _add_ingest_flags(parser: argparse.ArgumentParser) -> None:
     """--strict/--lenient ingest mode plus the lenient error-rate cap."""
     from repro.runtime.ingest import DEFAULT_MAX_ERROR_RATE
@@ -537,10 +579,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     telemetry.add_argument("manifest", help="path to a manifest.json")
     telemetry.set_defaults(func=_run_telemetry)
+
+    # Hidden dev subcommand (handled in main() before parsing so every
+    # flag forwards verbatim): runs the repo's static-analysis pass
+    # (tools/lint, DESIGN.md §9), e.g. `segugio lint --format json`.
+    lint = sub.add_parser("lint")
+    lint.add_argument("lint_args", nargs=argparse.REMAINDER)
+    lint.set_defaults(func=_run_lint_namespace)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    raw = list(sys.argv[1:] if argv is None else argv)
+    if raw and raw[0] == "lint":
+        # forwarded verbatim: argparse's REMAINDER mishandles a leading
+        # option token (e.g. `segugio lint --format json`)
+        return _run_lint(raw[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if getattr(args, "log_json", False):

@@ -22,7 +22,7 @@ ground truth can never leak into the measurement.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -205,7 +205,7 @@ class SegugioConfig:
     max_benign_train: Optional[int] = None
     seed: int = 0
 
-    def make_classifier(self):
+    def make_classifier(self) -> Union[RandomForestClassifier, LogisticRegression]:
         if self.classifier == "forest":
             return RandomForestClassifier(
                 n_estimators=self.n_estimators,

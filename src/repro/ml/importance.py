@@ -9,7 +9,7 @@ rank individual features.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -18,7 +18,7 @@ from repro.utils.validation import as_1d_int_array, as_2d_float_array, check_sam
 
 
 def permutation_importance(
-    model,
+    model: Any,
     X: np.ndarray,
     y: np.ndarray,
     metric: Optional[Callable[[np.ndarray, np.ndarray], float]] = None,
@@ -96,7 +96,7 @@ def permutation_importance(
 
 
 def local_attribution(
-    model,
+    model: Any,
     background: np.ndarray,
     x: np.ndarray,
     feature_names: Optional[Sequence[str]] = None,

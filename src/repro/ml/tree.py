@@ -48,7 +48,8 @@ class DecisionTreeClassifier:
         min_samples_leaf: Reject splits producing a smaller child.
         max_features: Features examined per split: "sqrt", "log2", an int,
             or None for all.
-        rng: Generator for the per-node feature subsampling.
+        rng: Generator for the per-node feature subsampling (defaults to a
+            fresh seed-0 generator so standalone trees are reproducible).
     """
 
     def __init__(
@@ -69,7 +70,7 @@ class DecisionTreeClassifier:
         self.min_samples_split = min_samples_split
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
 
         # Flat representation, filled by fit().
         self.node_feature_: Optional[np.ndarray] = None

@@ -24,7 +24,7 @@ import dataclasses
 import hashlib
 import json
 import os
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.pipeline import SegugioConfig
 from repro.core.pruning import PruneConfig
@@ -33,6 +33,9 @@ from repro.obs.metrics import get_registry
 from repro.obs.tracing import current_tracer
 from repro.runtime.retry import atomic_file
 from repro.utils.errors import CheckpointError
+
+if TYPE_CHECKING:  # runtime import would cycle: tracker imports this module
+    from repro.core.tracker import DomainTracker
 
 CHECKPOINT_VERSION = 1
 _HEADER_PREFIX = "segugio-checkpoint"
@@ -70,7 +73,7 @@ def _digest(body: str) -> str:
     return hashlib.sha256(body.encode("utf-8")).hexdigest()
 
 
-def save_checkpoint(tracker, path: str) -> None:
+def save_checkpoint(tracker: "DomainTracker", path: str) -> None:
     """Atomically write *tracker* (a :class:`DomainTracker`) to *path*."""
     payload = {
         "checkpoint_version": CHECKPOINT_VERSION,
@@ -166,7 +169,9 @@ def load_checkpoint(path: str) -> dict:
     return payload
 
 
-def resume_tracker(path: str, config: Optional[SegugioConfig] = None):
+def resume_tracker(
+    path: str, config: Optional[SegugioConfig] = None
+) -> "DomainTracker":
     """Rebuild the :class:`DomainTracker` stored at *path*.
 
     The persisted config is used unless *config* overrides it (overriding

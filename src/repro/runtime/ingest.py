@@ -42,6 +42,7 @@ from repro.obs.logs import get_logger
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.tracing import current_tracer
 from repro.utils.errors import FeedFormatError, IngestError
+from repro.utils.ids import Interner
 
 DEFAULT_MAX_ERROR_RATE = 0.05
 MAX_QUARANTINE_SAMPLES = 25
@@ -177,12 +178,10 @@ class IngestReport:
 def load_trace_lenient(
     path: str,
     report: IngestReport,
-    machines=None,
-    domains=None,
+    machines: Optional[Interner] = None,
+    domains: Optional[Interner] = None,
 ) -> DayTrace:
     """Line-by-line :meth:`DayTrace.load` that quarantines bad records."""
-    from repro.utils.ids import Interner
-
     machines = machines if machines is not None else Interner()
     domains = domains if domains is not None else Interner()
     day = 0

@@ -5,10 +5,20 @@ session-scoped and treated as immutable by tests (traces and indices are
 cached inside the scenario; tests must not mutate them).
 """
 
+import os
+import sys
+
 import numpy as np
 import pytest
 
 from repro.synth.scenario import Scenario
+
+# The lint tests import the repo-local ``tools`` package, which lives at
+# the repository root (outside PYTHONPATH=src); anchor it explicitly so
+# the suite also runs when invoked from another directory.
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if REPO_ROOT not in sys.path:
+    sys.path.insert(0, REPO_ROOT)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,117 @@
+"""Baseline semantics: suppress, add (--write-baseline), and expire."""
+
+import json
+
+import pytest
+
+from tools.lint.baseline import (
+    BaselineEntry,
+    apply_baseline,
+    load_baseline,
+    render_baseline,
+)
+from tools.lint.engine import Finding, LintConfigError
+
+
+def make_finding(rule="SEG001", path="src/repro/core/x.py", line=3, snippet="print('x')"):
+    return Finding(
+        path=path, line=line, col=1, rule=rule, message="msg", snippet=snippet
+    )
+
+
+def make_entry(rule="SEG001", path="src/repro/core/x.py", snippet="print('x')", reason="ok"):
+    return BaselineEntry(rule=rule, path=path, snippet=snippet, reason=reason)
+
+
+class TestApply:
+    def test_matching_entry_suppresses_finding(self):
+        kept, stale = apply_baseline([make_finding()], [make_entry()])
+        assert kept == []
+        assert stale == []
+
+    def test_match_ignores_line_numbers(self):
+        # an edit above the baselined site moves it; the entry still holds
+        kept, stale = apply_baseline([make_finding(line=99)], [make_entry()])
+        assert kept == []
+        assert stale == []
+
+    def test_snippet_edit_expires_entry(self):
+        kept, stale = apply_baseline(
+            [make_finding(snippet="print('y')")], [make_entry()]
+        )
+        assert len(kept) == 1  # the edited line must be re-justified or fixed
+        assert len(stale) == 1  # ... and the old entry removed
+
+    def test_rule_mismatch_does_not_suppress(self):
+        kept, stale = apply_baseline([make_finding(rule="SEG005")], [make_entry()])
+        assert len(kept) == 1
+        assert len(stale) == 1
+
+    def test_entry_with_no_finding_is_stale(self):
+        kept, stale = apply_baseline([], [make_entry()])
+        assert kept == []
+        assert stale == [make_entry()]
+
+    def test_one_entry_covers_identical_duplicate_lines(self):
+        findings = [make_finding(line=3), make_finding(line=30)]
+        kept, stale = apply_baseline(findings, [make_entry()])
+        assert kept == []
+        assert stale == []
+
+
+class TestRoundTrip:
+    def test_render_then_load(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(render_baseline([make_finding()]))
+        entries = load_baseline(str(path))
+        assert len(entries) == 1
+        assert entries[0].rule == "SEG001"
+        assert "TODO" in entries[0].reason  # fresh entries demand documentation
+
+    def test_render_preserves_supplied_reasons(self, tmp_path):
+        finding = make_finding()
+        key = (finding.rule, finding.path, finding.snippet)
+        text = render_baseline([finding], {key: "documented because reasons"})
+        path = tmp_path / "baseline.json"
+        path.write_text(text)
+        assert load_baseline(str(path))[0].reason == "documented because reasons"
+
+    def test_render_is_sorted_and_deduplicated(self):
+        findings = [
+            make_finding(path="src/b.py"),
+            make_finding(path="src/a.py"),
+            make_finding(path="src/a.py"),  # duplicate collapses
+        ]
+        doc = json.loads(render_baseline(findings))
+        assert [e["path"] for e in doc["entries"]] == ["src/a.py", "src/b.py"]
+
+
+class TestLoadErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(LintConfigError):
+            load_baseline(str(tmp_path / "nope.json"))
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(LintConfigError):
+            load_baseline(str(path))
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(LintConfigError):
+            load_baseline(str(path))
+
+    def test_malformed_entry(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 1, "entries": [{"rule": "SEG001"}]}))
+        with pytest.raises(LintConfigError):
+            load_baseline(str(path))
+
+    def test_duplicate_entries_rejected(self, tmp_path):
+        entry = make_entry().to_dict()
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 1, "entries": [entry, entry]}))
+        with pytest.raises(LintConfigError):
+            load_baseline(str(path))

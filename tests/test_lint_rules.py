@@ -1,0 +1,314 @@
+"""Per-rule positive/negative fixtures for SEG001–SEG008.
+
+Each test lints a small snippet as if it lived at a given module path —
+the rules are path-sensitive (layering, exemptions), so the fixtures
+exercise both the violating and the sanctioned placement of the same
+code.
+"""
+
+import textwrap
+
+from tools.lint.engine import Engine
+from tools.lint.rules import build_rules
+
+
+def findings_for(source, module="repro.core.fake", path=None):
+    if path is None:
+        path = "src/" + module.replace(".", "/") + ".py"
+    engine = Engine(build_rules())
+    return engine.lint_source(textwrap.dedent(source), path=path, module=module)
+
+
+def rules_hit(source, module="repro.core.fake"):
+    return sorted({f.rule for f in findings_for(source, module=module)})
+
+
+class TestSEG001Print:
+    def test_flags_library_print(self):
+        assert rules_hit("print('hello')\n") == ["SEG001"]
+
+    def test_allows_cli_module(self):
+        assert rules_hit("print('hello')\n", module="repro.cli") == []
+
+    def test_ignores_docstring_mention(self):
+        assert rules_hit('"""use print(x) like this"""\n') == []
+
+    def test_ignores_method_named_print(self):
+        assert rules_hit("obj.print('x')\n") == []
+
+
+class TestSEG002Determinism:
+    def test_flags_time_time(self):
+        assert "SEG002" in rules_hit("import time\nt = time.time()\n")
+
+    def test_flags_datetime_now(self):
+        src = "import datetime\nd = datetime.datetime.now()\n"
+        assert "SEG002" in rules_hit(src)
+
+    def test_flags_stdlib_random(self):
+        assert "SEG002" in rules_hit("import random\nx = random.random()\n")
+
+    def test_flags_from_random_import(self):
+        assert "SEG002" in rules_hit("from random import shuffle\n")
+
+    def test_flags_from_time_import_time(self):
+        assert "SEG002" in rules_hit("from time import time\n")
+
+    def test_flags_unseeded_default_rng(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert "SEG002" in rules_hit(src)
+
+    def test_allows_seeded_default_rng(self):
+        src = "import numpy as np\nrng = np.random.default_rng(7)\n"
+        assert rules_hit(src) == []
+
+    def test_flags_numpy_global_state(self):
+        src = "import numpy as np\nx = np.random.rand(3)\n"
+        assert "SEG002" in rules_hit(src)
+
+    def test_allows_generator_construction(self):
+        src = "import numpy as np\ng = np.random.Generator(np.random.PCG64(1))\n"
+        assert rules_hit(src) == []
+
+    def test_obs_package_is_exempt(self):
+        src = "import time\nt = time.time()\n"
+        assert rules_hit(src, module="repro.obs.logs") == []
+
+    def test_retry_module_is_exempt(self):
+        src = "import random\nx = random.uniform(0, 1)\n"
+        assert rules_hit(src, module="repro.runtime.retry") == []
+
+    def test_perf_counter_is_allowed(self):
+        # durations are not wall-clock identity; Stopwatch/tracing rely on it
+        assert rules_hit("import time\nt = time.perf_counter()\n") == []
+
+
+class TestSEG003Layering:
+    def test_core_must_not_import_cli(self):
+        assert "SEG003" in rules_hit("import repro.cli\n", module="repro.core.graph")
+
+    def test_core_must_not_import_eval_submodule(self):
+        src = "from repro.eval.harness import score_split\n"
+        assert "SEG003" in rules_hit(src, module="repro.core.graph")
+
+    def test_ml_must_not_import_obs_run(self):
+        src = "from repro.obs.run import RunTelemetry\n"
+        assert "SEG003" in rules_hit(src, module="repro.ml.forest")
+
+    def test_from_repro_obs_import_run_is_caught(self):
+        src = "from repro.obs import run\n"
+        assert "SEG003" in rules_hit(src, module="repro.dns.trace")
+
+    def test_core_may_import_obs_metrics(self):
+        src = "from repro.obs.metrics import get_registry\n"
+        assert rules_hit(src, module="repro.core.graph") == []
+
+    def test_eval_may_import_core(self):
+        src = "from repro.core.graph import BehaviorGraph\n"
+        assert rules_hit(src, module="repro.eval.harness") == []
+
+    def test_obs_must_not_import_repro(self):
+        src = "from repro.core.graph import BehaviorGraph\n"
+        assert "SEG003" in rules_hit(src, module="repro.obs.metrics")
+
+    def test_obs_may_import_itself(self):
+        src = "from repro.obs.logs import get_logger\n"
+        assert rules_hit(src, module="repro.obs.tracing") == []
+
+    def test_function_local_imports_are_caught_too(self):
+        src = """
+        def late():
+            from repro.cli import main
+            return main
+        """
+        hit = rules_hit(src, module="repro.core.tracker")
+        assert "SEG003" in hit
+
+
+class TestSEG004ExceptionHygiene:
+    def test_flags_bare_except(self):
+        src = """
+        try:
+            work()
+        except:
+            pass
+        """
+        assert "SEG004" in rules_hit(src)
+
+    def test_flags_swallowed_exception(self):
+        src = """
+        try:
+            work()
+        except Exception:
+            pass
+        """
+        assert "SEG004" in rules_hit(src)
+
+    def test_allows_logged_broad_handler(self):
+        src = """
+        try:
+            work()
+        except Exception:
+            log.warning("work failed")
+        """
+        assert rules_hit(src) == []
+
+    def test_allows_reraising_broad_handler(self):
+        src = """
+        try:
+            work()
+        except BaseException:
+            cleanup()
+            raise
+        """
+        assert rules_hit(src) == []
+
+    def test_allows_narrow_handler_with_pass(self):
+        src = """
+        try:
+            work()
+        except ValueError:
+            pass
+        """
+        assert rules_hit(src) == []
+
+
+class TestSEG005MutableDefault:
+    def test_flags_list_literal(self):
+        assert "SEG005" in rules_hit("def f(x=[]):\n    return x\n")
+
+    def test_flags_dict_literal(self):
+        assert "SEG005" in rules_hit("def f(x={}):\n    return x\n")
+
+    def test_flags_set_call(self):
+        assert "SEG005" in rules_hit("def f(x=set()):\n    return x\n")
+
+    def test_flags_collections_defaultdict(self):
+        src = "import collections\ndef f(x=collections.defaultdict(list)):\n    return x\n"
+        assert "SEG005" in rules_hit(src)
+
+    def test_flags_kwonly_default(self):
+        assert "SEG005" in rules_hit("def f(*, x=[]):\n    return x\n")
+
+    def test_flags_lambda_default(self):
+        assert "SEG005" in rules_hit("g = lambda x=[]: x\n")
+
+    def test_allows_none_and_immutables(self):
+        src = "def f(a=None, b=0, c=(), d='x', e=frozenset()):\n    return a\n"
+        assert rules_hit(src, module="repro.synth.fake") == []
+
+
+class TestSEG006TelemetryNames:
+    def test_flags_off_convention_metric_literal(self):
+        src = """
+        from repro.obs.metrics import get_registry
+        registry = get_registry()
+        registry.counter("requests_total", "help")
+        """
+        assert "SEG006" in rules_hit(src)
+
+    def test_flags_computed_metric_name(self):
+        src = """
+        from repro.obs.metrics import get_registry
+        registry = get_registry()
+        registry.counter("segugio_" + area, "help")
+        """
+        assert "SEG006" in rules_hit(src)
+
+    def test_allows_conventional_metric_name(self):
+        src = """
+        from repro.obs.metrics import get_registry
+        registry = get_registry()
+        registry.counter("segugio_ingest_records_total", "help")
+        """
+        assert rules_hit(src) == []
+
+    def test_flags_off_convention_span(self):
+        src = """
+        from repro.obs.tracing import current_tracer
+        with current_tracer().span("fit"):
+            pass
+        """
+        assert "SEG006" in rules_hit(src)
+
+    def test_allows_conventional_span(self):
+        src = """
+        from repro.obs.tracing import current_tracer
+        with current_tracer().span("segugio_tracker_fit"):
+            pass
+        """
+        assert rules_hit(src) == []
+
+    def test_obs_internals_exempt(self):
+        src = """
+        def span(self, name):
+            with self.tracer.span(name):
+                pass
+        """
+        assert rules_hit(src, module="repro.obs.tracing") == []
+
+    def test_unrelated_histogram_calls_not_matched(self):
+        src = "import numpy as np\ncounts = np.histogram([1.0], bins=3)\n"
+        assert rules_hit(src, module="repro.eval.reporting") == []
+
+
+class TestSEG007Annotations:
+    def test_flags_missing_return(self):
+        src = "def public(x: int):\n    return x\n"
+        assert "SEG007" in rules_hit(src, module="repro.core.graph")
+
+    def test_flags_missing_param(self):
+        src = "def public(x) -> int:\n    return x\n"
+        assert "SEG007" in rules_hit(src, module="repro.ml.metrics")
+
+    def test_flags_unannotated_starargs(self):
+        src = "def public(*args, **kwargs) -> None:\n    pass\n"
+        assert "SEG007" in rules_hit(src, module="repro.runtime.ingest")
+
+    def test_allows_fully_annotated(self):
+        src = "def public(x: int, *, y: str = 'a') -> bool:\n    return True\n"
+        assert rules_hit(src, module="repro.core.graph") == []
+
+    def test_self_is_exempt_in_methods(self):
+        src = """
+        class Thing:
+            def method(self, x: int) -> int:
+                return x
+        """
+        assert rules_hit(src, module="repro.core.graph") == []
+
+    def test_private_functions_exempt(self):
+        src = "def _helper(x):\n    return x\n"
+        assert rules_hit(src, module="repro.core.graph") == []
+
+    def test_nested_functions_exempt(self):
+        src = """
+        def public(x: int) -> int:
+            def inner(y):
+                return y
+            return inner(x)
+        """
+        assert rules_hit(src, module="repro.core.graph") == []
+
+    def test_private_class_methods_exempt(self):
+        src = """
+        class _Internal:
+            def method(self, x):
+                return x
+        """
+        assert rules_hit(src, module="repro.core.graph") == []
+
+    def test_other_packages_exempt(self):
+        src = "def public(x):\n    return x\n"
+        assert rules_hit(src, module="repro.synth.naming") == []
+
+
+class TestSEG008Whitespace:
+    def test_flags_tab_indent(self):
+        assert "SEG008" in rules_hit("if True:\n\tx = 1\n")
+
+    def test_flags_trailing_whitespace(self):
+        assert "SEG008" in rules_hit("x = 1   \n")
+
+    def test_clean_lines_pass(self):
+        assert rules_hit("x = 1\n") == []

@@ -1,0 +1,43 @@
+"""segugio-lint: AST-based static analysis enforcing the repo's contracts.
+
+Runnable as ``python -m tools.lint`` from the repository root (zero
+dependencies, stdlib only). The rule set (SEG001–SEG008) machine-checks
+the determinism, layering, exception-hygiene, and telemetry-naming
+invariants that PR 1 (bit-identical checkpoint resume) and PR 2 (pinned
+run manifests) established — see DESIGN.md §9 for the rule catalogue and
+``# seg: ignore[SEGxxx]`` suppression syntax.
+"""
+
+from tools.lint.baseline import (
+    BaselineEntry,
+    apply_baseline,
+    load_baseline,
+    render_baseline,
+)
+from tools.lint.engine import (
+    Engine,
+    Finding,
+    LintConfigError,
+    ModuleContext,
+    Rule,
+    module_name_for,
+)
+from tools.lint.reporting import FORMATS, render
+from tools.lint.rules import ALL_RULE_IDS, build_rules
+
+__all__ = [
+    "ALL_RULE_IDS",
+    "BaselineEntry",
+    "Engine",
+    "FORMATS",
+    "Finding",
+    "LintConfigError",
+    "ModuleContext",
+    "Rule",
+    "apply_baseline",
+    "build_rules",
+    "load_baseline",
+    "module_name_for",
+    "render",
+    "render_baseline",
+]

@@ -1,0 +1,138 @@
+"""Command-line entry point: ``python -m tools.lint`` from the repo root.
+
+Exit codes: 0 = clean (modulo baseline), 1 = findings or stale baseline
+entries, 2 = usage/configuration error (bad baseline file, bad target).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from tools.lint.baseline import apply_baseline, load_baseline, render_baseline
+from tools.lint.engine import Engine, Finding, LintConfigError
+from tools.lint.reporting import FORMATS, render
+from tools.lint.rules import build_rules
+
+DEFAULT_BASELINE = os.path.join("tools", "lint", "baseline.json")
+
+
+def _package_root_for(target: str) -> str:
+    """Directory that anchors dotted module names for files under ``target``.
+
+    ``src`` (or anything containing a ``src`` path component) anchors at
+    that component so ``src/repro/core/x.py`` → ``repro.core.x``; other
+    targets anchor at themselves.
+    """
+    parts = os.path.normpath(target).split(os.sep)
+    if "src" in parts:
+        idx = parts.index("src")
+        return os.sep.join(parts[: idx + 1]) or "src"
+    return target if os.path.isdir(target) else os.path.dirname(target) or "."
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.lint",
+        description="segugio-lint: enforce determinism, layering, and "
+        "telemetry contracts over the source tree",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="human",
+        help="report format (default: human)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file of documented intentional findings "
+        f"(default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring the baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline file from the current findings and exit",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    engine = Engine(build_rules())
+
+    if args.list_rules:
+        for rule in engine.rules:
+            print(f"{rule.rule_id}  {rule.name}: {rule.rationale}")
+        return 0
+
+    findings: List[Finding] = []
+    files_scanned = 0
+    for target in args.targets:
+        if os.path.isdir(target):
+            batch, count = engine.lint_tree(
+                target, package_root=_package_root_for(target)
+            )
+            findings.extend(batch)
+            files_scanned += count
+        elif os.path.isfile(target):
+            report_path = os.path.relpath(target).replace(os.sep, "/")
+            findings.extend(
+                engine.lint_file(target, _package_root_for(target), report_path)
+            )
+            files_scanned += 1
+        else:
+            print(f"error: no such file or directory: {target}", file=sys.stderr)
+            return 2
+    findings.sort(key=Finding.sort_key)
+
+    if args.write_baseline:
+        existing_reasons = {}
+        if os.path.isfile(args.baseline):
+            try:
+                existing_reasons = {
+                    entry.key(): entry.reason for entry in load_baseline(args.baseline)
+                }
+            except LintConfigError:
+                pass  # rewriting a corrupt baseline from scratch is the point
+        with open(args.baseline, "w", encoding="utf-8") as stream:
+            stream.write(render_baseline(findings, existing_reasons))
+        print(
+            f"wrote {args.baseline}: {len(findings)} entr"
+            f"{'y' if len(findings) == 1 else 'ies'}"
+        )
+        return 0
+
+    stale = []
+    if not args.no_baseline and os.path.isfile(args.baseline):
+        try:
+            entries = load_baseline(args.baseline)
+        except LintConfigError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        findings, stale = apply_baseline(findings, entries)
+
+    print(render(args.format, findings, stale, files_scanned))
+    return 1 if findings or stale else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,120 @@
+"""Baseline handling: explicit, documented suppression of known findings.
+
+The baseline is a checked-in JSON file listing findings that are
+*deliberate* (each entry carries a ``reason``). Matching is content-based
+— ``(rule, path, stripped source line)`` — not line-number-based, so
+unrelated edits above a baselined site do not expire it, while any edit
+to the offending line itself does (and forces the author to re-justify
+or fix it).
+
+Semantics enforced by :func:`apply_baseline`:
+
+* **suppress** — findings matching an entry are dropped from the report;
+* **expire** — entries matching no current finding are *stale* and fail
+  the run until removed, so the baseline can only shrink silently, never
+  rot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from tools.lint.engine import Finding, LintConfigError
+
+BASELINE_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    snippet: str
+    reason: str = ""
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.snippet)
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "snippet": self.snippet,
+            "reason": self.reason,
+        }
+
+
+def load_baseline(path: str) -> List[BaselineEntry]:
+    try:
+        with open(path, "r", encoding="utf-8") as stream:
+            payload = json.load(stream)
+    except FileNotFoundError:
+        raise LintConfigError(f"baseline file not found: {path}")
+    except json.JSONDecodeError as error:
+        raise LintConfigError(f"baseline file {path} is not valid JSON: {error}")
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise LintConfigError(
+            f"baseline file {path} must be an object with version={BASELINE_VERSION}"
+        )
+    entries: List[BaselineEntry] = []
+    seen: set = set()
+    for raw in payload.get("entries", []):
+        try:
+            entry = BaselineEntry(
+                rule=raw["rule"],
+                path=raw["path"],
+                snippet=raw["snippet"],
+                reason=raw.get("reason", ""),
+            )
+        except (TypeError, KeyError) as error:
+            raise LintConfigError(f"malformed baseline entry in {path}: {raw!r} ({error})")
+        if entry.key() in seen:
+            raise LintConfigError(f"duplicate baseline entry in {path}: {entry.key()}")
+        seen.add(entry.key())
+        entries.append(entry)
+    return entries
+
+
+def apply_baseline(
+    findings: Sequence[Finding], entries: Sequence[BaselineEntry]
+) -> Tuple[List[Finding], List[BaselineEntry]]:
+    """Split findings against the baseline → (kept findings, stale entries).
+
+    An entry suppresses every finding with the same ``(rule, path,
+    snippet)`` — duplicate identical lines in one file are deliberate
+    duplicates of the same decision. Entries that suppressed nothing are
+    returned as stale.
+    """
+    table = {entry.key(): entry for entry in entries}
+    used: set = set()
+    kept: List[Finding] = []
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.snippet)
+        if key in table:
+            used.add(key)
+        else:
+            kept.append(finding)
+    stale = [entry for entry in entries if entry.key() not in used]
+    return kept, stale
+
+
+def render_baseline(
+    findings: Sequence[Finding], reasons: Optional[Dict[Tuple[str, str, str], str]] = None
+) -> str:
+    """Serialize ``findings`` as a fresh baseline document (sorted, stable)."""
+    reasons = reasons or {}
+    entries: Dict[Tuple[str, str, str], BaselineEntry] = {}
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.snippet)
+        entries[key] = BaselineEntry(
+            rule=finding.rule,
+            path=finding.path,
+            snippet=finding.snippet,
+            reason=reasons.get(key, "TODO: document why this finding is intentional"),
+        )
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [entries[key].to_dict() for key in sorted(entries)],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False) + "\n"

@@ -1,0 +1,99 @@
+"""Output formats for segugio-lint: human, JSON, GitHub annotations."""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from tools.lint.baseline import BaselineEntry
+from tools.lint.engine import Finding
+
+FORMATS = ("human", "json", "github")
+
+
+def render_human(
+    findings: Sequence[Finding],
+    stale: Sequence[BaselineEntry],
+    files_scanned: int,
+) -> str:
+    lines: List[str] = []
+    for finding in findings:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col}: "
+            f"{finding.rule} {finding.message}"
+        )
+    for entry in stale:
+        lines.append(
+            f"baseline: stale entry {entry.rule} for {entry.path} "
+            f"({entry.snippet!r}) matches nothing — remove it"
+        )
+    if findings or stale:
+        lines.append(
+            f"segugio-lint: {len(findings)} finding(s), {len(stale)} stale "
+            f"baseline entr{'y' if len(stale) == 1 else 'ies'} "
+            f"across {files_scanned} file(s)"
+        )
+    else:
+        lines.append(f"segugio-lint: OK ({files_scanned} files clean)")
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding],
+    stale: Sequence[BaselineEntry],
+    files_scanned: int,
+) -> str:
+    payload = {
+        "version": 1,
+        "files_scanned": files_scanned,
+        "findings": [finding.to_dict() for finding in findings],
+        "stale_baseline": [entry.to_dict() for entry in stale],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def _escape_annotation(text: str) -> str:
+    """Escape message data per the GitHub workflow-command grammar."""
+    return text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def render_github(
+    findings: Sequence[Finding],
+    stale: Sequence[BaselineEntry],
+    files_scanned: int,
+) -> str:
+    lines: List[str] = []
+    for finding in findings:
+        lines.append(
+            f"::error file={finding.path},line={finding.line},"
+            f"col={finding.col},title={finding.rule}::"
+            + _escape_annotation(finding.message)
+        )
+    for entry in stale:
+        lines.append(
+            f"::error file={entry.path},title=stale-baseline::"
+            + _escape_annotation(
+                f"stale baseline entry {entry.rule} ({entry.snippet!r}) "
+                "matches nothing — remove it from tools/lint/baseline.json"
+            )
+        )
+    lines.append(
+        f"segugio-lint: {len(findings)} finding(s), {len(stale)} stale, "
+        f"{files_scanned} file(s) scanned"
+    )
+    return "\n".join(lines)
+
+
+def render(
+    fmt: str,
+    findings: Sequence[Finding],
+    stale: Sequence[BaselineEntry],
+    files_scanned: int,
+) -> str:
+    if fmt == "human":
+        return render_human(findings, stale, files_scanned)
+    if fmt == "json":
+        return render_json(findings, stale, files_scanned)
+    if fmt == "github":
+        return render_github(findings, stale, files_scanned)
+    raise ValueError(f"unknown format {fmt!r} (expected one of {FORMATS})")
