@@ -1,0 +1,20 @@
+#!/usr/bin/env python
+"""Standalone runner for the hot-path benchmark (`segugio bench`).
+
+Writes ``BENCH_hotpath.json`` — fit seconds, domains-classified/second,
+per-phase breakdown, and vectorized-vs-loop F2/F3 comparisons at a pinned
+synthetic scale and seed — so every PR has a perf baseline to move.
+
+Not a pytest module (no ``test_`` prefix): run it directly, or prefer the
+equivalent CLI form so flags stay in one place::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --quick
+    PYTHONPATH=src python -m repro.cli bench --scale small --jobs 4
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["bench"] + sys.argv[1:]))

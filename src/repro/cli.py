@@ -37,11 +37,12 @@ def _scenario(scale: str, seed: int) -> Scenario:
 
 def _run_demo(args: argparse.Namespace) -> None:
     from repro import Segugio
+    from repro.core.pipeline import SegugioConfig
 
     scenario = _scenario(args.scale, args.seed)
     train_ctx = scenario.context("isp1", scenario.eval_day(0))
     test_ctx = scenario.context("isp1", scenario.eval_day(5))
-    model = Segugio().fit(train_ctx)
+    model = Segugio(SegugioConfig(n_jobs=_jobs(args))).fit(train_ctx)
     report = model.classify(test_ctx)
     print(f"trained on day {train_ctx.day}: {model.training_set_}")
     print(f"scored {len(report)} unknown domains on day {test_ctx.day}")
@@ -149,18 +150,27 @@ def _run_list(_args: argparse.Namespace) -> None:
 
 
 def _run_track(args: argparse.Namespace) -> None:
+    from dataclasses import replace
+
+    from repro.core.pipeline import SegugioConfig
     from repro.core.tracker import DomainTracker
 
     scenario = _scenario(args.scale, args.seed)
     if args.resume:
         tracker = DomainTracker.resume(args.resume)
+        if args.jobs is not None:
+            # execution knob only: any worker count yields bit-identical
+            # scores, so overriding it cannot fork a resumed ledger
+            tracker.config = replace(tracker.config, n_jobs=args.jobs)
         print(
             f"resumed from {args.resume}: "
             f"{len(tracker.days_processed)} days already scored, "
             f"{len(tracker)} domains tracked"
         )
     else:
-        tracker = DomainTracker(fp_target=args.fp_target)
+        tracker = DomainTracker(
+            config=SegugioConfig(n_jobs=_jobs(args)), fp_target=args.fp_target
+        )
     if args.telemetry_dir:
         from repro.obs import RunTelemetry
         from repro.runtime.checkpoint import config_to_dict
@@ -330,7 +340,9 @@ def _run_classify_dir(args: argparse.Namespace) -> None:
         )
         if ingest.n_quarantined:
             print(ingest.summary())
-        model = Segugio()
+        from repro.core.pipeline import SegugioConfig
+
+        model = Segugio(SegugioConfig(n_jobs=_jobs(args)))
         with (
             telemetry.day_scope(context.day)
             if telemetry
@@ -366,6 +378,33 @@ def _run_classify_dir(args: argparse.Namespace) -> None:
         print("degraded inputs: " + ", ".join(report.provenance))
     for name, score in detections[: args.top]:
         print(f"  {score:6.3f}  {name}")
+
+
+def _run_bench(args: argparse.Namespace) -> None:
+    import json
+
+    from repro.eval.bench import render_bench, run_hotpath_bench
+
+    repeats = 1 if args.quick else args.repeats
+    scale = "small" if args.quick else args.scale
+    payload = run_hotpath_bench(
+        scale=scale, seed=args.seed, n_jobs=_jobs(args), repeats=repeats
+    )
+    with open(args.out, "w") as stream:
+        json.dump(payload, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    print(render_bench(payload))
+    print(f"benchmark payload written to {args.out}")
+    features = payload["features"]
+    slow = [
+        key
+        for key in ("f2_activity", "f3_ip_abuse")
+        if features[key]["speedup"] < 1.0 or not features[key]["bit_identical"]
+    ]
+    if slow:
+        raise SystemExit(
+            f"bulk feature path regressed vs the loop reference: {slow}"
+        )
 
 
 def _run_telemetry(args: argparse.Namespace) -> None:
@@ -449,6 +488,24 @@ def _add_ingest_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _jobs(args: argparse.Namespace) -> int:
+    """The --jobs value with the absent flag meaning serial."""
+    return 1 if args.jobs is None else args.jobs
+
+
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    # default None = "not given": lets `track --resume` distinguish an
+    # explicit --jobs 1 (override the checkpointed value back to serial)
+    # from the flag simply being absent (keep the checkpointed value)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for classifier fit/scoring (-1 = all "
+        "cores, default 1); scores are bit-identical for any value",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="segugio",
@@ -464,6 +521,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo = sub.add_parser("demo", help="train + classify on a synthetic ISP")
     demo.add_argument("--scale", default="small", choices=["small", "benchmark"])
     demo.add_argument("--seed", type=int, default=7)
+    _add_jobs_flag(demo)
     demo.set_defaults(func=_run_demo)
 
     exp = sub.add_parser("experiment", help="run a named paper experiment")
@@ -498,6 +556,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a run manifest (manifest.json) and span trace "
         "(trace.jsonl) into this directory",
     )
+    _add_jobs_flag(track)
     track.set_defaults(func=_run_track)
 
     report = sub.add_parser(
@@ -563,6 +622,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(trace.jsonl) into this directory",
     )
     _add_ingest_flags(classify)
+    _add_jobs_flag(classify)
     classify.set_defaults(func=_run_classify_dir)
 
     health = sub.add_parser(
@@ -572,6 +632,23 @@ def build_parser() -> argparse.ArgumentParser:
     health.add_argument("directory")
     _add_ingest_flags(health)
     health.set_defaults(func=_run_health)
+
+    bench = sub.add_parser(
+        "bench",
+        help="hot-path benchmark (fit/classify/feature timings) -> "
+        "BENCH_hotpath.json",
+    )
+    bench.add_argument("--scale", default="small", choices=["small", "benchmark"])
+    bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: small scale, single repeat",
+    )
+    bench.add_argument("--out", default="BENCH_hotpath.json")
+    _add_jobs_flag(bench)
+    bench.set_defaults(func=_run_bench)
 
     telemetry = sub.add_parser(
         "telemetry",

@@ -201,6 +201,17 @@ class FeatureExtractor:
         day = self.graph.day
         window = self.activity_window
         fqd, e2ld_act = self.fqd_activity, self.e2ld_activity
+        eids = self.e2ld_index.map_array()[ids]
+        out[:, 0] = fqd.days_active_bulk(ids, day, window)
+        out[:, 1] = fqd.consecutive_days_bulk(ids, day, window)
+        out[:, 2] = e2ld_act.days_active_bulk(eids, day, window)
+        out[:, 3] = e2ld_act.consecutive_days_bulk(eids, day, window)
+
+    def _domain_activity_reference(self, ids: np.ndarray, out: np.ndarray) -> None:
+        """Per-row loop the bulk path must match bit-for-bit (tests/bench)."""
+        day = self.graph.day
+        window = self.activity_window
+        fqd, e2ld_act = self.fqd_activity, self.e2ld_activity
         e2ld_map = self.e2ld_index.map_array()
         for row, domain_id in enumerate(ids):
             did = int(domain_id)
@@ -216,11 +227,25 @@ class FeatureExtractor:
 
     def _ip_abuse(self, ids: np.ndarray, hide_labels: bool, out: np.ndarray) -> None:
         graph, oracle, labels = self.graph, self.abuse_oracle, self.labels
+        ip_sets = [graph.resolved_ips(int(did)) for did in ids]
+        if hide_labels:
+            # Fig. 5 hiding extends to the evidence base: a known malware
+            # candidate's own pDNS history must not vouch against itself.
+            exclude = np.where(
+                labels.domain_labels[ids] == MALWARE, ids, np.int64(-1)
+            )
+        else:
+            exclude = None
+        out[:, :] = oracle.abuse_features_many(ip_sets, exclude_domains=exclude)
+
+    def _ip_abuse_reference(
+        self, ids: np.ndarray, hide_labels: bool, out: np.ndarray
+    ) -> None:
+        """Per-row loop the bulk path must match bit-for-bit (tests/bench)."""
+        graph, oracle, labels = self.graph, self.abuse_oracle, self.labels
         for row, domain_id in enumerate(ids):
             did = int(domain_id)
             ips = graph.resolved_ips(did)
-            # Fig. 5 hiding extends to the evidence base: a known malware
-            # candidate's own pDNS history must not vouch against itself.
             exclude = (
                 did
                 if hide_labels and labels.domain_labels[did] == MALWARE

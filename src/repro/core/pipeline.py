@@ -204,6 +204,11 @@ class SegugioConfig:
     feature_columns: Optional[Tuple[int, ...]] = None  # None = all 11
     max_benign_train: Optional[int] = None
     seed: int = 0
+    n_jobs: int = 1
+    """Worker processes for the classifier hot path (fit + scoring); -1
+    uses every core.  Purely an execution knob: any value produces
+    bit-identical scores (trees are keyed on pre-derived seeds and score
+    reduction uses fixed chunk boundaries — DESIGN.md §10)."""
 
     def make_classifier(self) -> Union[RandomForestClassifier, LogisticRegression]:
         if self.classifier == "forest":
@@ -213,6 +218,7 @@ class SegugioConfig:
                 max_bins=self.max_bins,
                 class_weight="balanced",
                 random_state=self.seed,
+                n_jobs=self.n_jobs,
             )
         if self.classifier == "logistic":
             return LogisticRegression(class_weight="balanced")

@@ -9,11 +9,22 @@ which reweights each bootstrap sample inversely to its class frequency.
 The model's score for a domain is the mean over trees of the leaf
 P(malware) — the "malware score" thresholded by the deployment (paper
 §II-A3, "Classifier Operation").
+
+**Parallel execution.** ``n_jobs`` fits trees in a process pool.  Every
+tree is keyed on a seed derived *once* from ``random_state`` before any
+work is scheduled, so a tree's content depends only on its seed and the
+training data — never on which worker grew it or in what order chunks
+completed.  Prediction sums per-tree scores in fixed-size chunks
+(:data:`_PREDICT_TREE_CHUNK`) and then combines the per-chunk partial sums
+in chunk order; the serial path uses the *same* chunk boundaries, so
+float-addition association is identical and ``n_jobs > 1`` scores are
+bit-identical to ``n_jobs = 1`` (see DESIGN.md §10).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+import os
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -22,6 +33,70 @@ from repro.ml.tree import DecisionTreeClassifier
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import current_tracer
 from repro.utils.validation import as_1d_int_array, as_2d_float_array, check_same_length
+
+#: trees per partial-sum chunk in predict_proba — fixed (independent of
+#: n_jobs) so the reduction tree, and therefore the float rounding, is the
+#: same no matter how many workers computed the partials
+_PREDICT_TREE_CHUNK = 16
+
+
+def _resolve_n_jobs(n_jobs: Optional[int]) -> int:
+    """Worker count: None/1 → serial, -1 → all cores, n → n."""
+    if n_jobs is None:
+        return 1
+    n_jobs = int(n_jobs)
+    if n_jobs == -1:
+        return max(1, os.cpu_count() or 1)
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1 or -1, got {n_jobs}")
+    return n_jobs
+
+
+def _fit_tree_batch(
+    seeds: Sequence[int],
+    params: Dict[str, object],
+    X_binned: np.ndarray,
+    y: np.ndarray,
+    base_weight: np.ndarray,
+) -> List[DecisionTreeClassifier]:
+    """Grow one tree per seed, serially, in seed order.
+
+    Module-level so it pickles into worker processes; the serial fit path
+    calls it too, keeping both paths byte-for-byte the same code.
+    """
+    n = y.shape[0]
+    bootstrap = bool(params["bootstrap"])
+    trees: List[DecisionTreeClassifier] = []
+    for seed in seeds:
+        rng = np.random.default_rng(int(seed))
+        if bootstrap:
+            sample = rng.integers(0, n, size=n)
+        else:
+            sample = np.arange(n)
+        tree = DecisionTreeClassifier(
+            max_depth=int(params["max_depth"]),
+            min_samples_leaf=int(params["min_samples_leaf"]),
+            max_features=params["max_features"],  # type: ignore[arg-type]
+            rng=rng,
+        )
+        tree.fit(X_binned[sample], y[sample], base_weight[sample])
+        trees.append(tree)
+    return trees
+
+
+def _predict_tree_batch(
+    trees: Sequence[DecisionTreeClassifier], X_binned: np.ndarray
+) -> np.ndarray:
+    """Partial score sum over one chunk of trees, accumulated in order."""
+    partial = np.zeros(X_binned.shape[0], dtype=np.float64)
+    for tree in trees:
+        partial += tree.predict_proba_binned(X_binned)
+    return partial
+
+
+def _chunked(items: Sequence, size: int) -> List[Sequence]:
+    """Contiguous chunks of at most *size*, preserving order."""
+    return [items[i : i + size] for i in range(0, len(items), size)]
 
 
 class RandomForestClassifier:
@@ -37,11 +112,13 @@ class RandomForestClassifier:
         class_weight: Optional[str] = "balanced",
         bootstrap: bool = True,
         random_state: int = 0,
+        n_jobs: Optional[int] = None,
     ) -> None:
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
         if class_weight not in (None, "balanced"):
             raise ValueError('class_weight must be None or "balanced"')
+        self.n_jobs = _resolve_n_jobs(n_jobs)
         self.n_estimators = n_estimators
         self.max_depth = max_depth
         self.min_samples_leaf = min_samples_leaf
@@ -78,26 +155,24 @@ class RandomForestClassifier:
             base_weight[y == 0] = n / (2.0 * n_neg)
 
         root_rng = np.random.default_rng(self.random_state)
-        seeds = root_rng.integers(0, 2**63 - 1, size=self.n_estimators)
-        self.trees_ = []
+        seeds = [int(s) for s in root_rng.integers(0, 2**63 - 1, size=self.n_estimators)]
+        params: Dict[str, object] = {
+            "max_depth": self.max_depth,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_features": self.max_features,
+            "bootstrap": self.bootstrap,
+        }
         n = y.shape[0]
+        jobs = min(self.n_jobs, self.n_estimators)
         with current_tracer().span(
-            "forest.fit", n_trees=self.n_estimators, n_samples=int(n)
+            "forest.fit", n_trees=self.n_estimators, n_samples=int(n), n_jobs=jobs
         ):
-            for seed in seeds:
-                rng = np.random.default_rng(int(seed))
-                if self.bootstrap:
-                    sample = rng.integers(0, n, size=n)
-                else:
-                    sample = np.arange(n)
-                tree = DecisionTreeClassifier(
-                    max_depth=self.max_depth,
-                    min_samples_leaf=self.min_samples_leaf,
-                    max_features=self.max_features,
-                    rng=rng,
+            if jobs <= 1:
+                self.trees_ = _fit_tree_batch(seeds, params, X_binned, y, base_weight)
+            else:
+                self.trees_ = self._fit_parallel(
+                    seeds, params, X_binned, y, base_weight, jobs
                 )
-                tree.fit(X_binned[sample], y[sample], base_weight[sample])
-                self.trees_.append(tree)
         registry = get_registry()
         if registry.enabled:
             registry.gauge(
@@ -108,8 +183,46 @@ class RandomForestClassifier:
             ).set(int(n))
         return self
 
+    def _fit_parallel(
+        self,
+        seeds: List[int],
+        params: Dict[str, object],
+        X_binned: np.ndarray,
+        y: np.ndarray,
+        base_weight: np.ndarray,
+        jobs: int,
+    ) -> List[DecisionTreeClassifier]:
+        """Fit seed-keyed tree batches across a process pool.
+
+        Seeds are split into ``jobs`` contiguous batches; each worker runs
+        the same ``_fit_tree_batch`` as the serial path and results are
+        concatenated in submission order, so the returned ensemble is
+        bit-identical to a serial fit.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        batches = np.array_split(np.asarray(seeds, dtype=np.int64), jobs)
+        trees: List[DecisionTreeClassifier] = []
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(
+                    _fit_tree_batch, [int(s) for s in batch], params,
+                    X_binned, y, base_weight,
+                )
+                for batch in batches
+                if len(batch)
+            ]
+            for future in futures:
+                trees.extend(future.result())
+        return trees
+
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
-        """Mean leaf P(malware) over the ensemble, shape (n_samples,)."""
+        """Mean leaf P(malware) over the ensemble, shape (n_samples,).
+
+        Scores are reduced over fixed-size tree chunks (independent of
+        ``n_jobs``), so the result is bit-identical whether chunks were
+        computed serially or across a process pool.
+        """
         if not self.trees_ or self.bin_mapper_ is None:
             raise RuntimeError("forest is not fitted")
         X = as_2d_float_array(X)
@@ -117,11 +230,28 @@ class RandomForestClassifier:
             raise ValueError(
                 f"expected {self.n_features_} features, got {X.shape[1]}"
             )
-        with current_tracer().span("forest.predict", n_samples=int(X.shape[0])):
+        chunks = _chunked(self.trees_, _PREDICT_TREE_CHUNK)
+        jobs = min(self.n_jobs, len(chunks))
+        with current_tracer().span(
+            "forest.predict", n_samples=int(X.shape[0]), n_jobs=jobs
+        ):
             X_binned = self.bin_mapper_.transform(X)
+            if jobs <= 1:
+                partials = [
+                    _predict_tree_batch(chunk, X_binned) for chunk in chunks
+                ]
+            else:
+                from concurrent.futures import ProcessPoolExecutor
+
+                with ProcessPoolExecutor(max_workers=jobs) as pool:
+                    futures = [
+                        pool.submit(_predict_tree_batch, chunk, X_binned)
+                        for chunk in chunks
+                    ]
+                    partials = [future.result() for future in futures]
             scores = np.zeros(X.shape[0], dtype=np.float64)
-            for tree in self.trees_:
-                scores += tree.predict_proba_binned(X_binned)
+            for partial in partials:
+                scores += partial
             return scores / len(self.trees_)
 
     def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:

@@ -108,3 +108,124 @@ def test_property_consecutive_matches_bruteforce(active_days, end_day, window):
         streak += 1
         day -= 1
     assert index.consecutive_days(0, end_day, window) == streak
+
+
+class TestCombinedMask:
+    """Regression for the O(total keys) days_with_activity scan: the
+    incrementally maintained union mask must track exactly the brute-force
+    union over per-key masks, whatever the record interleaving."""
+
+    def _brute_force(self, index, start_day, end_day):
+        return [
+            day
+            for day in range(max(start_day, 0), end_day + 1)
+            if any(index.is_active(key, day) for key in index._masks)
+        ]
+
+    def test_matches_bruteforce_after_interleaved_records(self):
+        index = ActivityIndex()
+        for day, keys in ((5, [1, 2]), (2, [3]), (5, [3]), (9, [1]), (0, [4])):
+            index.record(day, keys)
+        assert index.days_with_activity(0, 12) == self._brute_force(index, 0, 12)
+        assert index.days_with_activity(3, 6) == [5]
+        assert index.days_with_activity(10, 12) == []
+
+    def test_empty_index(self):
+        assert ActivityIndex().days_with_activity(0, 10) == []
+
+    @given(
+        records=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=40),
+                st.lists(st.integers(min_value=0, max_value=8), max_size=4),
+            ),
+            max_size=25,
+        ),
+        start_day=st.integers(min_value=0, max_value=40),
+        span=st.integers(min_value=0, max_value=15),
+    )
+    def test_property_matches_bruteforce(self, records, start_day, span):
+        index = ActivityIndex()
+        for day, keys in records:
+            index.record(day, keys)
+        end_day = start_day + span
+        assert index.days_with_activity(start_day, end_day) == self._brute_force(
+            index, start_day, end_day
+        )
+
+
+class TestBulkQueries:
+    """The vectorized window kernels must match the scalar methods exactly."""
+
+    def _populated(self):
+        index = ActivityIndex()
+        for day, keys in (
+            (0, [0, 3]), (1, [0]), (2, [0, 1]), (3, [1, 2]),
+            (4, [0, 1, 2]), (5, [2]), (9, [0, 2]), (63, [5]), (64, [5]),
+        ):
+            index.record(day, keys)
+        return index
+
+    def test_days_active_bulk_matches_scalar(self):
+        import numpy as np
+
+        index = self._populated()
+        keys = np.array([0, 1, 2, 3, 4, 5, 99], dtype=np.int64)
+        for end_day, window in ((4, 3), (9, 14), (0, 1), (64, 14)):
+            bulk = index.days_active_bulk(keys, end_day, window)
+            scalar = [index.days_active(int(k), end_day, window) for k in keys]
+            assert bulk.tolist() == scalar
+
+    def test_consecutive_days_bulk_matches_scalar(self):
+        import numpy as np
+
+        index = self._populated()
+        keys = np.array([0, 1, 2, 3, 4, 5, 99], dtype=np.int64)
+        for end_day, window in ((4, 3), (9, 14), (0, 1), (64, 14)):
+            bulk = index.consecutive_days_bulk(keys, end_day, window)
+            scalar = [index.consecutive_days(int(k), end_day, window) for k in keys]
+            assert bulk.tolist() == scalar
+
+    def test_bulk_wide_window_falls_back_to_scalar_path(self):
+        import numpy as np
+
+        # min(window, end_day + 1) > 64 exercises the non-bitmask fallback
+        index = ActivityIndex()
+        for day in range(0, 130, 3):
+            index.record(day, [0])
+        keys = np.array([0, 1], dtype=np.int64)
+        bulk = index.days_active_bulk(keys, end_day=129, window=100)
+        scalar = [index.days_active(int(k), 129, 100) for k in keys]
+        assert bulk.tolist() == scalar
+        bulk_c = index.consecutive_days_bulk(keys, end_day=129, window=100)
+        scalar_c = [index.consecutive_days(int(k), 129, 100) for k in keys]
+        assert bulk_c.tolist() == scalar_c
+
+    def test_bulk_empty_keys(self):
+        import numpy as np
+
+        index = self._populated()
+        empty = np.empty(0, dtype=np.int64)
+        assert index.days_active_bulk(empty, 5, 14).size == 0
+        assert index.consecutive_days_bulk(empty, 5, 14).size == 0
+
+    @given(
+        active_days=st.sets(st.integers(min_value=0, max_value=60), max_size=30),
+        end_day=st.integers(min_value=0, max_value=60),
+        window=st.integers(min_value=1, max_value=20),
+    )
+    def test_property_bulk_matches_scalar(self, active_days, end_day, window):
+        import numpy as np
+
+        index = ActivityIndex()
+        for day in active_days:
+            index.record(day, [0])
+        keys = np.array([0, 7], dtype=np.int64)  # one present, one absent
+        assert index.days_active_bulk(keys, end_day, window).tolist() == [
+            index.days_active(0, end_day, window),
+            index.days_active(7, end_day, window),
+        ]
+        assert index.consecutive_days_bulk(keys, end_day, window).tolist() == [
+            index.consecutive_days(0, end_day, window),
+            index.consecutive_days(7, end_day, window),
+        ]

@@ -1,4 +1,4 @@
-"""Per-rule positive/negative fixtures for SEG001–SEG008.
+"""Per-rule positive/negative fixtures for SEG001–SEG009.
 
 Each test lints a small snippet as if it lived at a given module path —
 the rules are path-sensitive (layering, exemptions), so the fixtures
@@ -312,3 +312,89 @@ class TestSEG008Whitespace:
 
     def test_clean_lines_pass(self):
         assert rules_hit("x = 1\n") == []
+
+
+class TestSEG009AnnotationNames:
+    def test_flags_unimported_optional(self):
+        # the exact latent bug this rule exists for: Optional used with only
+        # other typing names imported, masked by postponed evaluation
+        src = """
+        from __future__ import annotations
+        from typing import Iterable, Tuple
+
+        def f(x: Optional[int]) -> Tuple[int, ...]:
+            return (x,)
+        """
+        assert rules_hit(src) == ["SEG009"]
+
+    def test_flags_undefined_in_annassign(self):
+        src = """
+        from __future__ import annotations
+
+        class C:
+            field: Missing = None
+        """
+        assert rules_hit(src) == ["SEG009"]
+
+    def test_flags_undefined_forward_ref_string(self):
+        src = """
+        def g(y: "Undefined") -> None:
+            pass
+        """
+        assert rules_hit(src) == ["SEG009"]
+
+    def test_allows_imported_names(self):
+        src = """
+        from __future__ import annotations
+        from typing import Optional, Tuple
+
+        def f(x: Optional[int]) -> Tuple[int, ...]:
+            return (x,)
+        """
+        assert rules_hit(src) == []
+
+    def test_allows_names_defined_later(self):
+        # postponed evaluation makes forward use of a later class legal
+        src = """
+        from __future__ import annotations
+
+        def make() -> Widget:
+            return Widget()
+
+        class Widget:
+            pass
+        """
+        assert rules_hit(src) == []
+
+    def test_literal_string_values_are_not_forward_refs(self):
+        src = """
+        from __future__ import annotations
+        from typing import Literal
+
+        def h(z: Literal["forest"]) -> None:
+            pass
+        """
+        assert rules_hit(src) == []
+
+    def test_dotted_annotations_check_only_the_base(self):
+        src = """
+        import numpy as np
+
+        def f(x: np.ndarray) -> np.ndarray:
+            return x
+        """
+        assert rules_hit(src) == []
+
+    def test_star_import_silences_module(self):
+        # a wildcard import can bind anything; no way to resolve statically
+        src = """
+        from os.path import *
+
+        def f(x: Anything) -> None:
+            pass
+        """
+        assert rules_hit(src) == []
+
+    def test_builtins_are_known(self):
+        src = "def f(x: int, y: list) -> dict:\n    return {}\n"
+        assert rules_hit(src) == []

@@ -145,3 +145,66 @@ class TestInSorted:
 
     def test_empty_set(self):
         assert not _in_sorted(np.array([1, 2]), np.empty(0, dtype=np.int64)).any()
+
+
+class TestBatchedFeatures:
+    """abuse_features_many must equal the scalar path element-for-element,
+    including Fig. 5 exclusion semantics and empty candidate sets."""
+
+    def _batch_vs_scalar(self, oracle, ip_sets, exclude=None):
+        batched = oracle.abuse_features_many(ip_sets, exclude_domains=exclude)
+        for row, ips in enumerate(ip_sets):
+            exclude_domain = None
+            if exclude is not None and exclude[row] >= 0:
+                exclude_domain = int(exclude[row])
+            scalar = oracle.abuse_features(ips, exclude_domain=exclude_domain)
+            assert batched[row].tolist() == list(scalar)
+        return batched
+
+    def test_matches_scalar_without_exclusion(self, oracle):
+        ip_sets = [
+            np.array([IP_MAL], dtype=np.uint32),
+            np.array([IP_MAL2, IP_BEN], dtype=np.uint32),
+            np.empty(0, dtype=np.uint32),
+            np.array([IP_UNK, IP_BEN, IP_MAL], dtype=np.uint32),
+            np.array([IP_MAL, IP_MAL], dtype=np.uint32),  # duplicates
+        ]
+        batched = self._batch_vs_scalar(oracle, ip_sets)
+        assert batched.shape == (5, 4)
+
+    def test_matches_scalar_with_exclusion(self):
+        db = PassiveDNSDatabase()
+        shared = parse_ipv4("12.0.0.210")
+        db.observe_day(10, [MAL, MAL, 9], [IP_MAL, IP_MAL2, shared])
+        oracle = AbuseOracle(
+            db, end_day=20, window_days=30, malware_domain_ids=[MAL, 9]
+        )
+        ip_sets = [
+            np.array([IP_MAL], dtype=np.uint32),   # exclude sole owner
+            np.array([IP_MAL2], dtype=np.uint32),  # /24 shared with domain 9
+            np.array([IP_MAL], dtype=np.uint32),   # no exclusion (-1)
+            np.array([IP_MAL], dtype=np.uint32),   # exclude unrelated domain
+        ]
+        exclude = np.array([MAL, MAL, -1, 12345], dtype=np.int64)
+        batched = self._batch_vs_scalar(oracle, ip_sets, exclude)
+        assert batched[0, 0] == 0.0  # own evidence hidden
+        assert batched[1, 1] == 1.0  # shared prefix evidence survives
+        assert batched[2, 0] == 1.0  # -1 sentinel means no exclusion
+
+    def test_empty_batch(self, oracle):
+        result = oracle.abuse_features_many([])
+        assert result.shape == (0, 4)
+
+    def test_all_empty_ip_sets(self, oracle):
+        result = oracle.abuse_features_many(
+            [np.empty(0, dtype=np.uint32), np.empty(0, dtype=np.uint32)]
+        )
+        assert result.shape == (2, 4)
+        assert not result.any()
+
+    def test_exclude_shape_validated(self, oracle):
+        with pytest.raises(ValueError):
+            oracle.abuse_features_many(
+                [np.array([IP_MAL], dtype=np.uint32)],
+                exclude_domains=np.array([1, 2], dtype=np.int64),
+            )

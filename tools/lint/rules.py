@@ -1,4 +1,4 @@
-"""The segugio-lint rule set (SEG001–SEG008).
+"""The segugio-lint rule set (SEG001–SEG009).
 
 Each rule protects a guarantee the runtime or the paper reproduction
 relies on; the ``rationale`` string is surfaced by ``--list-rules`` and
@@ -14,8 +14,9 @@ documented in DESIGN.md §9. Scope notes:
 from __future__ import annotations
 
 import ast
+import builtins
 import re
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Set, Tuple
 
 from tools.lint.engine import Finding, ModuleContext, Rule
 
@@ -508,6 +509,136 @@ class WhitespaceRule(Rule):
             )
 
 
+class AnnotationNameRule(Rule):
+    """SEG009 — annotation names that are neither imported nor defined.
+
+    Under ``from __future__ import annotations`` every annotation is a
+    deferred string, so a missing import (``Optional[int]`` with only
+    ``Iterable, Tuple`` imported) survives import, tests, and deployment —
+    and only explodes when something calls ``typing.get_type_hints()``
+    (runtime schema/validation passes, dataclass introspection).  This rule
+    resolves annotation names statically against everything the module
+    binds, making that whole bug class a lint failure instead of a latent
+    crash.
+    """
+
+    rule_id = "SEG009"
+    name = "annotation-names"
+    rationale = (
+        "from __future__ import annotations defers evaluation, so an "
+        "unimported annotation name only crashes under get_type_hints(); "
+        "resolve annotations statically instead"
+    )
+
+    _BUILTIN_NAMES = frozenset(dir(builtins))
+
+    def finish_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        bound, has_star_import = self._bound_names(ctx.tree)
+        if has_star_import:
+            return  # a wildcard import can bind anything; stay silent
+        known = bound | self._BUILTIN_NAMES
+        for annotation in self._annotations(ctx.tree):
+            yield from self._check_annotation(annotation, known, ctx)
+
+    # -------------------------------------------------------------- #
+
+    @staticmethod
+    def _bound_names(tree: ast.AST) -> Tuple[Set[str], bool]:
+        """Every name the module could bind, at any scope.
+
+        Deliberately over-approximates (function-local bindings count):
+        postponed evaluation means an annotation may legally reference a
+        name bound later, and a false "undefined" on a real name would
+        train people to suppress the rule.
+        """
+        bound: Set[str] = set()
+        star = False
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name == "*":
+                        star = True
+                    else:
+                        bound.add(alias.asname or alias.name)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(node.name)
+            elif isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                bound.add(node.id)
+            elif isinstance(node, ast.ExceptHandler) and node.name:
+                bound.add(node.name)
+            elif isinstance(node, ast.arg):
+                bound.add(node.arg)
+        return bound, star
+
+    @staticmethod
+    def _annotations(tree: ast.AST) -> Iterator[ast.expr]:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                every = (
+                    list(args.posonlyargs)
+                    + list(args.args)
+                    + list(args.kwonlyargs)
+                    + [args.vararg, args.kwarg]
+                )
+                for arg in every:
+                    if arg is not None and arg.annotation is not None:
+                        yield arg.annotation
+                if node.returns is not None:
+                    yield node.returns
+            elif isinstance(node, ast.AnnAssign):
+                yield node.annotation
+
+    def _check_annotation(
+        self, annotation: ast.expr, known: Set[str], ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        # A string as the *whole* annotation is an explicit forward
+        # reference — parse and resolve it too.  Strings nested inside an
+        # annotation are left alone: they may be Literal[...] values.
+        if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+            try:
+                parsed = ast.parse(annotation.value, mode="eval").body
+            except SyntaxError:
+                return
+            for name in self._undefined_names(parsed, known):
+                yield self.finding(
+                    ctx,
+                    annotation,
+                    f"annotation name {name!r} is neither imported nor "
+                    "defined — invisible under from __future__ import "
+                    "annotations until get_type_hints() runs",
+                )
+            return
+        for node in ast.walk(annotation):
+            if (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id not in known
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"annotation name {node.id!r} is neither imported nor "
+                    "defined — invisible under from __future__ import "
+                    "annotations until get_type_hints() runs",
+                )
+
+    @staticmethod
+    def _undefined_names(expr: ast.expr, known: Set[str]) -> List[str]:
+        return [
+            node.id
+            for node in ast.walk(expr)
+            if isinstance(node, ast.Name)
+            and isinstance(node.ctx, ast.Load)
+            and node.id not in known
+        ]
+
+
 def build_rules() -> Tuple[Rule, ...]:
     """One fresh instance of every shipped rule, in rule-id order."""
     return (
@@ -519,6 +650,7 @@ def build_rules() -> Tuple[Rule, ...]:
         TelemetryNameRule(),
         AnnotationRule(),
         WhitespaceRule(),
+        AnnotationNameRule(),
     )
 
 
