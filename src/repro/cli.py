@@ -9,6 +9,8 @@ Examples::
     segugio track --days 5 --resume /tmp/run.ckpt --checkpoint /tmp/run.ckpt
     segugio track --days 3 --telemetry-dir /tmp/telemetry
     segugio telemetry /tmp/telemetry/manifest.json
+    segugio explain --telemetry-dir /tmp/telemetry --domain evil.example
+    segugio monitor /tmp/telemetry --html dashboard.html
     segugio export-day /tmp/obs --day-offset 2
     segugio health /tmp/obs
     segugio classify-dir /tmp/obs --lenient
@@ -257,6 +259,10 @@ def _run_explain(args: argparse.Namespace) -> None:
     from repro import Segugio
     from repro.ml.metrics import threshold_for_fpr
 
+    if args.telemetry_dir is not None:
+        _explain_from_artifacts(args)
+        return
+
     scenario = _scenario(args.scale, args.seed)
     context = scenario.context(args.isp, scenario.eval_day(args.day_offset))
     model = Segugio().fit(context)
@@ -289,6 +295,63 @@ def _run_explain(args: argparse.Namespace) -> None:
             f"(typical {row['background_median']:6.2f})  "
             f"contribution {row['contribution']:+.3f}"
         )
+
+
+def _explain_from_artifacts(args: argparse.Namespace) -> None:
+    """Replay a verdict from a telemetry dir's decisions.jsonl — no rerun."""
+    import os
+
+    from repro.obs.provenance import (
+        DECISIONS_FILENAME,
+        ProvenanceError,
+        decisions_for_domain,
+        load_decisions,
+        render_decision,
+    )
+
+    path = os.path.join(args.telemetry_dir, DECISIONS_FILENAME)
+    if not os.path.exists(path):
+        raise SystemExit(
+            f"no {DECISIONS_FILENAME} in {args.telemetry_dir} (was the run "
+            "started with --telemetry-dir?)"
+        )
+    try:
+        records = load_decisions(path)
+    except ProvenanceError as error:
+        raise SystemExit(str(error))
+    if args.domain is not None:
+        matches = decisions_for_domain(records, args.domain)
+        if not matches:
+            raise SystemExit(
+                f"{args.domain!r} has no decision record in {path}"
+            )
+    else:
+        detected = [r for r in records if r.get("detected")]
+        if not detected:
+            raise SystemExit(f"no detected domains recorded in {path}")
+        top = max(detected, key=lambda r: (r.get("score") or 0.0))
+        matches = decisions_for_domain(records, str(top["domain"]))
+    for record in matches:
+        print(render_decision(record))
+
+
+def _run_monitor(args: argparse.Namespace) -> None:
+    from repro.eval.monitor import (
+        MonitorError,
+        load_runs,
+        render_monitor,
+        render_monitor_html,
+    )
+
+    try:
+        runs = load_runs(args.telemetry_dirs)
+    except MonitorError as error:
+        raise SystemExit(str(error))
+    print(render_monitor(runs))
+    if args.html:
+        with open(args.html, "w") as stream:
+            stream.write(render_monitor_html(runs))
+        print(f"\nhtml dashboard written to {args.html}")
 
 
 def _run_export_day(args: argparse.Namespace) -> None:
@@ -597,7 +660,30 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--isp", default="isp1")
     explain.add_argument("--day-offset", type=int, default=0)
     explain.add_argument("--top", type=int, default=6)
+    explain.add_argument(
+        "--telemetry-dir",
+        default=None,
+        help="replay the decision record(s) from this telemetry dir's "
+        "decisions.jsonl instead of re-running the pipeline",
+    )
     explain.set_defaults(func=_run_explain)
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="multi-day quality dashboard over telemetry directories",
+    )
+    monitor.add_argument(
+        "telemetry_dirs",
+        nargs="+",
+        help="one or more --telemetry-dir outputs (each holding a "
+        "manifest.json and optionally decisions.jsonl)",
+    )
+    monitor.add_argument(
+        "--html",
+        default=None,
+        help="additionally write a self-contained HTML dashboard here",
+    )
+    monitor.set_defaults(func=_run_monitor)
 
     export = sub.add_parser(
         "export-day", help="write one observation day to a directory"

@@ -120,11 +120,11 @@ class FeatureExtractor:
             return features
         tracer = current_tracer()
         n = int(ids.size)
-        with tracer.span("features.f1_machine", n_domains=n):
+        with tracer.span("segugio_features_f1_machine", n_domains=n):
             self._machine_behavior(ids, hide_labels, out=features[:, 0:3])
-        with tracer.span("features.f2_activity", n_domains=n):
+        with tracer.span("segugio_features_f2_activity", n_domains=n):
             self._domain_activity(ids, out=features[:, 3:7])
-        with tracer.span("features.f3_ip", n_domains=n):
+        with tracer.span("segugio_features_f3_ip", n_domains=n):
             self._ip_abuse(ids, hide_labels, out=features[:, 7:11])
         return features
 

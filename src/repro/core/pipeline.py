@@ -39,7 +39,14 @@ from repro.core.labeling import (
     derive_machine_labels,
     label_domains,
 )
-from repro.core.pruning import PruneConfig, prune_graph
+from repro.core.pruning import (
+    RULE_ABSENT,
+    RULE_KEPT,
+    PruneConfig,
+    PruneResult,
+    prune_graph,
+    rule_name,
+)
 from repro.core.training import TrainingSet, build_training_set
 from repro.dns.activity import ActivityIndex
 from repro.dns.e2ld import E2ldIndex
@@ -50,7 +57,14 @@ from repro.ml.forest import RandomForestClassifier
 from repro.ml.logistic import LogisticRegression
 from repro.obs.logs import get_logger
 from repro.obs.metrics import SCORE_BUCKETS, MetricsRegistry, get_registry
-from repro.obs.tracing import Stopwatch
+from repro.obs.provenance import (
+    VERDICT_LABELED,
+    VERDICT_PRUNED,
+    VERDICT_SCORED,
+    VOTE_BINS,
+    current_decision_log,
+)
+from repro.obs.tracing import Stopwatch, current_tracer
 from repro.pdns.abuse import AbuseOracle
 from repro.pdns.database import PassiveDNSDatabase
 
@@ -244,6 +258,10 @@ class DetectionReport:
     feature groups fell back on the classified day — empty for a healthy
     day."""
 
+    features: Optional[np.ndarray] = None
+    """Full 11-column feature matrix for ``domain_ids`` (pre column
+    selection), kept for drift monitoring and decision provenance."""
+
     def score_map(self) -> Dict[int, float]:
         return {int(d): float(s) for d, s in zip(self.domain_ids, self.scores)}
 
@@ -294,6 +312,9 @@ class Segugio:
         self.classifier_ = None
         self.training_set_: Optional[TrainingSet] = None
         self.train_stats_: Dict[str, float] = {}
+        self.last_prune_: Optional[PruneResult] = None
+        """Rule-attribution arrays from the most recent
+        :meth:`prepare_day` call (decision provenance)."""
         self.timings_: Stopwatch = Stopwatch()
         self.degradations_: List[str] = []
         """Degradation tags observed on the *training* context (see
@@ -343,6 +364,7 @@ class Segugio:
             pruned = result.graph
             # Degrees changed; rederive machine labels on the pruned graph.
             labels = derive_machine_labels(pruned, domain_labels)
+        self.last_prune_ = result
         _emit_prune_metrics(registry, result.stats)
         _emit_graph_metrics(registry, pruned, stage="pruned")
         _emit_label_metrics(registry, pruned, labels)
@@ -455,9 +477,9 @@ class Segugio:
             unknown_ids = present[
                 labels.domain_labels[present] == UNKNOWN
             ]
-            X = extractor.feature_matrix(unknown_ids, hide_labels=False)
+            X_full = extractor.feature_matrix(unknown_ids, hide_labels=False)
         with watch.phase("score_domains"):
-            X = X[:, self.config.columns()]
+            X = X_full[:, self.config.columns()]
             scores = (
                 self.classifier_.predict_proba(X)
                 if unknown_ids.size
@@ -474,6 +496,9 @@ class Segugio:
                 "malware-score distribution over scored domains",
                 buckets=SCORE_BUCKETS,
             ).observe_many(scores)
+        self._emit_decisions(
+            context, graph, labels, unknown_ids, scores, X_full, X, hide_domains
+        )
         _log.info(
             "classify_complete", day=context.day, n_scored=int(unknown_ids.size)
         )
@@ -484,7 +509,102 @@ class Segugio:
             graph=graph,
             labels=labels,
             provenance=context_degradations(context, self.config),
+            features=X_full,
         )
+
+    def _emit_decisions(
+        self,
+        context: ObservationContext,
+        graph: BehaviorGraph,
+        labels: GraphLabels,
+        unknown_ids: np.ndarray,
+        scores: np.ndarray,
+        X_full: np.ndarray,
+        X_selected: np.ndarray,
+        hide_domains: Optional[Iterable[int]],
+    ) -> None:
+        """Record one decision-provenance record per domain in the day's graph.
+
+        No-op unless a :class:`repro.obs.provenance.DecisionLog` is active
+        (i.e. the run asked for ``--telemetry-dir``).  Thresholds are
+        stamped later by the caller via ``DecisionLog.finalize_day``.
+        """
+        log = current_decision_log()
+        prune = self.last_prune_
+        if not log.enabled or prune is None:
+            return
+        from repro.core.labeling import BENIGN  # narrow import
+
+        hidden = {int(d) for d in hide_domains} if hide_domains is not None else set()
+        present = np.flatnonzero(prune.domain_rule != RULE_ABSENT)
+        score_index = {int(d): i for i, d in enumerate(unknown_ids)}
+        histogram = margin = None
+        if unknown_ids.size and hasattr(self.classifier_, "tree_vote_histogram"):
+            histogram, margin = self.classifier_.tree_vote_histogram(
+                X_selected, n_bins=VOTE_BINS
+            )
+            n_trees = len(self.classifier_.trees_)
+        with current_tracer().span(
+            "segugio_decisions_emit", n_domains=int(present.size)
+        ):
+            for domain_id in present.tolist():
+                code = int(prune.domain_rule[domain_id])
+                label_value = int(labels.domain_labels[domain_id])
+                if label_value == MALWARE:
+                    label, source = "malware", "blacklist"
+                elif label_value == BENIGN:
+                    label, source = "benign", "whitelist"
+                elif domain_id in hidden:
+                    label, source = "unknown", "hidden_for_evaluation"
+                else:
+                    label, source = "unknown", "none"
+                pruning = {
+                    "kept": code == int(RULE_KEPT),
+                    "removed_by": rule_name(code),
+                }
+                row = score_index.get(domain_id)
+                if row is not None:
+                    votes = None
+                    if histogram is not None:
+                        votes = {
+                            "n_trees": int(n_trees),
+                            "bins": VOTE_BINS,
+                            "histogram": [int(v) for v in histogram[row]],
+                            "margin": float(margin[row]),
+                        }
+                    log.record(
+                        day=context.day,
+                        domain=graph.domains.name(domain_id),
+                        verdict=VERDICT_SCORED,
+                        label=label,
+                        label_source=source,
+                        pruning=pruning,
+                        features={
+                            name: float(value)
+                            for name, value in zip(FEATURE_NAMES, X_full[row])
+                        },
+                        votes=votes,
+                        score=float(scores[row]),
+                    )
+                else:
+                    verdict = (
+                        VERDICT_LABELED
+                        if code == int(RULE_KEPT)
+                        else VERDICT_PRUNED
+                    )
+                    log.record(
+                        day=context.day,
+                        domain=graph.domains.name(domain_id),
+                        verdict=verdict,
+                        label=label,
+                        label_source=source,
+                        pruning=pruning,
+                    )
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "segugio_decisions_total", "decision records emitted"
+            ).inc(int(present.size))
 
     # ------------------------------------------------------------------ #
     # convenience

@@ -26,6 +26,30 @@ from repro.core.graph import BehaviorGraph
 from repro.core.labeling import MALWARE, GraphLabels
 from repro.dns.e2ld import E2ldIndex
 
+# Per-node rule-attribution codes (int8 arrays indexed by global id).
+# A node is attributed to the *first* rule that removed it; ORPHANED marks
+# nodes no rule touched directly but whose every edge endpoint was pruned.
+RULE_ABSENT = np.int8(-1)
+RULE_KEPT = np.int8(0)
+RULE_R1 = np.int8(1)
+RULE_R2 = np.int8(2)
+RULE_R3 = np.int8(3)
+RULE_R4 = np.int8(4)
+RULE_ORPHANED = np.int8(5)
+
+RULE_NAMES: Dict[int, str] = {
+    int(RULE_R1): "r1",
+    int(RULE_R2): "r2",
+    int(RULE_R3): "r3",
+    int(RULE_R4): "r4",
+    int(RULE_ORPHANED): "orphaned",
+}
+
+
+def rule_name(code: int) -> "str | None":
+    """Human name for an attribution code (None for kept/absent)."""
+    return RULE_NAMES.get(int(code))
+
 
 @dataclass(frozen=True)
 class PruneConfig:
@@ -50,10 +74,24 @@ class PruneConfig:
 
 @dataclass
 class PruneResult:
-    """The pruned graph plus per-rule and aggregate statistics."""
+    """The pruned graph plus per-rule and aggregate statistics.
+
+    ``domain_rule`` / ``machine_rule`` are int8 attribution arrays over the
+    *global* id spaces (shared interners): ``RULE_ABSENT`` for ids not in
+    the day's graph, ``RULE_KEPT`` for survivors, ``RULE_R1``–``RULE_R4``
+    for the first rule that removed the node, and ``RULE_ORPHANED`` for
+    nodes left edge-less after their counterparts were pruned.  They feed
+    the decision-provenance records (:mod:`repro.obs.provenance`).
+    """
 
     graph: BehaviorGraph
     stats: Dict[str, float] = field(default_factory=dict)
+    domain_rule: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int8)
+    )
+    machine_rule: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int8)
+    )
 
     def summary(self) -> str:
         s = self.stats
@@ -87,6 +125,14 @@ def prune_graph(
     machine_is_malware = labels.machine_labels == MALWARE
     domain_is_malware = labels.domain_labels == MALWARE
 
+    # Rule attribution over the global id spaces (first rule wins).
+    machine_rule = np.where(present_machines, RULE_KEPT, RULE_ABSENT).astype(
+        np.int8
+    )
+    domain_rule = np.where(present_domains, RULE_KEPT, RULE_ABSENT).astype(
+        np.int8
+    )
+
     removed = {"r1": 0, "r2": 0, "r3": 0, "r4": 0}
 
     if config.apply_r1:
@@ -97,6 +143,7 @@ def prune_graph(
             & ~machine_is_malware
         )
         removed["r1"] = int(np.count_nonzero(inactive & keep_machines))
+        machine_rule[inactive & keep_machines] = RULE_R1
         keep_machines &= ~inactive
 
     if config.apply_r2:
@@ -115,6 +162,7 @@ def prune_graph(
             # at degree 1; require the node to be a strict outlier.
             if theta_d > np.median(active_degrees):
                 removed["r2"] = int(np.count_nonzero(meganode & keep_machines))
+                machine_rule[meganode & keep_machines] = RULE_R2
                 keep_machines &= ~meganode
 
     if config.apply_r3:
@@ -123,6 +171,7 @@ def prune_graph(
             present_domains & (domain_degrees == 1) & ~domain_is_malware
         )
         removed["r3"] = int(np.count_nonzero(singletons & keep_domains))
+        domain_rule[singletons & keep_domains] = RULE_R3
         keep_domains &= ~singletons
 
     if config.apply_r4:
@@ -140,9 +189,19 @@ def prune_graph(
         hot_e2lds = e2ld_machine_counts >= max(theta_m, 1)
         too_popular = present_domains & hot_e2lds[e2ld_map]
         removed["r4"] = int(np.count_nonzero(too_popular & keep_domains))
+        domain_rule[too_popular & keep_domains] = RULE_R4
         keep_domains &= ~too_popular
 
     pruned = graph.subgraph(keep_machines, keep_domains)
+
+    # Nodes no rule touched but whose every counterpart was pruned end up
+    # edge-less in the subgraph — attribute them as orphaned.
+    domain_rule[
+        (domain_rule == RULE_KEPT) & (pruned.domain_degrees() == 0)
+    ] = RULE_ORPHANED
+    machine_rule[
+        (machine_rule == RULE_KEPT) & (pruned.machine_degrees() == 0)
+    ] = RULE_ORPHANED
 
     n_domains = int(np.count_nonzero(present_domains))
     stats: Dict[str, float] = {
@@ -160,7 +219,12 @@ def prune_graph(
     stats["machines_removed_pct"] = _pct(n_machines, pruned.n_machines)
     stats["domains_removed_pct"] = _pct(n_domains, pruned.n_domains)
     stats["edges_removed_pct"] = _pct(graph.n_edges, pruned.n_edges)
-    return PruneResult(graph=pruned, stats=stats)
+    return PruneResult(
+        graph=pruned,
+        stats=stats,
+        domain_rule=domain_rule,
+        machine_rule=machine_rule,
+    )
 
 
 def _pct(before: float, after: float) -> float:

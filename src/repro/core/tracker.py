@@ -19,14 +19,33 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.pipeline import ObservationContext, Segugio, SegugioConfig
+import numpy as np
+
+from repro.core.features import FEATURE_GROUPS, FEATURE_NAMES
+from repro.core.pipeline import (
+    DetectionReport,
+    ObservationContext,
+    Segugio,
+    SegugioConfig,
+)
 from repro.intel.blacklist import CncBlacklist
+from repro.ml.drift import feature_drift, ks_statistic, population_stability_index
 from repro.ml.metrics import threshold_for_fpr
 from repro.obs.logs import get_logger
 from repro.obs.metrics import get_registry
+from repro.obs.monitor import STATUS_OK, evaluate_health
+from repro.obs.provenance import current_decision_log
 from repro.obs.tracing import current_tracer
 
 _log = get_logger("tracker")
+
+#: pruning-rule volume keys compared day over day in the drift summary
+_PRUNE_VOLUME_KEYS = {
+    "r1": "removed_r1_machines",
+    "r2": "removed_r2_machines",
+    "r3": "removed_r3_domains",
+    "r4": "removed_r4_domains",
+}
 
 
 @dataclass
@@ -60,18 +79,32 @@ class DayReport:
     day was scored (``pdns_empty_window:warning``, ...); empty for a
     healthy day."""
 
+    drift: Optional[Dict[str, object]] = None
+    """Day-over-day quality summary vs the previous processed day (feature
+    and score PSI/KS, pruning-volume deltas, blacklist churn) — None on the
+    first day of a run, which has no reference."""
+
+    health: Dict[str, object] = field(
+        default_factory=lambda: {"status": STATUS_OK, "reasons": []}
+    )
+    """SLO verdict for the day (:func:`repro.obs.monitor.evaluate_health`
+    over ``drift`` + degradations): ``ok``, ``warn``, or ``alert`` with the
+    tripped rules as reasons."""
+
     def summary(self) -> str:
         degraded = (
             f" [degraded: {', '.join(self.provenance)}]"
             if self.provenance
             else ""
         )
+        status = str(self.health.get("status", STATUS_OK))
+        unhealthy = f" [health: {status}]" if status != STATUS_OK else ""
         return (
             f"day {self.day}: scored {self.n_scored} unknown domains, "
             f"{len(self.new_detections)} new + "
             f"{len(self.repeat_detections)} repeat detections, "
             f"{len(self.implicated_machines)} machines implicated"
-            f"{degraded}"
+            f"{degraded}{unhealthy}"
         )
 
 
@@ -104,6 +137,11 @@ class DomainTracker:
         self.tracked: Dict[str, TrackedDomain] = {}
         self.days_processed: List[int] = []
         self.day_thresholds: Dict[int, float] = {}
+        self._drift_ref: Optional[Dict[str, object]] = None
+        """Previous processed day's observables (feature matrix, scores,
+        blacklist snapshot, pruning volumes) — the reference the next day's
+        drift summary is computed against.  Deliberately *not* part of
+        :meth:`state_dict`: a resumed run starts with a fresh reference."""
         self.telemetry = telemetry
         """Optional :class:`repro.obs.run.RunTelemetry`: when set, every
         :meth:`process_day` records spans, metric deltas, and a day record
@@ -131,6 +169,8 @@ class DomainTracker:
                     n_repeat_detections=len(day_report.repeat_detections),
                     n_implicated_machines=len(day_report.implicated_machines),
                     provenance=list(day_report.provenance),
+                    drift=day_report.drift,
+                    health=dict(day_report.health),
                 )
         return day_report
 
@@ -143,36 +183,47 @@ class DomainTracker:
         from repro.runtime.health import check_context
 
         tracer = current_tracer()
-        with tracer.span("health_check", day=context.day):
+        with tracer.span("segugio_tracker_health_check", day=context.day):
             health = check_context(
                 context,
                 activity_window=self.config.activity_window,
                 pdns_window=self.config.pdns_window_days,
             )
         model = Segugio(self.config)
-        with tracer.span("fit", day=context.day):
+        with tracer.span("segugio_tracker_fit", day=context.day):
             model.fit(context)
 
-        with tracer.span("calibrate_threshold"):
+        with tracer.span("segugio_tracker_calibrate"):
             training = model.training_set_
             benign_scores = model.classifier_.predict_proba(
                 training.X[training.y == 0]
             )
             threshold = threshold_for_fpr(benign_scores, self.fp_target)
 
-        with tracer.span("classify", day=context.day):
+        with tracer.span("segugio_tracker_classify", day=context.day):
             report = model.classify(context)
+        current_decision_log().finalize_day(context.day, threshold)
         detections = report.detections(threshold)
 
         provenance = sorted(set(health.provenance()) | set(report.provenance))
+        with tracer.span("segugio_tracker_quality_check", day=context.day):
+            drift = self._check_quality(context, model, report)
+            day_health = evaluate_health(
+                {
+                    "drift": drift if drift is not None else {},
+                    "n_degradations": len(provenance),
+                }
+            )
         day_report = DayReport(
             day=context.day,
             threshold=threshold,
             n_scored=len(report),
             implicated_machines=report.infected_machines(threshold),
             provenance=provenance,
+            drift=drift,
+            health=day_health,
         )
-        with tracer.span("update_ledger", n_detections=len(detections)):
+        with tracer.span("segugio_tracker_ledger_update", n_detections=len(detections)):
             for name, score in detections:
                 entry = self.tracked.get(name)
                 if entry is None:
@@ -211,6 +262,15 @@ class DomainTracker:
             registry.gauge(
                 "segugio_tracker_ledger_size", "domains in the tracked ledger"
             ).set(len(self.tracked))
+            if drift is not None and "score" in drift:
+                registry.gauge(
+                    "segugio_drift_score_psi",
+                    "PSI of the malware-score distribution vs the previous day",
+                ).set(float(drift["score"]["psi"]))  # type: ignore[index]
+            registry.gauge(
+                "segugio_health_rank",
+                "day health as a rank (0 ok, 1 warn, 2 alert)",
+            ).set({"ok": 0, "warn": 1, "alert": 2}.get(str(day_health["status"]), 0))
         _log.info(
             "day_processed",
             day=context.day,
@@ -220,8 +280,111 @@ class DomainTracker:
             n_repeat=len(day_report.repeat_detections),
             n_machines=len(day_report.implicated_machines),
             provenance=provenance,
+            health=str(day_health["status"]),
         )
         return day_report
+
+    # ------------------------------------------------------------------ #
+    # day-over-day quality monitoring
+    # ------------------------------------------------------------------ #
+
+    def _check_quality(
+        self,
+        context: ObservationContext,
+        model: Segugio,
+        report: DetectionReport,
+    ) -> Optional[Dict[str, object]]:
+        """Drift summary for this day vs the previous processed day.
+
+        Compares what the detector *saw* (feature distributions, pruning
+        volumes, blacklist ground truth) and what it *produced* (the score
+        distribution) against yesterday's snapshot, using the statistics in
+        :mod:`repro.ml.drift`.  Returns None on the first day of a run —
+        including the first day after a resume, since the reference is
+        intentionally not checkpointed.  Always rotates the reference
+        snapshot forward as a side effect.
+        """
+        prune_stats = (
+            dict(model.last_prune_.stats) if model.last_prune_ is not None else {}
+        )
+        snapshot: Dict[str, object] = {
+            "day": context.day,
+            "features": report.features,
+            "scores": np.asarray(report.scores, dtype=np.float64),
+            "blacklist": frozenset(context.blacklist.domains(as_of_day=context.day)),
+            "prune_stats": prune_stats,
+            "n_scored": len(report),
+        }
+        reference, self._drift_ref = self._drift_ref, snapshot
+        if reference is None:
+            return None
+
+        drift: Dict[str, object] = {"reference_day": int(reference["day"])}
+
+        ref_X = reference["features"]
+        cur_X = report.features
+        if (
+            isinstance(ref_X, np.ndarray)
+            and isinstance(cur_X, np.ndarray)
+            and ref_X.shape[0] > 0
+            and cur_X.shape[0] > 0
+        ):
+            per_feature = feature_drift(ref_X, cur_X, FEATURE_NAMES)
+            drift["features"] = per_feature
+            worst = max(per_feature, key=lambda name: per_feature[name]["psi"])
+            drift["features_max"] = {"feature": worst, **per_feature[worst]}
+            drift["feature_groups"] = {
+                group: {
+                    "psi": max(
+                        per_feature[FEATURE_NAMES[c]]["psi"] for c in columns
+                    )
+                }
+                for group, columns in FEATURE_GROUPS.items()
+            }
+
+        ref_scores = reference["scores"]
+        if ref_scores.size > 0 and report.scores.size > 0:  # type: ignore[union-attr]
+            drift["score"] = {
+                "psi": population_stability_index(ref_scores, report.scores),
+                "ks": ks_statistic(ref_scores, report.scores),
+            }
+
+        ref_prune = reference["prune_stats"]
+        pruning: Dict[str, object] = {}
+        for rule, key in _PRUNE_VOLUME_KEYS.items():
+            previous = float(ref_prune.get(key, 0.0))  # type: ignore[union-attr]
+            current = float(prune_stats.get(key, 0.0))
+            pruning[rule] = {
+                "previous": previous,
+                "current": current,
+                "delta_pct": 100.0 * abs(current - previous) / max(previous, 1.0),
+            }
+        drift["pruning"] = pruning
+        worst_rule = max(
+            pruning, key=lambda rule: pruning[rule]["delta_pct"]  # type: ignore[index]
+        )
+        drift["pruning_max"] = {"rule": worst_rule, **pruning[worst_rule]}  # type: ignore[dict-item]
+
+        ref_black = reference["blacklist"]
+        cur_black = snapshot["blacklist"]
+        n_added = len(cur_black - ref_black)  # type: ignore[operator]
+        n_removed = len(ref_black - cur_black)  # type: ignore[operator]
+        drift["labels"] = {
+            "n_added": n_added,
+            "n_removed": n_removed,
+            "churn_pct": 100.0 * (n_added + n_removed) / max(len(ref_black), 1),  # type: ignore[arg-type]
+        }
+
+        previous_scored = int(reference["n_scored"])  # type: ignore[arg-type]
+        current_scored = len(report)
+        drift["volume"] = {
+            "previous_scored": previous_scored,
+            "current_scored": current_scored,
+            "delta_pct_abs": 100.0
+            * abs(current_scored - previous_scored)
+            / max(previous_scored, 1),
+        }
+        return drift
 
     # ------------------------------------------------------------------ #
 
@@ -260,7 +423,10 @@ class DomainTracker:
         processed-day cursor, and per-day thresholds — so that
         ``from_state(state_dict())`` continues a run to a bit-identical
         ledger.  The (immutable) config and fp_target are serialized by the
-        checkpoint layer alongside this state.
+        checkpoint layer alongside this state.  The drift reference
+        (``_drift_ref``) is deliberately excluded: it holds full feature
+        matrices, and the ledger stays bit-identical without it — a resumed
+        run simply reports no drift on its first day.
         """
         return {
             "fp_target": self.fp_target,

@@ -847,7 +847,7 @@ def graph_inference_comparison(
     seed: int = 0,
 ) -> Dict[str, object]:
     """Segugio vs. loopy BP vs. co-occurrence on the identical test split."""
-    import time
+    from repro.obs.tracing import Stopwatch
 
     segugio = cross_day_experiment(
         scenario.context(isp, scenario.eval_day(0)),
@@ -866,13 +866,15 @@ def graph_inference_comparison(
     domain_labels[split.all_ids] = UNKNOWN
     labels = derive_machine_labels(graph, domain_labels)
 
-    t0 = time.perf_counter()
-    lbp_scores = LoopyBeliefPropagation().score_domains(graph, labels)
-    lbp_seconds = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    cooc_scores = CoOccurrenceScorer().score_domains(graph, labels)
-    cooc_seconds = time.perf_counter() - t0
+    # timed through the ambient tracer (SEG010) so baseline scoring costs
+    # land in the span tree alongside Segugio's own phase table
+    watch = Stopwatch()
+    with watch.phase("score_lbp"):
+        lbp_scores = LoopyBeliefPropagation().score_domains(graph, labels)
+    with watch.phase("score_cooccurrence"):
+        cooc_scores = CoOccurrenceScorer().score_domains(graph, labels)
+    lbp_seconds = watch.elapsed("score_lbp")
+    cooc_seconds = watch.elapsed("score_cooccurrence")
 
     y = segugio.y_true
     ids = split.all_ids

@@ -10,11 +10,11 @@ reviewer runs to regenerate the evaluation:
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.eval import experiments as E
 from repro.eval.reporting import ascii_table, histogram, roc_series_table
+from repro.obs.tracing import Stopwatch
 from repro.synth.diagnostics import diagnose
 from repro.synth.scenario import Scenario
 
@@ -228,10 +228,13 @@ def generate_report(
         f"world: `{scenario!r}`",
         "",
     ]
+    # timed through the ambient tracer (SEG010): when telemetry is active
+    # each section shows up as a span, and the report text agrees with it
+    watch = Stopwatch()
     for section in chosen:
-        start = time.perf_counter()
-        body = _RENDERERS[section](scenario)
-        elapsed = time.perf_counter() - start
+        with watch.phase(section):
+            body = _RENDERERS[section](scenario)
+        elapsed = watch.elapsed(section)
         lines.append(f"## {_TITLES[section]}")
         lines.append("")
         lines.append(body)

@@ -182,7 +182,7 @@ def cross_day_experiment(
     """
     tracer = current_tracer()
     rng = np.random.default_rng(seed)
-    with tracer.span("experiment.select_split", experiment=name):
+    with tracer.span("segugio_experiment_select_split", experiment=name):
         split = select_test_split(
             test_context,
             test_fraction=test_fraction,
@@ -196,9 +196,9 @@ def cross_day_experiment(
         raise ValueError(f"{name}: empty benign test set")
 
     model = Segugio(config)
-    with tracer.span("experiment.fit", experiment=name):
+    with tracer.span("segugio_experiment_fit", experiment=name):
         model.fit(train_context, exclude_domains=split.all_ids)
-    with tracer.span("experiment.classify", experiment=name):
+    with tracer.span("segugio_experiment_classify", experiment=name):
         report = model.classify(test_context, hide_domains=split.all_ids)
     y_true, scores, miss_mal, miss_ben = score_split(report, split)
     return RocExperiment(

@@ -1,10 +1,19 @@
-"""Score-distribution drift monitoring for deployed models.
+"""Distribution-drift statistics for deployed models.
 
 The paper's answer to model staleness is daily retraining (§IV-G makes it
 cheap).  A deployment that retrains less often needs to know *when* the
-model has aged out: this module compares the benign score distribution a
-model produces today against the distribution at training time using the
-population stability index (PSI) — the standard drift statistic.
+model has aged out: this module compares the distributions a model sees
+and produces today against a reference day using two complementary
+statistics:
+
+* **PSI** (population stability index) — sensitive to mass moving between
+  reference-decile bins; the standard scorecard-monitoring statistic.
+* **KS** (two-sample Kolmogorov-Smirnov) — the maximum CDF gap; binless,
+  so it catches shifts PSI's coarse deciles smear out.
+
+:func:`feature_drift` applies both per feature column, which the tracker
+aggregates into the day-over-day quality summary evaluated by
+:mod:`repro.obs.monitor` alert rules.
 
 Rule-of-thumb thresholds (industry convention): PSI < 0.1 stable,
 0.1-0.25 moderate shift (watch), > 0.25 significant shift (retrain).
@@ -13,7 +22,7 @@ Rule-of-thumb thresholds (industry convention): PSI < 0.1 stable,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -53,6 +62,58 @@ def population_stability_index(
     ref_frac = np.maximum(ref_counts / ref_counts.sum(), eps)
     cur_frac = np.maximum(cur_counts / cur_counts.sum(), eps)
     return float(np.sum((cur_frac - ref_frac) * np.log(cur_frac / ref_frac)))
+
+
+def ks_statistic(reference: np.ndarray, current: np.ndarray) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic (max |CDF_ref - CDF_cur|).
+
+    Binless companion to :func:`population_stability_index`: PSI smears
+    shifts across reference deciles, KS catches a sharp local CDF gap.
+    Returned value is in [0, 1]; 0 means identical empirical CDFs.
+    """
+    reference = np.sort(np.asarray(reference, dtype=np.float64))
+    current = np.sort(np.asarray(current, dtype=np.float64))
+    if reference.size == 0 or current.size == 0:
+        raise ValueError("both samples must be non-empty")
+    grid = np.concatenate([reference, current])
+    cdf_ref = np.searchsorted(reference, grid, side="right") / reference.size
+    cdf_cur = np.searchsorted(current, grid, side="right") / current.size
+    return float(np.max(np.abs(cdf_ref - cdf_cur)))
+
+
+def feature_drift(
+    reference: np.ndarray,
+    current: np.ndarray,
+    feature_names: Sequence[str],
+    n_bins: int = 10,
+) -> Dict[str, Dict[str, float]]:
+    """Per-feature PSI + KS between two feature matrices.
+
+    *reference* and *current* are (n_samples, n_features) matrices over the
+    same columns; *feature_names* names those columns.  Returns
+    ``{name: {"psi": float, "ks": float}}`` in column order.  Constant
+    columns (a single distinct value on the reference day) yield PSI 0 when
+    unchanged — searchsorted places all mass in one bin on both sides.
+    """
+    reference = np.asarray(reference, dtype=np.float64)
+    current = np.asarray(current, dtype=np.float64)
+    if reference.ndim != 2 or current.ndim != 2:
+        raise ValueError("feature matrices must be 2-D")
+    if reference.shape[1] != current.shape[1]:
+        raise ValueError("matrices must share a column space")
+    if reference.shape[1] != len(feature_names):
+        raise ValueError("feature_names must match the column count")
+    if reference.shape[0] == 0 or current.shape[0] == 0:
+        raise ValueError("both samples must be non-empty")
+    out: Dict[str, Dict[str, float]] = {}
+    for column, name in enumerate(feature_names):
+        ref_col = reference[:, column]
+        cur_col = current[:, column]
+        out[str(name)] = {
+            "psi": population_stability_index(ref_col, cur_col, n_bins=n_bins),
+            "ks": ks_statistic(ref_col, cur_col),
+        }
+    return out
 
 
 @dataclass

@@ -165,7 +165,10 @@ class RandomForestClassifier:
         n = y.shape[0]
         jobs = min(self.n_jobs, self.n_estimators)
         with current_tracer().span(
-            "forest.fit", n_trees=self.n_estimators, n_samples=int(n), n_jobs=jobs
+            "segugio_forest_fit",
+            n_trees=self.n_estimators,
+            n_samples=int(n),
+            n_jobs=jobs,
         ):
             if jobs <= 1:
                 self.trees_ = _fit_tree_batch(seeds, params, X_binned, y, base_weight)
@@ -233,7 +236,7 @@ class RandomForestClassifier:
         chunks = _chunked(self.trees_, _PREDICT_TREE_CHUNK)
         jobs = min(self.n_jobs, len(chunks))
         with current_tracer().span(
-            "forest.predict", n_samples=int(X.shape[0]), n_jobs=jobs
+            "segugio_forest_predict", n_samples=int(X.shape[0]), n_jobs=jobs
         ):
             X_binned = self.bin_mapper_.transform(X)
             if jobs <= 1:
@@ -257,6 +260,48 @@ class RandomForestClassifier:
     def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
         """Hard labels at the given malware-score threshold."""
         return (self.predict_proba(X) >= threshold).astype(np.int64)
+
+    def tree_vote_histogram(
+        self, X: np.ndarray, n_bins: int = 10
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Per-sample histogram of per-tree scores, plus the vote margin.
+
+        For each sample, every tree's leaf P(malware) is bucketed into
+        ``n_bins`` equal-width bins over [0, 1] (the top edge folds into
+        the last bin).  Returns ``(histogram, margin)`` where *histogram*
+        is (n_samples, n_bins) int64 with rows summing to the tree count,
+        and *margin* is (n_samples,) float64 in [-1, 1]: the fraction of
+        trees voting malware (score >= 0.5) minus the fraction voting
+        benign.  This is the decision-provenance view of the ensemble —
+        ``predict_proba`` collapses it to the mean.
+
+        Accumulates one tree at a time, so memory is O(n_samples * n_bins)
+        rather than O(n_samples * n_trees).
+        """
+        if not self.trees_ or self.bin_mapper_ is None:
+            raise RuntimeError("forest is not fitted")
+        if n_bins < 1:
+            raise ValueError("n_bins must be >= 1")
+        X = as_2d_float_array(X)
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"expected {self.n_features_} features, got {X.shape[1]}"
+            )
+        X_binned = self.bin_mapper_.transform(X)
+        n_samples = X.shape[0]
+        histogram = np.zeros((n_samples, n_bins), dtype=np.int64)
+        votes_malware = np.zeros(n_samples, dtype=np.int64)
+        rows = np.arange(n_samples)
+        for tree in self.trees_:
+            scores = tree.predict_proba_binned(X_binned)
+            buckets = np.minimum(
+                (scores * n_bins).astype(np.int64), n_bins - 1
+            )
+            np.add.at(histogram, (rows, buckets), 1)
+            votes_malware += scores >= 0.5
+        n_trees = len(self.trees_)
+        margin = (2.0 * votes_malware - n_trees) / n_trees
+        return histogram, margin
 
     @property
     def feature_importances_(self) -> np.ndarray:

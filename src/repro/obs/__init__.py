@@ -10,6 +10,13 @@ Three coordinated zero-dependency layers (stdlib only):
 * :mod:`repro.obs.logs` — ``get_logger(component)`` emitting JSON records
   with run-id / day / phase context variables.
 
+:mod:`repro.obs.provenance` adds the *detector*-observability layer on the
+same ambient pattern: a per-run :class:`DecisionLog` of schema-versioned
+decision records (one per classified domain) written as ``decisions.jsonl``
+and replayed by ``segugio explain``.  :mod:`repro.obs.monitor` evaluates
+declarative SLO alert rules over the tracker's day-over-day drift
+summaries into ``ok``/``warn``/``alert`` health verdicts.
+
 :mod:`repro.obs.run` bundles them into a per-run :class:`RunTelemetry`
 whose output is the run manifest (:mod:`repro.obs.manifest`) rendered by
 ``segugio telemetry``.
@@ -24,12 +31,33 @@ from repro.obs.logs import StructuredLogger, bound, configure, get_logger
 from repro.obs.manifest import (
     MANIFEST_FILENAME,
     MANIFEST_VERSION,
+    SPAN_RENAMES_V1,
     TRACE_FILENAME,
     ManifestError,
     config_hash,
     load_manifest,
     render_telemetry,
+    upgrade_manifest_v1,
     write_manifest,
+)
+from repro.obs.monitor import (
+    DEFAULT_ALERT_RULES,
+    AlertRule,
+    evaluate_health,
+    run_health,
+    rules_from_dicts,
+    worst_status,
+)
+from repro.obs.provenance import (
+    DECISION_SCHEMA_VERSION,
+    DECISIONS_FILENAME,
+    DecisionLog,
+    ProvenanceError,
+    current_decision_log,
+    decisions_for_domain,
+    load_decisions,
+    render_decision,
+    use_decision_log,
 )
 from repro.obs.metrics import (
     Counter,
@@ -50,7 +78,12 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "AlertRule",
     "Counter",
+    "DECISIONS_FILENAME",
+    "DECISION_SCHEMA_VERSION",
+    "DEFAULT_ALERT_RULES",
+    "DecisionLog",
     "Gauge",
     "Histogram",
     "MANIFEST_FILENAME",
@@ -58,7 +91,9 @@ __all__ = [
     "ManifestError",
     "MetricsError",
     "MetricsRegistry",
+    "ProvenanceError",
     "RunTelemetry",
+    "SPAN_RENAMES_V1",
     "Span",
     "Stopwatch",
     "StructuredLogger",
@@ -67,12 +102,22 @@ __all__ = [
     "bound",
     "config_hash",
     "configure",
+    "current_decision_log",
     "current_tracer",
+    "decisions_for_domain",
+    "evaluate_health",
     "get_logger",
     "get_registry",
+    "load_decisions",
     "load_manifest",
+    "render_decision",
     "render_telemetry",
+    "rules_from_dicts",
+    "run_health",
+    "upgrade_manifest_v1",
+    "use_decision_log",
     "use_registry",
     "use_tracer",
+    "worst_status",
     "write_manifest",
 ]

@@ -7,17 +7,20 @@ writes two files next to its outputs:
 * ``trace.jsonl`` — the flat span trace
   (:meth:`repro.obs.tracing.Tracer.write_jsonl`).
 
-Manifest layout (``manifest_version`` 1)::
+Manifest layout (``manifest_version`` 2)::
 
     {
-      "manifest_version": 1,
+      "manifest_version": 2,
       "run_id": "…", "command": "track", "created_unix": 1754450000.0,
       "config": {…} | null,          # SegugioConfig as a dict
       "config_sha256": "…" | null,   # hash of the canonical config JSON
+      "health": {"status": "ok|warn|alert", "reasons": […]},  # run SLO verdict
       "days": [                      # one record per processed day
         {"day": 21, "threshold": 0.97, "n_scored": 412,
          "n_new_detections": 3, "n_repeat_detections": 1,
          "n_implicated_machines": 9, "provenance": ["blacklist_stale:warning"],
+         "drift": {…} | null,        # day-over-day quality summary
+         "health": {"status": "…", "reasons": […]},
          "phases": {"build_graph": 0.41, …},       # span seconds, this day
          "metrics": {…}}                            # registry delta, this day
       ],
@@ -26,8 +29,17 @@ Manifest layout (``manifest_version`` 1)::
       "ingest": [{…}],               # IngestReport.to_dict() per loaded source
       "degradations": ["…"],         # union of day provenance tags
       "warnings": ["…"],
-      "trace_file": "trace.jsonl"
+      "trace_file": "trace.jsonl",
+      "decisions_file": "decisions.jsonl" | null   # decision provenance
     }
+
+**Version history.** v1 (PR 2) predates the SEG006 telemetry-naming
+contract: its span trees and day ``phases`` use the old dotted names
+(``fit``, ``forest.predict``, ``checkpoint.save``, …) and it has no
+``health``/``drift``/``decisions_file`` fields.  :func:`load_manifest`
+still accepts v1 and upgrades it in place — span/phase names are mapped
+through :data:`SPAN_RENAMES_V1` and the new fields default to unknown
+health — so telemetry dirs written by older builds keep rendering.
 
 ``segugio telemetry manifest.json`` renders the per-phase cost breakdown in
 the shape of the paper's §IV-G efficiency table (learning vs. classification
@@ -41,9 +53,31 @@ import json
 import os
 from typing import Dict, List, Mapping, Optional, Sequence
 
-MANIFEST_VERSION = 1
+MANIFEST_VERSION = 2
 MANIFEST_FILENAME = "manifest.json"
 TRACE_FILENAME = "trace.jsonl"
+
+#: v1 span names (pre-SEG006 dotted style) -> v2 ``segugio_*`` names.
+#: Applied to the span tree and day phase keys when loading a v1 manifest.
+SPAN_RENAMES_V1 = {
+    "process_day": "segugio_run_day",
+    "health_check": "segugio_tracker_health_check",
+    "fit": "segugio_tracker_fit",
+    "calibrate_threshold": "segugio_tracker_calibrate",
+    "classify": "segugio_tracker_classify",
+    "update_ledger": "segugio_tracker_ledger_update",
+    "forest.fit": "segugio_forest_fit",
+    "forest.predict": "segugio_forest_predict",
+    "features.f1_machine": "segugio_features_f1_machine",
+    "features.f2_activity": "segugio_features_f2_activity",
+    "features.f3_ip": "segugio_features_f3_ip",
+    "experiment.select_split": "segugio_experiment_select_split",
+    "experiment.fit": "segugio_experiment_fit",
+    "experiment.classify": "segugio_experiment_classify",
+    "checkpoint.save": "segugio_checkpoint_save",
+    "checkpoint.resume": "segugio_checkpoint_resume",
+    "ingest.load_observation": "segugio_ingest_load_observation",
+}
 
 # Phase grouping of the paper's §IV-G table: the learning phase covers graph
 # preparation + training; the classification phase covers measuring and
@@ -97,14 +131,61 @@ def load_manifest(path: str) -> Dict[str, object]:
     if not isinstance(payload, dict):
         raise ManifestError(f"{path}: manifest must be a JSON object")
     version = payload.get("manifest_version")
-    if version != MANIFEST_VERSION:
+    if version == 1:
+        payload = upgrade_manifest_v1(payload)
+    elif version != MANIFEST_VERSION:
         raise ManifestError(
             f"{path}: manifest version {version!r} is not supported "
-            f"(this library speaks version {MANIFEST_VERSION})"
+            f"(this library speaks versions 1-{MANIFEST_VERSION})"
         )
     for key in ("run_id", "command", "days", "metrics", "spans"):
         if key not in payload:
             raise ManifestError(f"{path}: manifest is missing {key!r}")
+    return payload
+
+
+def _rename_spans(spans: List[Dict[str, object]]) -> None:
+    for span in spans:
+        if isinstance(span, dict):
+            name = span.get("name")
+            if name in SPAN_RENAMES_V1:
+                span["name"] = SPAN_RENAMES_V1[name]  # type: ignore[index]
+            children = span.get("children")
+            if isinstance(children, list):
+                _rename_spans(children)
+
+
+def upgrade_manifest_v1(payload: Dict[str, object]) -> Dict[str, object]:
+    """In-place upgrade of a v1 manifest to the v2 schema.
+
+    Span-tree and day ``phases`` names move through
+    :data:`SPAN_RENAMES_V1`; the v2-only quality fields are defaulted —
+    ``health`` becomes ``unknown`` (a v1 run recorded no drift, which is
+    different from a v2 run that measured ``ok``) and ``decisions_file``
+    becomes None.  The original version is preserved in
+    ``upgraded_from_version``.
+    """
+    payload = dict(payload)
+    days = payload.get("days")
+    if isinstance(days, list):
+        for day in days:
+            if not isinstance(day, dict):
+                continue
+            phases = day.get("phases")
+            if isinstance(phases, dict):
+                day["phases"] = {
+                    SPAN_RENAMES_V1.get(name, name): seconds
+                    for name, seconds in phases.items()
+                }
+            day.setdefault("drift", None)
+            day.setdefault("health", {"status": "unknown", "reasons": []})
+    spans = payload.get("spans")
+    if isinstance(spans, list):
+        _rename_spans(spans)  # type: ignore[arg-type]
+    payload.setdefault("health", {"status": "unknown", "reasons": []})
+    payload.setdefault("decisions_file", None)
+    payload["upgraded_from_version"] = 1
+    payload["manifest_version"] = MANIFEST_VERSION
     return payload
 
 
@@ -136,6 +217,15 @@ def render_telemetry(manifest: Mapping[str, object]) -> str:
         f"run {run_id} — segugio {command}, {len(days)} day(s), "
         f"config sha256 {str(config_sha)[:12]}"
     ]
+
+    health = manifest.get("health")
+    if isinstance(health, Mapping) and health.get("status"):
+        lines.append(f"health: {health['status']}")
+        for reason in health.get("reasons", []):  # type: ignore[union-attr]
+            if isinstance(reason, Mapping):
+                day = reason.get("day", "?")
+                message = reason.get("message", reason.get("rule", "?"))
+                lines.append(f"  day {day}: [{reason.get('status', '?')}] {message}")
 
     day_labels = [f"day {d.get('day', '?')}" for d in days]
     width = max([9] + [len(label) for label in day_labels]) + 2

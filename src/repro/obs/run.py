@@ -25,7 +25,9 @@ from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.obs import logs as _logs
 from repro.obs import manifest as _manifest
+from repro.obs import monitor as _monitor
 from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.provenance import DECISIONS_FILENAME, DecisionLog, use_decision_log
 from repro.obs.tracing import Tracer, use_tracer
 
 
@@ -49,6 +51,7 @@ class RunTelemetry:
         self.enabled = bool(enabled)
         self.registry = MetricsRegistry(enabled=enabled)
         self.tracer = Tracer(enabled=enabled)
+        self.decisions = DecisionLog(enabled=enabled)
         self.days: List[Dict[str, object]] = []
         self.ingest_reports: List[Dict[str, object]] = []
         self.warnings: List[str] = []
@@ -64,12 +67,13 @@ class RunTelemetry:
         with ExitStack() as stack:
             stack.enter_context(use_registry(self.registry))
             stack.enter_context(use_tracer(self.tracer))
+            stack.enter_context(use_decision_log(self.decisions))
             stack.enter_context(_logs.bound(run_id=self.run_id))
             yield self
 
     @contextmanager
     def day_scope(self, day: int) -> Iterator[Dict[str, object]]:
-        """Record one day: spans nest under ``process_day``, and the day
+        """Record one day: spans nest under ``segugio_run_day``, and the day
         record receives the phase-seconds and registry deltas produced
         inside the block.  The caller fills outcome fields (threshold,
         detection counts, provenance) into the yielded dict."""
@@ -77,13 +81,13 @@ class RunTelemetry:
         phases_before = self.tracer.phase_totals()
         record: Dict[str, object] = {"day": int(day)}
         with _logs.bound(day=int(day)):
-            with self.tracer.span("process_day", day=int(day)):
+            with self.tracer.span("segugio_run_day", day=int(day)):
                 yield record
         phases_after = self.tracer.phase_totals()
         record["phases"] = {
             name: round(seconds - phases_before.get(name, 0.0), 6)
             for name, seconds in phases_after.items()
-            if name != "process_day"
+            if name != "segugio_run_day"
             and seconds - phases_before.get(name, 0.0) > 0
         }
         record["metrics"] = MetricsRegistry.delta(
@@ -123,6 +127,7 @@ class RunTelemetry:
             "created_unix": round(self.created_unix, 6),
             "config": self.config,
             "config_sha256": _manifest.config_hash(self.config),
+            "health": _monitor.run_health(self.days),
             "days": self.days,
             "metrics": self.registry.snapshot(),
             "spans": self.tracer.span_tree(),
@@ -130,10 +135,17 @@ class RunTelemetry:
             "degradations": self.degradations(),
             "warnings": self.warnings,
             "trace_file": _manifest.TRACE_FILENAME,
+            "decisions_file": (
+                DECISIONS_FILENAME if len(self.decisions) else None
+            ),
         }
 
     def write(self, out_dir: str) -> Tuple[str, str]:
-        """Write ``manifest.json`` + ``trace.jsonl`` into *out_dir*."""
+        """Write ``manifest.json`` + ``trace.jsonl`` into *out_dir*.
+
+        When decision-provenance records were collected, also writes
+        ``decisions.jsonl`` next to them (same atomic staging pattern).
+        """
         os.makedirs(out_dir, exist_ok=True)
         manifest_path = os.path.join(out_dir, _manifest.MANIFEST_FILENAME)
         trace_path = os.path.join(out_dir, _manifest.TRACE_FILENAME)
@@ -144,6 +156,14 @@ class RunTelemetry:
             stream.flush()
             os.fsync(stream.fileno())
         os.replace(staging, trace_path)
+        if len(self.decisions):
+            decisions_path = os.path.join(out_dir, DECISIONS_FILENAME)
+            staging = f"{decisions_path}.tmp.{os.getpid()}"
+            with open(staging, "w") as stream:
+                self.decisions.write_jsonl(stream)
+                stream.flush()
+                os.fsync(stream.fileno())
+            os.replace(staging, decisions_path)
         return manifest_path, trace_path
 
     def __repr__(self) -> str:

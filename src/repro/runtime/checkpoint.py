@@ -82,7 +82,7 @@ def save_checkpoint(tracker: "DomainTracker", path: str) -> None:
     }
     body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     header = f"{_HEADER_PREFIX} v{CHECKPOINT_VERSION} sha256={_digest(body)}"
-    with current_tracer().span("checkpoint.save", path=path):
+    with current_tracer().span("segugio_checkpoint_save", path=path):
         with atomic_file(path) as staging:
             with open(staging, "w") as stream:
                 stream.write(header + "\n" + body + "\n")
@@ -180,7 +180,7 @@ def resume_tracker(
     """
     from repro.core.tracker import DomainTracker
 
-    with current_tracer().span("checkpoint.resume", path=path):
+    with current_tracer().span("segugio_checkpoint_resume", path=path):
         payload = load_checkpoint(path)
         resolved = (
             config

@@ -406,7 +406,7 @@ def load_observation_checked(
             f"max_error_rate must be in [0, 1), got {max_error_rate}"
         )
     with current_tracer().span(
-        "ingest.load_observation", directory=directory, mode=mode
+        "segugio_ingest_load_observation", directory=directory, mode=mode
     ):
         return _load_observation_checked(directory, mode, max_error_rate)
 

@@ -1,0 +1,224 @@
+"""The ``segugio monitor`` dashboard: loading, rendering, CLI, edge cases."""
+
+import pytest
+
+from repro.cli import main
+from repro.eval.monitor import (
+    MonitorError,
+    RunSummary,
+    load_runs,
+    render_monitor,
+    render_monitor_html,
+    sparkline,
+)
+
+
+@pytest.fixture(scope="module")
+def telemetry_dir(tmp_path_factory):
+    """A real two-day tracked run's telemetry directory."""
+    out = str(tmp_path_factory.mktemp("telemetry") / "run")
+    assert (
+        main(
+            ["track", "--scale", "small", "--days", "2", "--telemetry-dir", out]
+        )
+        == 0
+    )
+    return out
+
+
+def _alert_run():
+    """A synthetic in-memory run with one tripped alert day."""
+    manifest = {
+        "run_id": "test-run",
+        "command": "track",
+        "health": {
+            "status": "alert",
+            "reasons": [
+                {
+                    "day": 161,
+                    "rule": "label_churn",
+                    "status": "alert",
+                    "message": "label_churn: ground truth churned",
+                }
+            ],
+        },
+        "days": [
+            {
+                "day": 160,
+                "threshold": 0.4,
+                "n_scored": 900,
+                "n_new_detections": 20,
+                "n_repeat_detections": 0,
+                "drift": None,
+                "health": {"status": "ok", "reasons": []},
+            },
+            {
+                "day": 161,
+                "threshold": 0.35,
+                "n_scored": 880,
+                "n_new_detections": 12,
+                "n_repeat_detections": 15,
+                "drift": {
+                    "score": {"psi": 0.4, "ks": 0.2},
+                    "features_max": {"feature": "machine_total", "psi": 0.1, "ks": 0.1},
+                    "features": {"machine_total": {"psi": 0.1, "ks": 0.1}},
+                    "labels": {"n_added": 50, "n_removed": 40, "churn_pct": 90.0},
+                },
+                "health": {
+                    "status": "alert",
+                    "reasons": [
+                        {
+                            "rule": "label_churn",
+                            "status": "alert",
+                            "message": "label_churn: ground truth churned",
+                        }
+                    ],
+                },
+            },
+        ],
+    }
+    return RunSummary(path="/synthetic", manifest=manifest)
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series_renders_mid_blocks(self):
+        assert sparkline([3.0, 3.0, 3.0]) == "▄▄▄"
+
+    def test_monotone_series_spans_the_blocks(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line[0] == "▁" and line[-1] == "█"
+        assert len(line) == 8
+
+
+class TestLoadRuns:
+    def test_loads_manifest_and_decisions(self, telemetry_dir):
+        (run,) = load_runs([telemetry_dir])
+        assert run.manifest["command"] == "track"
+        assert len(run.days) == 2
+        assert len(run.decisions) > 0
+        assert run.health["status"] in ("ok", "warn", "alert")
+
+    def test_missing_directory_is_an_error(self):
+        with pytest.raises(MonitorError, match="not a directory"):
+            load_runs(["/no/such/telemetry"])
+
+    def test_directory_without_manifest_is_an_error(self, tmp_path):
+        with pytest.raises(MonitorError, match="manifest"):
+            load_runs([str(tmp_path)])
+
+    def test_no_paths_is_an_error(self):
+        with pytest.raises(MonitorError, match="no telemetry"):
+            load_runs([])
+
+    def test_all_problems_reported_together(self, tmp_path, telemetry_dir):
+        with pytest.raises(MonitorError) as excinfo:
+            load_runs([telemetry_dir, "/no/such/dir", str(tmp_path)])
+        assert "/no/such/dir" in str(excinfo.value)
+        assert str(tmp_path) in str(excinfo.value)
+
+
+class TestRenderText:
+    def test_real_run_dashboard(self, telemetry_dir):
+        text = render_monitor(load_runs([telemetry_dir]))
+        assert "segugio monitor — 1 run(s), 2 tracked day(s)" in text
+        assert "per-day trend:" in text
+        assert "[+] ok" in text
+        assert "trend sparklines" in text
+        assert "decision verdicts per day" in text
+        # day 2 has a drift reference -> a per-feature drift table renders
+        assert "per-feature drift" in text
+
+    def test_alert_run_lists_tripped_rules(self):
+        text = render_monitor([_alert_run()])
+        assert "overall health [x] alert" in text
+        assert "tripped alert rules:" in text
+        assert "day 161: [x] alert label_churn" in text
+
+    def test_quiet_run_says_none(self, telemetry_dir):
+        text = render_monitor(load_runs([telemetry_dir]))
+        assert "tripped alert rules: none" in text
+
+    def test_manifest_without_days(self):
+        run = RunSummary(
+            path="/empty", manifest={"run_id": "r", "command": "track"}
+        )
+        text = render_monitor([run])
+        assert "nothing to trend" in text
+
+
+class TestRenderHtml:
+    def test_real_run_html(self, telemetry_dir):
+        html_text = render_monitor_html(load_runs([telemetry_dir]))
+        assert html_text.startswith("<!doctype html>")
+        assert "<table>" in html_text
+        assert 'class="badge ok"' in html_text
+        assert "[+] ok" in html_text  # status is symbol+word, not color alone
+
+    def test_alert_run_html_badges(self):
+        html_text = render_monitor_html([_alert_run()])
+        assert 'class="badge alert"' in html_text
+        assert "[x] alert" in html_text
+        assert "label_churn" in html_text
+
+    def test_path_is_escaped(self):
+        run = _alert_run()
+        run.path = "/tmp/<script>"
+        assert "<script>" not in render_monitor_html([run])
+
+
+class TestMonitorCli:
+    def test_monitor_renders_and_writes_html(
+        self, telemetry_dir, tmp_path, capsys
+    ):
+        out = str(tmp_path / "dash.html")
+        assert main(["monitor", telemetry_dir, "--html", out]) == 0
+        printed = capsys.readouterr().out
+        assert "segugio monitor" in printed
+        assert f"html dashboard written to {out}" in printed
+        with open(out) as stream:
+            assert "<!doctype html>" in stream.read()
+
+    def test_monitor_missing_dir_exits_nonzero(self):
+        with pytest.raises(SystemExit, match="not a directory"):
+            main(["monitor", "/no/such/telemetry"])
+
+    def test_monitor_empty_dir_exits_nonzero(self, tmp_path):
+        with pytest.raises(SystemExit, match="manifest"):
+            main(["monitor", str(tmp_path)])
+
+
+class TestExplainReplayCli:
+    def test_explain_top_detection_from_artifacts(self, telemetry_dir, capsys):
+        assert main(["explain", "--telemetry-dir", telemetry_dir]) == 0
+        out = capsys.readouterr().out
+        assert "forest vote" in out
+        assert "malware score" in out
+        assert "DETECTED" in out
+
+    def test_explain_named_domain_from_artifacts(self, telemetry_dir, capsys):
+        assert main(["explain", "--telemetry-dir", telemetry_dir]) == 0
+        first = capsys.readouterr().out.splitlines()[0]
+        domain = first.split(" — ")[0]
+        assert main(
+            ["explain", "--telemetry-dir", telemetry_dir, "--domain", domain]
+        ) == 0
+        assert domain in capsys.readouterr().out
+
+    def test_explain_unknown_domain_exits_nonzero(self, telemetry_dir):
+        with pytest.raises(SystemExit, match="no decision record"):
+            main(
+                [
+                    "explain",
+                    "--telemetry-dir",
+                    telemetry_dir,
+                    "--domain",
+                    "absent.example",
+                ]
+            )
+
+    def test_explain_dir_without_decisions_exits_nonzero(self, tmp_path):
+        with pytest.raises(SystemExit, match="decisions.jsonl"):
+            main(["explain", "--telemetry-dir", str(tmp_path)])

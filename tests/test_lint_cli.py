@@ -83,8 +83,39 @@ class TestFormats:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("SEG001", "SEG002", "SEG003", "SEG004", "SEG005", "SEG006", "SEG007", "SEG008"):
+        for rule_id in ("SEG001", "SEG002", "SEG003", "SEG004", "SEG005", "SEG006", "SEG007", "SEG008", "SEG009", "SEG010"):
             assert rule_id in out
+
+
+class TestDeterminismOnlyTrees:
+    def test_default_walk_covers_benchmarks_and_examples(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "ok.py").write_text("x = 1\n")
+        bench = tmp_path / "benchmarks"
+        bench.mkdir()
+        (bench / "bench_x.py").write_text("import time\nt = time.time()\n")
+        monkeypatch.chdir(tmp_path)
+        assert main([]) == 1
+        out = capsys.readouterr().out
+        assert "benchmarks/bench_x.py" in out
+        assert "SEG002" in out
+
+    def test_determinism_trees_skip_library_only_rules(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "ok.py").write_text("x = 1\n")
+        examples = tmp_path / "examples"
+        examples.mkdir()
+        # print() is fine in a runnable example; SEG001 must not fire there
+        (examples / "quickstart.py").write_text("print('hello')\n")
+        monkeypatch.chdir(tmp_path)
+        assert main([]) == 0
+        assert "OK" in capsys.readouterr().out
 
 
 class TestBaselineFlow:

@@ -44,10 +44,11 @@ class TestLiveTree:
             )
             assert entry.rule in ALL_RULE_IDS
 
-    def test_baseline_only_covers_span_naming_debt(self):
-        # today's baseline is exactly the pre-SEG006 dotted span names;
-        # any new rule id appearing here needs a fresh justification
-        assert {entry.rule for entry in load_baseline(BASELINE)} == {"SEG006"}
+    def test_baseline_is_empty(self):
+        # the pre-SEG006 dotted span names were migrated to the
+        # segugio_<area>_<name> namespace at the MANIFEST_VERSION 2 bump;
+        # any entry appearing here again needs a fresh justification
+        assert load_baseline(BASELINE) == []
 
 
 def _copy_module(tmp_path, rel):
@@ -108,6 +109,32 @@ class TestSeededRegressions:
         assert any(
             f.rule == "SEG003" and "zero-dep" in f.message for f in findings
         ), "planted obs -> core import was not caught"
+
+    def test_seg010_catches_bare_perf_timing_in_eval(self, tmp_path):
+        target = _copy_module(
+            tmp_path, os.path.join("repro", "eval", "fullreport.py")
+        )
+        source = target.read_text()
+        assert "perf_counter" not in source
+        target.write_text(
+            source + "\nimport time\n\n_T0 = time.perf_counter()  # regression\n"
+        )
+        engine = Engine(build_rules())
+        findings, _ = engine.lint_tree(str(tmp_path / "src"), relative_to=str(tmp_path))
+        seg010 = [f for f in findings if f.rule == "SEG010"]
+        assert seg010, "planted bare perf clock in repro.eval was not caught"
+        assert "span" in seg010[0].message
+
+    def test_seg010_exempts_the_benchmark_harness(self):
+        # repro.eval.bench's best-of-N lap timing is the documented
+        # exemption — the live module uses perf_counter and stays clean
+        engine = Engine(build_rules())
+        findings = engine.lint_file(
+            os.path.join(SRC, "repro", "eval", "bench.py"),
+            package_root=SRC,
+            report_path="src/repro/eval/bench.py",
+        )
+        assert [f for f in findings if f.rule == "SEG010"] == []
 
     def test_clean_copies_stay_clean(self, tmp_path):
         # control: the same copied modules produce only baselined findings

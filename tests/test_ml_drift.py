@@ -8,6 +8,8 @@ from hypothesis import strategies as st
 from repro.ml.drift import (
     PSI_RETRAIN,
     ScoreDriftMonitor,
+    feature_drift,
+    ks_statistic,
     population_stability_index,
 )
 
@@ -62,6 +64,68 @@ class TestPsi:
         b = rng.normal(0.3 + shift, 0.1, 2000)
         psi = population_stability_index(a, b)
         assert psi >= -1e-9
+
+
+class TestKsStatistic:
+    def test_identical_samples_zero(self):
+        scores = np.random.default_rng(0).random(2000)
+        assert ks_statistic(scores, scores) == pytest.approx(0.0, abs=1e-12)
+
+    def test_disjoint_supports_reach_one(self):
+        a = np.linspace(0.0, 0.4, 500)
+        b = np.linspace(0.6, 1.0, 500)
+        assert ks_statistic(a, b) == pytest.approx(1.0)
+
+    def test_known_small_case(self):
+        # CDFs diverge maximally by 0.5 between the two middle points
+        a = np.array([1.0, 2.0])
+        b = np.array([1.5, 2.5])
+        assert ks_statistic(a, b) == pytest.approx(0.5)
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(6)
+        a, b = rng.normal(0.3, 0.1, 1500), rng.normal(0.5, 0.1, 1500)
+        assert ks_statistic(a, b) == pytest.approx(ks_statistic(b, a))
+
+    def test_bounded_and_shift_monotone_ish(self):
+        rng = np.random.default_rng(7)
+        a = rng.normal(0.3, 0.1, 2000)
+        small = ks_statistic(a, rng.normal(0.32, 0.1, 2000))
+        large = ks_statistic(a, rng.normal(0.7, 0.1, 2000))
+        assert 0.0 <= small < large <= 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_statistic(np.array([]), np.array([0.5]))
+
+
+class TestFeatureDrift:
+    def test_per_feature_keys_and_stats(self):
+        rng = np.random.default_rng(8)
+        ref = rng.random((1000, 3))
+        cur = np.column_stack(
+            [ref[:, 0], ref[:, 1], ref[:, 2] + 2.0]  # only f2 shifts
+        )
+        out = feature_drift(ref, cur, ["f0", "f1", "f2"])
+        assert list(out) == ["f0", "f1", "f2"]
+        for stats in out.values():
+            assert set(stats) == {"psi", "ks"}
+        assert out["f0"]["psi"] < 0.01 and out["f0"]["ks"] < 0.01
+        assert out["f2"]["psi"] > PSI_RETRAIN
+        assert out["f2"]["ks"] == pytest.approx(1.0)
+
+    def test_name_count_must_match_columns(self):
+        ref = np.zeros((10, 2))
+        with pytest.raises(ValueError):
+            feature_drift(ref, ref, ["only_one"])
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            feature_drift(np.zeros(10), np.zeros(10), ["f"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            feature_drift(np.zeros((0, 2)), np.zeros((3, 2)), ["a", "b"])
 
 
 class TestMonitor:

@@ -107,14 +107,19 @@ class TestTrackRunManifest:
             metrics, "segugio_train_samples", label="malware"
         ) == stats["n_train_malware"]
 
-    def test_span_tree_has_one_process_day_root_per_day(self, tracked_run):
+    def test_span_tree_has_one_day_root_per_day(self, tracked_run):
         telemetry, _tracker, reports = tracked_run
         roots = [s for s in telemetry.build_manifest()["spans"]]
-        process_days = [s for s in roots if s["name"] == "process_day"]
-        assert len(process_days) == len(reports)
-        for root in process_days:
+        day_roots = [s for s in roots if s["name"] == "segugio_run_day"]
+        assert len(day_roots) == len(reports)
+        for root in day_roots:
             names = {c["name"] for c in root["children"]}
-            assert {"health_check", "fit", "classify", "update_ledger"} <= names
+            assert {
+                "segugio_tracker_health_check",
+                "segugio_tracker_fit",
+                "segugio_tracker_classify",
+                "segugio_tracker_ledger_update",
+            } <= names
 
     def test_phase_seconds_cover_the_paper_phases(self, tracked_run):
         telemetry, _, _ = tracked_run

@@ -7,10 +7,12 @@ import pytest
 
 from repro.obs.manifest import (
     MANIFEST_VERSION,
+    SPAN_RENAMES_V1,
     ManifestError,
     config_hash,
     load_manifest,
     render_telemetry,
+    upgrade_manifest_v1,
     write_manifest,
 )
 
@@ -183,3 +185,81 @@ class TestRenderTelemetry:
         write_manifest(self.make_manifest(), path)
         text = render_telemetry(load_manifest(path))
         assert "run r1" in text
+
+
+class TestV1Compatibility:
+    """PR-2 era manifests (version 1) must keep loading after the v2 bump."""
+
+    def v1_manifest(self):
+        return minimal_manifest(
+            manifest_version=1,
+            days=[
+                {
+                    "day": 21,
+                    "threshold": 0.4,
+                    "n_scored": 930,
+                    "phases": {
+                        "build_graph": 1.0,       # Stopwatch phase: unchanged
+                        "health_check": 0.1,      # old span name: renamed
+                        "calibrate_threshold": 0.2,
+                    },
+                }
+            ],
+            spans=[
+                {
+                    "name": "process_day",
+                    "children": [{"name": "forest.fit", "children": []}],
+                }
+            ],
+        )
+
+    def test_load_upgrades_v1_in_place(self, tmp_path):
+        path = str(tmp_path / "v1.json")
+        write_manifest(self.v1_manifest(), path)
+        manifest = load_manifest(path)
+        assert manifest["manifest_version"] == MANIFEST_VERSION
+        assert manifest["upgraded_from_version"] == 1
+
+    def test_span_names_are_migrated_recursively(self, tmp_path):
+        path = str(tmp_path / "v1.json")
+        write_manifest(self.v1_manifest(), path)
+        (root,) = load_manifest(path)["spans"]
+        assert root["name"] == "segugio_run_day"
+        assert root["children"][0]["name"] == "segugio_forest_fit"
+
+    def test_phase_keys_migrate_but_stopwatch_phases_survive(self, tmp_path):
+        path = str(tmp_path / "v1.json")
+        write_manifest(self.v1_manifest(), path)
+        (day,) = load_manifest(path)["days"]
+        assert day["phases"]["build_graph"] == 1.0
+        assert day["phases"]["segugio_tracker_health_check"] == 0.1
+        assert day["phases"]["segugio_tracker_calibrate"] == 0.2
+        assert "health_check" not in day["phases"]
+
+    def test_v2_quality_fields_default_to_unknown(self, tmp_path):
+        # a v1 run measured no drift: that is 'unknown', not a clean 'ok'
+        path = str(tmp_path / "v1.json")
+        write_manifest(self.v1_manifest(), path)
+        manifest = load_manifest(path)
+        assert manifest["health"] == {"status": "unknown", "reasons": []}
+        assert manifest["decisions_file"] is None
+        (day,) = manifest["days"]
+        assert day["drift"] is None
+        assert day["health"]["status"] == "unknown"
+
+    def test_upgraded_manifest_still_renders(self, tmp_path):
+        path = str(tmp_path / "v1.json")
+        write_manifest(self.v1_manifest(), path)
+        text = render_telemetry(load_manifest(path))
+        assert "run r1" in text
+
+    def test_rename_map_targets_are_all_namespaced(self):
+        for old, new in SPAN_RENAMES_V1.items():
+            assert not old.startswith("segugio_")
+            assert new.startswith("segugio_")
+
+    def test_upgrade_does_not_mutate_the_input(self):
+        payload = self.v1_manifest()
+        upgraded = upgrade_manifest_v1(payload)
+        assert payload["manifest_version"] == 1
+        assert upgraded is not payload

@@ -18,6 +18,23 @@ from tools.lint.rules import build_rules
 
 DEFAULT_BASELINE = os.path.join("tools", "lint", "baseline.json")
 
+#: trees outside the package that still carry the determinism contract:
+#: benchmark numbers and example transcripts must be reproducible, but
+#: the rest of the library rule set (layering, annotations, print) is
+#: deliberately out of scope for scripts.
+DETERMINISM_ONLY_TREES = ("benchmarks", "examples")
+DETERMINISM_ONLY_RULES = frozenset({"SEG000", "SEG002"})
+
+
+def _determinism_only(target: str) -> bool:
+    parts = os.path.normpath(os.path.relpath(target)).split(os.sep)
+    return bool(parts) and parts[0] in DETERMINISM_ONLY_TREES
+
+
+def _default_targets() -> List[str]:
+    """``src`` plus any determinism-only trees present in the checkout."""
+    return ["src"] + [d for d in DETERMINISM_ONLY_TREES if os.path.isdir(d)]
+
 
 def _package_root_for(target: str) -> str:
     """Directory that anchors dotted module names for files under ``target``.
@@ -42,8 +59,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "targets",
         nargs="*",
-        default=["src"],
-        help="files or directories to lint (default: src)",
+        default=None,
+        help="files or directories to lint (default: src plus, with only "
+        "the determinism rule SEG002, benchmarks/ and examples/)",
     )
     parser.add_argument(
         "--format",
@@ -86,22 +104,24 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     findings: List[Finding] = []
     files_scanned = 0
-    for target in args.targets:
+    for target in args.targets if args.targets else _default_targets():
         if os.path.isdir(target):
             batch, count = engine.lint_tree(
                 target, package_root=_package_root_for(target)
             )
-            findings.extend(batch)
             files_scanned += count
         elif os.path.isfile(target):
             report_path = os.path.relpath(target).replace(os.sep, "/")
-            findings.extend(
-                engine.lint_file(target, _package_root_for(target), report_path)
+            batch = engine.lint_file(
+                target, _package_root_for(target), report_path
             )
             files_scanned += 1
         else:
             print(f"error: no such file or directory: {target}", file=sys.stderr)
             return 2
+        if _determinism_only(target):
+            batch = [f for f in batch if f.rule in DETERMINISM_ONLY_RULES]
+        findings.extend(batch)
     findings.sort(key=Finding.sort_key)
 
     if args.write_baseline:

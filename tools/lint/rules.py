@@ -1,4 +1,4 @@
-"""The segugio-lint rule set (SEG001–SEG009).
+"""The segugio-lint rule set (SEG001–SEG010).
 
 Each rule protects a guarantee the runtime or the paper reproduction
 relies on; the ``rationale`` string is surfaced by ``--list-rules`` and
@@ -32,7 +32,26 @@ LAYERED_PACKAGES = frozenset({"repro.core", "repro.ml", "repro.dns"})
 FORBIDDEN_FOR_LAYERED = ("repro.cli", "repro.eval", "repro.obs.run")
 
 #: packages whose public functions must be fully annotated
-ANNOTATED_PACKAGES = frozenset({"repro.core", "repro.ml", "repro.runtime"})
+ANNOTATED_PACKAGES = frozenset(
+    {"repro.core", "repro.ml", "repro.runtime", "repro.dns", "repro.intel"}
+)
+
+#: the one repro.eval module allowed raw perf_counter reads (SEG010): the
+#: benchmark harness measures best-of-N wall time *as its output*, and
+#: routing it through a Stopwatch would add per-lap span bookkeeping to
+#: the very path being measured
+PERF_TIMING_EXEMPT_MODULES = frozenset({"repro.eval.bench"})
+
+_PERF_TIMING_CALLS = frozenset(
+    {
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+    }
+)
 
 TELEMETRY_NAME_RE = re.compile(r"^segugio_[a-z0-9]+_[a-z0-9_]+$")
 
@@ -639,6 +658,68 @@ class AnnotationNameRule(Rule):
         ]
 
 
+class PerfTimingRule(Rule):
+    """SEG010 — bare perf-clock reads in the evaluation layer.
+
+    ``repro.eval`` timings feed reports and manifests; a raw
+    ``time.perf_counter()`` pair produces a number that bypasses the span
+    tree, so ``segugio telemetry`` cannot account for it and the trace
+    disagrees with the report.  Evaluation code must time work through
+    ``repro.obs.tracing`` (``Stopwatch`` phases or tracer spans), which
+    yields the same float *and* lands in the manifest.  The benchmark
+    harness (``repro.eval.bench``) is exempt: best-of-N lap timing is its
+    output, and span bookkeeping inside the lap would skew the very
+    measurement.
+    """
+
+    rule_id = "SEG010"
+    name = "eval-perf-timing"
+    rationale = (
+        "repro.eval must time work through repro.obs.tracing spans/"
+        "Stopwatch so manifests account for every reported second; bare "
+        "perf-clock pairs bypass the trace"
+    )
+    node_types = (ast.Call, ast.ImportFrom)
+
+    def _in_scope(self, ctx: ModuleContext) -> bool:
+        if ctx.module in PERF_TIMING_EXEMPT_MODULES:
+            return False
+        return ctx.module == "repro.eval" or ctx.module.startswith("repro.eval.")
+
+    def check_node(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        if not self._in_scope(ctx):
+            return
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "time" and node.level == 0:
+                for alias in node.names:
+                    if alias.name in (
+                        "perf_counter",
+                        "perf_counter_ns",
+                        "monotonic",
+                        "monotonic_ns",
+                        "process_time",
+                        "process_time_ns",
+                    ):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"from time import {alias.name} smuggles a bare "
+                            "perf clock into repro.eval — time work through "
+                            "repro.obs.tracing (Stopwatch/span)",
+                        )
+            return
+        assert isinstance(node, ast.Call)
+        name = dotted_name(node.func)
+        if name in _PERF_TIMING_CALLS:
+            yield self.finding(
+                ctx,
+                node,
+                f"bare {name}() in repro.eval bypasses the span tree — "
+                "time work through repro.obs.tracing (Stopwatch/span) so "
+                "the manifest accounts for it",
+            )
+
+
 def build_rules() -> Tuple[Rule, ...]:
     """One fresh instance of every shipped rule, in rule-id order."""
     return (
@@ -651,6 +732,7 @@ def build_rules() -> Tuple[Rule, ...]:
         AnnotationRule(),
         WhitespaceRule(),
         AnnotationNameRule(),
+        PerfTimingRule(),
     )
 
 
