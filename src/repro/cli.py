@@ -8,9 +8,12 @@ Examples::
     segugio track --days 3 --checkpoint /tmp/run.ckpt
     segugio track --days 5 --resume /tmp/run.ckpt --checkpoint /tmp/run.ckpt
     segugio track --days 3 --telemetry-dir /tmp/telemetry
+    segugio track --days 3 --alert-rules rules.json --task-timeout 120
     segugio telemetry /tmp/telemetry/manifest.json
     segugio explain --telemetry-dir /tmp/telemetry --domain evil.example
     segugio monitor /tmp/telemetry --html dashboard.html
+    segugio monitor /tmp/telemetry --reference rolling:7
+    segugio chaos --plan examples/fault-plan.json --out /tmp/chaos
     segugio export-day /tmp/obs --day-offset 2
     segugio health /tmp/obs
     segugio classify-dir /tmp/obs --lenient
@@ -151,11 +154,50 @@ def _run_list(_args: argparse.Namespace) -> None:
         print(f"  {name}")
 
 
+def _load_alert_rules(args: argparse.Namespace):
+    """The --alert-rules file as a rule tuple (None when the flag is absent)."""
+    if not getattr(args, "alert_rules", None):
+        return None
+    from repro.obs import AlertRuleError, load_alert_rules
+
+    try:
+        return load_alert_rules(args.alert_rules)
+    except AlertRuleError as error:
+        raise SystemExit(str(error))
+
+
+def _load_fault_plan(args: argparse.Namespace):
+    """The fault-plan file named by the flag (None when absent)."""
+    path = getattr(args, "inject_faults", None) or getattr(args, "plan", None)
+    if not path:
+        return None
+    from repro.runtime.faults import FaultPlanError, load_fault_plan
+
+    try:
+        return load_fault_plan(path)
+    except FaultPlanError as error:
+        raise SystemExit(str(error))
+
+
 def _run_track(args: argparse.Namespace) -> None:
+    from contextlib import nullcontext
     from dataclasses import replace
 
     from repro.core.pipeline import SegugioConfig
     from repro.core.tracker import DomainTracker
+    from repro.runtime.faults import use_fault_plan
+    from repro.runtime.supervisor import (
+        policy_from_overrides,
+        supervised_process_day,
+        use_policy,
+    )
+
+    alert_rules = _load_alert_rules(args)
+    plan = _load_fault_plan(args)
+    overrides = dict(plan.policy) if plan is not None else {}
+    if args.task_timeout is not None:
+        overrides["task_timeout"] = args.task_timeout
+    policy = policy_from_overrides(overrides)
 
     scenario = _scenario(args.scale, args.seed)
     if args.resume:
@@ -164,6 +206,8 @@ def _run_track(args: argparse.Namespace) -> None:
             # execution knob only: any worker count yields bit-identical
             # scores, so overriding it cannot fork a resumed ledger
             tracker.config = replace(tracker.config, n_jobs=args.jobs)
+        if alert_rules is not None:
+            tracker.alert_rules = alert_rules
         print(
             f"resumed from {args.resume}: "
             f"{len(tracker.days_processed)} days already scored, "
@@ -171,7 +215,9 @@ def _run_track(args: argparse.Namespace) -> None:
         )
     else:
         tracker = DomainTracker(
-            config=SegugioConfig(n_jobs=_jobs(args)), fp_target=args.fp_target
+            config=SegugioConfig(n_jobs=_jobs(args)),
+            fp_target=args.fp_target,
+            alert_rules=alert_rules,
         )
     if args.telemetry_dir:
         from repro.obs import RunTelemetry
@@ -181,18 +227,31 @@ def _run_track(args: argparse.Namespace) -> None:
             command="track", config=config_to_dict(tracker.config)
         )
     last_done = tracker.days_processed[-1] if tracker.days_processed else None
-    for offset in range(args.days):
-        day = scenario.eval_day(offset)
-        if last_done is not None and day <= last_done:
-            continue  # completed before the interruption; do not re-score
-        context = scenario.context(args.isp, day)
-        report = tracker.process_day(context)
-        print(report.summary())
-        for entry in report.new_detections[:5]:
-            truth = "MALWARE" if scenario.is_true_malware(entry.name) else "unknown"
-            print(f"    new: {entry.name:<42s} [{truth}]")
-        if args.checkpoint:
-            tracker.save_checkpoint(args.checkpoint)
+    with use_fault_plan(plan) if plan is not None else nullcontext():
+        with use_policy(policy):
+            for offset in range(args.days):
+                day = scenario.eval_day(offset)
+                if last_done is not None and day <= last_done:
+                    continue  # completed before the interruption; do not re-score
+                context = scenario.context(args.isp, day)
+                # activate telemetry around the *whole* day so day retries
+                # and checkpoint-write retries land in the run's event log
+                with (
+                    tracker.telemetry.activate()
+                    if tracker.telemetry is not None
+                    else nullcontext()
+                ):
+                    report = supervised_process_day(tracker, context, policy=policy)
+                    print(report.summary())
+                    for entry in report.new_detections[:5]:
+                        truth = (
+                            "MALWARE"
+                            if scenario.is_true_malware(entry.name)
+                            else "unknown"
+                        )
+                        print(f"    new: {entry.name:<42s} [{truth}]")
+                    if args.checkpoint:
+                        tracker.save_checkpoint(args.checkpoint)
     if args.checkpoint:
         print(f"checkpoint written to {args.checkpoint}")
     if tracker.telemetry is not None and args.telemetry_dir:
@@ -339,18 +398,26 @@ def _run_monitor(args: argparse.Namespace) -> None:
     from repro.eval.monitor import (
         MonitorError,
         load_runs,
+        parse_reference,
         render_monitor,
         render_monitor_html,
     )
 
     try:
+        parse_reference(args.reference)  # reject a bad spec before loading
         runs = load_runs(args.telemetry_dirs)
+        text = render_monitor(runs, reference=args.reference)
+        html_text = (
+            render_monitor_html(runs, reference=args.reference)
+            if args.html
+            else None
+        )
     except MonitorError as error:
         raise SystemExit(str(error))
-    print(render_monitor(runs))
-    if args.html:
+    print(text)
+    if args.html and html_text is not None:
         with open(args.html, "w") as stream:
-            stream.write(render_monitor_html(runs))
+            stream.write(html_text)
         print(f"\nhtml dashboard written to {args.html}")
 
 
@@ -468,6 +535,32 @@ def _run_bench(args: argparse.Namespace) -> None:
         raise SystemExit(
             f"bulk feature path regressed vs the loop reference: {slow}"
         )
+
+
+def _run_chaos(args: argparse.Namespace) -> None:
+    import tempfile
+
+    from repro.eval.chaos import run_chaos
+
+    plan = _load_fault_plan(args)
+    alert_rules = _load_alert_rules(args)
+    out_dir = args.out or tempfile.mkdtemp(prefix="segugio-chaos-")
+    report = run_chaos(
+        plan,
+        out_dir=out_dir,
+        scale=args.scale,
+        seed=args.seed,
+        isp=args.isp,
+        days=args.days,
+        jobs=2 if args.jobs is None else args.jobs,
+        estimators=args.estimators,
+        fp_target=args.fp_target,
+        kill_day_offset=args.kill_day,
+        alert_rules=alert_rules,
+    )
+    print(report.summary())
+    if not report.passed:
+        raise SystemExit(1)
 
 
 def _run_telemetry(args: argparse.Namespace) -> None:
@@ -619,6 +712,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a run manifest (manifest.json) and span trace "
         "(trace.jsonl) into this directory",
     )
+    track.add_argument(
+        "--alert-rules",
+        default=None,
+        help="JSON file of SLO alert rules replacing the built-in set "
+        "(see repro.obs.monitor.load_alert_rules)",
+    )
+    track.add_argument(
+        "--inject-faults",
+        default=None,
+        help="fault-plan JSON to inject deterministic failures "
+        "(testing/drills; see repro.runtime.faults)",
+    )
+    track.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="seconds without any parallel-task progress before the "
+        "supervisor declares a hang and degrades (default: no watchdog)",
+    )
     _add_jobs_flag(track)
     track.set_defaults(func=_run_track)
 
@@ -683,7 +795,57 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="additionally write a self-contained HTML dashboard here",
     )
+    monitor.add_argument(
+        "--reference",
+        default="previous",
+        help="baseline for the reference-drift section: previous "
+        "(default), pinned:<day>, or rolling:<k>",
+    )
     monitor.set_defaults(func=_run_monitor)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection drill: run a tracking campaign under a "
+        "fault plan and verify outputs stay bit-identical",
+    )
+    chaos.add_argument(
+        "--plan",
+        default=None,
+        help="fault-plan JSON (default: a built-in plan exercising worker "
+        "kill, day retry, and a torn checkpoint write)",
+    )
+    chaos.add_argument("--scale", default="small", choices=["small", "benchmark"])
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--isp", default="isp1")
+    chaos.add_argument("--days", type=int, default=3)
+    chaos.add_argument(
+        "--estimators",
+        type=int,
+        default=24,
+        help="forest size for the drill (>= 17 keeps the parallel predict "
+        "path multi-chunk so forest_predict faults can fire)",
+    )
+    chaos.add_argument("--fp-target", type=float, default=0.01)
+    chaos.add_argument(
+        "--kill-day",
+        type=int,
+        default=None,
+        help="simulate a coordinator crash after this day offset and "
+        "resume from the checkpoint (exercises the drift sidecar)",
+    )
+    chaos.add_argument(
+        "--out",
+        default=None,
+        help="directory for the checkpoint and run manifest "
+        "(default: a fresh temporary directory)",
+    )
+    chaos.add_argument(
+        "--alert-rules",
+        default=None,
+        help="JSON file of SLO alert rules for the drill's health verdicts",
+    )
+    _add_jobs_flag(chaos)
+    chaos.set_defaults(func=_run_chaos)
 
     export = sub.add_parser(
         "export-day", help="write one observation day to a directory"

@@ -406,6 +406,9 @@ class Segugio:
         at all (the cross-day test sets): they are hidden before labeling,
         so they neither enter the training set nor influence machine labels.
         """
+        from repro.runtime.faults import maybe_fault
+
+        maybe_fault("pipeline_fit", task=int(context.day))
         watch = self.timings_ = Stopwatch()
         self.degradations_ = context_degradations(context, self.config)
         graph, labels, extractor, prune_stats = self.prepare_day(
@@ -468,6 +471,9 @@ class Segugio:
         """
         if self.classifier_ is None:
             raise RuntimeError("Segugio must be fitted before classify()")
+        from repro.runtime.faults import maybe_fault
+
+        maybe_fault("pipeline_classify", task=int(context.day))
         watch = self.timings_
         graph, labels, extractor, _ = self.prepare_day(
             context, hide_domains=hide_domains, watch=watch

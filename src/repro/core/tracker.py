@@ -17,7 +17,7 @@ training-day benign scores, and flags the day's unknown domains.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,9 +31,10 @@ from repro.core.pipeline import (
 from repro.intel.blacklist import CncBlacklist
 from repro.ml.drift import feature_drift, ks_statistic, population_stability_index
 from repro.ml.metrics import threshold_for_fpr
+from repro.obs.events import current_event_log
 from repro.obs.logs import get_logger
 from repro.obs.metrics import get_registry
-from repro.obs.monitor import STATUS_OK, evaluate_health
+from repro.obs.monitor import AlertRule, STATUS_OK, evaluate_health
 from repro.obs.provenance import current_decision_log
 from repro.obs.tracing import current_tracer
 
@@ -91,6 +92,12 @@ class DayReport:
     over ``drift`` + degradations): ``ok``, ``warn``, or ``alert`` with the
     tripped rules as reasons."""
 
+    runtime_events: List[Dict[str, object]] = field(default_factory=list)
+    """Execution-layer degradation events recorded while this day ran
+    (worker lost, task hang, pool shrunk, serial fallback, retries) — the
+    supervisor's provenance that results are correct but were computed the
+    hard way.  Empty on a fault-free day."""
+
     def summary(self) -> str:
         degraded = (
             f" [degraded: {', '.join(self.provenance)}]"
@@ -99,12 +106,17 @@ class DayReport:
         )
         status = str(self.health.get("status", STATUS_OK))
         unhealthy = f" [health: {status}]" if status != STATUS_OK else ""
+        supervised = (
+            f" [supervisor: {len(self.runtime_events)} degradation events]"
+            if self.runtime_events
+            else ""
+        )
         return (
             f"day {self.day}: scored {self.n_scored} unknown domains, "
             f"{len(self.new_detections)} new + "
             f"{len(self.repeat_detections)} repeat detections, "
             f"{len(self.implicated_machines)} machines implicated"
-            f"{degraded}{unhealthy}"
+            f"{degraded}{unhealthy}{supervised}"
         )
 
 
@@ -129,11 +141,18 @@ class DomainTracker:
         config: Optional[SegugioConfig] = None,
         fp_target: float = 0.001,
         telemetry=None,
+        alert_rules: Optional[Sequence[AlertRule]] = None,
     ) -> None:
         if not 0 < fp_target < 1:
             raise ValueError("fp_target must be in (0, 1)")
         self.config = config if config is not None else SegugioConfig()
         self.fp_target = fp_target
+        self.alert_rules: Optional[Tuple[AlertRule, ...]] = (
+            tuple(alert_rules) if alert_rules is not None else None
+        )
+        """Deployment-tuned SLO rules for the per-day health verdict; None
+        uses :data:`repro.obs.monitor.DEFAULT_ALERT_RULES` (see
+        ``--alert-rules``)."""
         self.tracked: Dict[str, TrackedDomain] = {}
         self.days_processed: List[int] = []
         self.day_thresholds: Dict[int, float] = {}
@@ -141,7 +160,10 @@ class DomainTracker:
         """Previous processed day's observables (feature matrix, scores,
         blacklist snapshot, pruning volumes) — the reference the next day's
         drift summary is computed against.  Deliberately *not* part of
-        :meth:`state_dict`: a resumed run starts with a fresh reference."""
+        :meth:`state_dict` (it holds full feature matrices and would bloat
+        the checksummed payload); the checkpoint layer persists it in a
+        ``.drift.npz`` sidecar instead, so a resumed run keeps its drift
+        monitor armed (see :func:`repro.runtime.checkpoint.save_drift_sidecar`)."""
         self.telemetry = telemetry
         """Optional :class:`repro.obs.run.RunTelemetry`: when set, every
         :meth:`process_day` records spans, metric deltas, and a day record
@@ -182,6 +204,8 @@ class DomainTracker:
             )
         from repro.runtime.health import check_context
 
+        events_log = current_event_log()
+        events_mark = events_log.mark()
         tracer = current_tracer()
         with tracer.span("segugio_tracker_health_check", day=context.day):
             health = check_context(
@@ -206,13 +230,18 @@ class DomainTracker:
         detections = report.detections(threshold)
 
         provenance = sorted(set(health.provenance()) | set(report.provenance))
+        runtime_events = events_log.since(events_mark)
         with tracer.span("segugio_tracker_quality_check", day=context.day):
             drift = self._check_quality(context, model, report)
-            day_health = evaluate_health(
-                {
-                    "drift": drift if drift is not None else {},
-                    "n_degradations": len(provenance),
-                }
+            summary = {
+                "drift": drift if drift is not None else {},
+                "n_degradations": len(provenance),
+                "n_supervisor_degradations": len(runtime_events),
+            }
+            day_health = (
+                evaluate_health(summary)
+                if self.alert_rules is None
+                else evaluate_health(summary, rules=self.alert_rules)
             )
         day_report = DayReport(
             day=context.day,
@@ -222,6 +251,7 @@ class DomainTracker:
             provenance=provenance,
             drift=drift,
             health=day_health,
+            runtime_events=runtime_events,
         )
         with tracer.span("segugio_tracker_ledger_update", n_detections=len(detections)):
             for name, score in detections:
@@ -299,10 +329,10 @@ class DomainTracker:
         Compares what the detector *saw* (feature distributions, pruning
         volumes, blacklist ground truth) and what it *produced* (the score
         distribution) against yesterday's snapshot, using the statistics in
-        :mod:`repro.ml.drift`.  Returns None on the first day of a run —
-        including the first day after a resume, since the reference is
-        intentionally not checkpointed.  Always rotates the reference
-        snapshot forward as a side effect.
+        :mod:`repro.ml.drift`.  Returns None on the first day of a run, or
+        on the first day after a resume whose checkpoint had no readable
+        drift sidecar.  Always rotates the reference snapshot forward as a
+        side effect.
         """
         prune_stats = (
             dict(model.last_prune_.stats) if model.last_prune_ is not None else {}
@@ -425,8 +455,11 @@ class DomainTracker:
         ledger.  The (immutable) config and fp_target are serialized by the
         checkpoint layer alongside this state.  The drift reference
         (``_drift_ref``) is deliberately excluded: it holds full feature
-        matrices, and the ledger stays bit-identical without it — a resumed
-        run simply reports no drift on its first day.
+        matrices, and the ledger stays bit-identical without it.  It is
+        persisted separately in a best-effort ``.drift.npz`` sidecar
+        (:mod:`repro.runtime.checkpoint`) so resumed runs keep their drift
+        monitor armed; a missing or corrupt sidecar only costs the first
+        post-resume drift summary, never the ledger.
         """
         return {
             "fp_target": self.fp_target,
@@ -472,6 +505,16 @@ class DomainTracker:
             )
             tracker.tracked[entry.name] = entry
         return tracker
+
+    def drift_reference(self) -> Optional[Dict[str, object]]:
+        """The previous day's drift-monitor reference (sidecar payload)."""
+        return self._drift_ref
+
+    def restore_drift_reference(
+        self, reference: Optional[Dict[str, object]]
+    ) -> None:
+        """Re-arm the day-over-day drift monitor (checkpoint-resume path)."""
+        self._drift_ref = reference
 
     def save_checkpoint(self, path: str) -> None:
         """Write a checksummed checkpoint (atomic write-then-rename)."""

@@ -12,7 +12,11 @@ without re-running anything:
 * every tripped alert rule, with its value and threshold;
 * a decision-verdict breakdown per day (scored / pruned / labeled /
   detected) from the decision-provenance records;
-* the last day's per-feature drift table.
+* the last day's per-feature drift table;
+* optionally (``--reference pinned:<day>`` / ``rolling:<k>``) a
+  reference-drift table comparing each day's headline counters against a
+  pinned known-good day or a rolling mean instead of only the previous
+  day — the built-in drift summaries are always day-over-day.
 
 Everything is computed from the artifacts alone — the dashboard is a pure
 function of the telemetry directory contents, deterministic and offline.
@@ -25,6 +29,7 @@ of the same text.
 from __future__ import annotations
 
 import html
+import math
 import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -46,6 +51,115 @@ _BADGES = {
 
 class MonitorError(ValueError):
     """No usable telemetry found at the given locations."""
+
+
+#: valid ``--reference`` modes: what baseline the headline series are
+#: compared against in the reference-drift section
+REFERENCE_MODES = ("previous", "pinned", "rolling")
+
+#: headline day-record series the reference-drift section compares
+_REFERENCE_METRICS = (
+    ("n_scored", "scored"),
+    ("n_new_detections", "new detections"),
+    ("threshold", "threshold"),
+)
+
+
+def parse_reference(spec: str) -> Tuple[str, Optional[int]]:
+    """Parse a ``--reference`` spec into ``(mode, parameter)``.
+
+    ``previous`` (the default day-over-day comparison), ``pinned:<day>``
+    (every day compared against one known-good day), or ``rolling:<k>``
+    (each day compared against the mean of its previous *k* days).
+    Raises :class:`MonitorError` with the offending spec on anything else.
+    """
+    if spec == "previous":
+        return "previous", None
+    mode, _, raw = spec.partition(":")
+    if mode in ("pinned", "rolling") and raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise MonitorError(
+                f"--reference {spec!r}: {raw!r} is not an integer"
+            ) from None
+        if mode == "rolling" and value < 1:
+            raise MonitorError(
+                f"--reference {spec!r}: window must be a positive day count"
+            )
+        return mode, value
+    raise MonitorError(
+        f"--reference {spec!r}: expected previous, pinned:<day>, or "
+        f"rolling:<k>"
+    )
+
+
+def reference_deltas(
+    days: Sequence[Mapping[str, object]], mode: str, parameter: Optional[int]
+) -> List[Dict[str, object]]:
+    """Headline-series deltas of each day against the reference baseline.
+
+    Returns one row per comparable day: ``{"day", "metric", "value",
+    "reference", "delta_pct"}`` (``delta_pct`` is None when the baseline
+    is zero).  ``pinned`` mode raises :class:`MonitorError` when the
+    pinned day is not among the loaded records; ``rolling`` mode skips
+    days with no history yet.  ``previous`` mode returns nothing — that
+    comparison is already the drift summary in every manifest.
+    """
+    if mode == "previous":
+        return []
+    if mode == "pinned":
+        pinned = next(
+            (
+                d
+                for d in days
+                if int(d.get("day", -1) or -1) == int(parameter or -1)
+            ),
+            None,
+        )
+        if pinned is None:
+            known = ", ".join(str(d.get("day", "?")) for d in days) or "none"
+            raise MonitorError(
+                f"--reference pinned:{parameter}: day {parameter} is not "
+                f"among the loaded day records (loaded: {known})"
+            )
+    rows: List[Dict[str, object]] = []
+    for index, day in enumerate(days):
+        if mode == "rolling":
+            window = days[max(0, index - int(parameter or 1)) : index]
+            if not window:
+                continue
+        for key, label in _REFERENCE_METRICS:
+            value = float(day.get(key, 0) or 0)
+            if mode == "pinned":
+                if day is pinned:
+                    continue
+                reference = float(pinned.get(key, 0) or 0)
+            else:
+                reference = sum(float(d.get(key, 0) or 0) for d in window) / len(
+                    window
+                )
+            delta_pct = (
+                (value - reference) / reference * 100.0 if reference else None
+            )
+            if delta_pct is not None and not math.isfinite(delta_pct):
+                delta_pct = None
+            rows.append(
+                {
+                    "day": day.get("day", "?"),
+                    "metric": label,
+                    "value": value,
+                    "reference": reference,
+                    "delta_pct": delta_pct,
+                }
+            )
+    return rows
+
+
+def _reference_title(mode: str, parameter: Optional[int]) -> str:
+    if mode == "pinned":
+        return f"reference drift vs pinned day {parameter}:"
+    return f"reference drift vs rolling mean of previous {parameter} day(s):"
 
 
 @dataclass
@@ -168,8 +282,16 @@ def _decision_breakdown(run: RunSummary) -> Dict[int, Dict[str, int]]:
 # ---------------------------------------------------------------------- #
 
 
-def render_monitor(runs: Sequence[RunSummary]) -> str:
-    """The text dashboard over all loaded runs."""
+def render_monitor(
+    runs: Sequence[RunSummary], reference: str = "previous"
+) -> str:
+    """The text dashboard over all loaded runs.
+
+    *reference* selects the baseline for the reference-drift section (see
+    :func:`parse_reference`); the default ``previous`` adds nothing beyond
+    the manifests' built-in day-over-day drift summaries.
+    """
+    mode, parameter = parse_reference(reference)
     rows = _all_days(runs)
     overall = worst_status(str(run.health.get("status", "unknown")) for run in runs)
     lines = [
@@ -240,6 +362,29 @@ def render_monitor(runs: Sequence[RunSummary]) -> str:
     for name, values in series:
         if values:
             lines.append(f"  {name:<16s} {sparkline(values)}")
+
+    if mode != "previous":
+        deltas = reference_deltas([d for _, d in rows], mode, parameter)
+        lines.append("")
+        lines.append(_reference_title(mode, parameter))
+        if deltas:
+            lines.append(
+                f"{'day':>5} {'metric':>16} {'value':>10} {'reference':>10} "
+                f"{'delta':>8}"
+            )
+            for row in deltas:
+                delta = row["delta_pct"]
+                delta_text = (
+                    f"{float(delta):+.1f}%" if delta is not None else "-"  # type: ignore[arg-type]
+                )
+                lines.append(
+                    f"{row['day']:>5} {str(row['metric']):>16} "
+                    f"{float(row['value']):>10.3f} "  # type: ignore[arg-type]
+                    f"{float(row['reference']):>10.3f} "  # type: ignore[arg-type]
+                    f"{delta_text:>8}"
+                )
+        else:
+            lines.append("  no comparable days yet")
 
     reasons = [
         (day.get("day", "?"), reason)
@@ -327,8 +472,11 @@ def _html_badge(status: str) -> str:
     return f'<span class="badge {css}">{html.escape(text)}</span>'
 
 
-def render_monitor_html(runs: Sequence[RunSummary]) -> str:
+def render_monitor_html(
+    runs: Sequence[RunSummary], reference: str = "previous"
+) -> str:
     """Self-contained HTML version of the dashboard (same content)."""
+    mode, parameter = parse_reference(reference)
     rows = _all_days(runs)
     overall = worst_status(str(run.health.get("status", "unknown")) for run in runs)
     parts = [
@@ -395,6 +543,32 @@ def render_monitor_html(runs: Sequence[RunSummary]) -> str:
                 f'<td class="spark">{sparkline(psi)}</td></tr>'
             )
         parts.append("</table>")
+
+        if mode != "previous":
+            deltas = reference_deltas([d for _, d in rows], mode, parameter)
+            parts.append(
+                f"<h2>{html.escape(_reference_title(mode, parameter).rstrip(':'))}</h2>"
+            )
+            if deltas:
+                parts.append(
+                    "<table><tr><th>day</th><th>metric</th><th>value</th>"
+                    "<th>reference</th><th>delta</th></tr>"
+                )
+                for row in deltas:
+                    delta = row["delta_pct"]
+                    delta_text = (
+                        f"{float(delta):+.1f}%" if delta is not None else "-"  # type: ignore[arg-type]
+                    )
+                    parts.append(
+                        f"<tr><td>{row['day']}</td>"
+                        f'<td class="name">{html.escape(str(row["metric"]))}</td>'
+                        f"<td>{float(row['value']):.3f}</td>"  # type: ignore[arg-type]
+                        f"<td>{float(row['reference']):.3f}</td>"  # type: ignore[arg-type]
+                        f"<td>{delta_text}</td></tr>"
+                    )
+                parts.append("</table>")
+            else:
+                parts.append('<p class="meta">no comparable days yet</p>')
 
         reasons = [
             (day.get("day", "?"), reason)

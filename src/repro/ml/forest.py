@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.ml.preprocessing import BinMapper
 from repro.ml.tree import DecisionTreeClassifier
+from repro.obs.events import current_event_log
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import current_tracer
 from repro.utils.validation import as_1d_int_array, as_2d_float_array, check_same_length
@@ -164,18 +165,23 @@ class RandomForestClassifier:
         }
         n = y.shape[0]
         jobs = min(self.n_jobs, self.n_estimators)
+        events = current_event_log()
+        events_mark = events.mark()
         with current_tracer().span(
             "segugio_forest_fit",
             n_trees=self.n_estimators,
             n_samples=int(n),
             n_jobs=jobs,
-        ):
+        ) as span:
             if jobs <= 1:
                 self.trees_ = _fit_tree_batch(seeds, params, X_binned, y, base_weight)
             else:
                 self.trees_ = self._fit_parallel(
                     seeds, params, X_binned, y, base_weight, jobs
                 )
+            n_degraded = len(events) - events_mark
+            if span is not None and n_degraded:
+                span.set_attribute("n_supervisor_events", n_degraded)
         registry = get_registry()
         if registry.enabled:
             registry.gauge(
@@ -195,28 +201,29 @@ class RandomForestClassifier:
         base_weight: np.ndarray,
         jobs: int,
     ) -> List[DecisionTreeClassifier]:
-        """Fit seed-keyed tree batches across a process pool.
+        """Fit seed-keyed tree batches across a supervised process pool.
 
         Seeds are split into ``jobs`` contiguous batches; each worker runs
         the same ``_fit_tree_batch`` as the serial path and results are
-        concatenated in submission order, so the returned ensemble is
-        bit-identical to a serial fit.
+        concatenated in batch order.  The supervisor absorbs worker death,
+        hangs, and transient errors by resubmitting the seed-keyed batches
+        on a shrinking pool (ultimately in-process), so the returned
+        ensemble is bit-identical to a serial fit even on a degraded run
+        (DESIGN.md §12).
         """
-        from concurrent.futures import ProcessPoolExecutor
+        from repro.runtime.supervisor import supervised_map
 
         batches = np.array_split(np.asarray(seeds, dtype=np.int64), jobs)
+        tasks = [
+            ([int(s) for s in batch], params, X_binned, y, base_weight)
+            for batch in batches
+            if len(batch)
+        ]
         trees: List[DecisionTreeClassifier] = []
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = [
-                pool.submit(
-                    _fit_tree_batch, [int(s) for s in batch], params,
-                    X_binned, y, base_weight,
-                )
-                for batch in batches
-                if len(batch)
-            ]
-            for future in futures:
-                trees.extend(future.result())
+        for batch_trees in supervised_map(
+            _fit_tree_batch, tasks, max_workers=jobs, label="forest_fit"
+        ):
+            trees.extend(batch_trees)
         return trees
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
@@ -235,23 +242,28 @@ class RandomForestClassifier:
             )
         chunks = _chunked(self.trees_, _PREDICT_TREE_CHUNK)
         jobs = min(self.n_jobs, len(chunks))
+        events = current_event_log()
+        events_mark = events.mark()
         with current_tracer().span(
             "segugio_forest_predict", n_samples=int(X.shape[0]), n_jobs=jobs
-        ):
+        ) as span:
             X_binned = self.bin_mapper_.transform(X)
             if jobs <= 1:
                 partials = [
                     _predict_tree_batch(chunk, X_binned) for chunk in chunks
                 ]
             else:
-                from concurrent.futures import ProcessPoolExecutor
+                from repro.runtime.supervisor import supervised_map
 
-                with ProcessPoolExecutor(max_workers=jobs) as pool:
-                    futures = [
-                        pool.submit(_predict_tree_batch, chunk, X_binned)
-                        for chunk in chunks
-                    ]
-                    partials = [future.result() for future in futures]
+                partials = supervised_map(
+                    _predict_tree_batch,
+                    [(chunk, X_binned) for chunk in chunks],
+                    max_workers=jobs,
+                    label="forest_predict",
+                )
+            n_degraded = len(events) - events_mark
+            if span is not None and n_degraded:
+                span.set_attribute("n_supervisor_events", n_degraded)
             scores = np.zeros(X.shape[0], dtype=np.float64)
             for partial in partials:
                 scores += partial

@@ -27,6 +27,11 @@ instruments unconditionally against :func:`get_registry` /
 context-variable lookup per site until a run activates telemetry.
 """
 
+from repro.obs.events import (
+    RuntimeEventLog,
+    current_event_log,
+    use_event_log,
+)
 from repro.obs.logs import StructuredLogger, bound, configure, get_logger
 from repro.obs.manifest import (
     MANIFEST_FILENAME,
@@ -43,7 +48,9 @@ from repro.obs.manifest import (
 from repro.obs.monitor import (
     DEFAULT_ALERT_RULES,
     AlertRule,
+    AlertRuleError,
     evaluate_health,
+    load_alert_rules,
     run_health,
     rules_from_dicts,
     worst_status,
@@ -79,6 +86,7 @@ from repro.obs.tracing import (
 
 __all__ = [
     "AlertRule",
+    "AlertRuleError",
     "Counter",
     "DECISIONS_FILENAME",
     "DECISION_SCHEMA_VERSION",
@@ -93,6 +101,7 @@ __all__ = [
     "MetricsRegistry",
     "ProvenanceError",
     "RunTelemetry",
+    "RuntimeEventLog",
     "SPAN_RENAMES_V1",
     "Span",
     "Stopwatch",
@@ -103,11 +112,13 @@ __all__ = [
     "config_hash",
     "configure",
     "current_decision_log",
+    "current_event_log",
     "current_tracer",
     "decisions_for_domain",
     "evaluate_health",
     "get_logger",
     "get_registry",
+    "load_alert_rules",
     "load_decisions",
     "load_manifest",
     "render_decision",
@@ -116,6 +127,7 @@ __all__ = [
     "run_health",
     "upgrade_manifest_v1",
     "use_decision_log",
+    "use_event_log",
     "use_registry",
     "use_tracer",
     "worst_status",

@@ -21,6 +21,8 @@ Manifest layout (``manifest_version`` 2)::
          "n_implicated_machines": 9, "provenance": ["blacklist_stale:warning"],
          "drift": {…} | null,        # day-over-day quality summary
          "health": {"status": "…", "reasons": […]},
+         "runtime_events": [{…}],    # execution-layer degradations, this day
+                                     # (absent when the day ran clean)
          "phases": {"build_graph": 0.41, …},       # span seconds, this day
          "metrics": {…}}                            # registry delta, this day
       ],
@@ -28,6 +30,11 @@ Manifest layout (``manifest_version`` 2)::
       "spans": […],                  # nested span tree
       "ingest": [{…}],               # IngestReport.to_dict() per loaded source
       "degradations": ["…"],         # union of day provenance tags
+      "runtime_events": [{…}],       # whole-run supervisor event log: every
+                                     # worker_lost/task_hang/task_retry/
+                                     # pool_shrunk/serial_fallback/day_retry/
+                                     # io_retry event, in order (see
+                                     # repro.runtime.supervisor)
       "warnings": ["…"],
       "trace_file": "trace.jsonl",
       "decisions_file": "decisions.jsonl" | null   # decision provenance
@@ -40,6 +47,9 @@ contract: its span trees and day ``phases`` use the old dotted names
 still accepts v1 and upgrades it in place — span/phase names are mapped
 through :data:`SPAN_RENAMES_V1` and the new fields default to unknown
 health — so telemetry dirs written by older builds keep rendering.
+The ``runtime_events`` keys (run-level and per-day) were added later as
+a purely *additive* v2 extension: readers must treat a missing key as an
+empty list, so older v2 manifests stay valid without a version bump.
 
 ``segugio telemetry manifest.json`` renders the per-phase cost breakdown in
 the shape of the paper's §IV-G efficiency table (learning vs. classification
@@ -325,6 +335,23 @@ def render_telemetry(manifest: Mapping[str, object]) -> str:
         lines.append("degradations observed:")
         for tag in degradations:
             lines.append(f"  {tag}")
+
+    runtime_events: List[Mapping[str, object]] = manifest.get(  # type: ignore[assignment]
+        "runtime_events", []
+    )
+    if runtime_events:
+        counts: Dict[str, int] = {}
+        for event in runtime_events:
+            if isinstance(event, Mapping):
+                kind = str(event.get("kind", "?"))
+                counts[kind] = counts.get(kind, 0) + 1
+        lines.append("")
+        lines.append(
+            f"execution-layer degradations ({len(runtime_events)} event(s); "
+            "results are unaffected — the run only got slower):"
+        )
+        for kind in sorted(counts):
+            lines.append(f"  {kind}: {counts[kind]}")
 
     warnings: List[str] = manifest.get("warnings", [])  # type: ignore[assignment]
     if warnings:

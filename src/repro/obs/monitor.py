@@ -20,6 +20,7 @@ Zero-dependency and deterministic, like the rest of :mod:`repro.obs`.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -146,6 +147,16 @@ DEFAULT_ALERT_RULES: Tuple[AlertRule, ...] = (
         alert=None,
         description="the day ran on degraded inputs (see provenance tags)",
     ),
+    AlertRule(
+        name="supervisor_degraded",
+        path="n_supervisor_degradations",
+        warn=1.0,
+        alert=4.0,
+        description=(
+            "the execution layer degraded while computing the day "
+            "(worker loss, task hang, retry, pool shrink, or serial fallback)"
+        ),
+    ),
 )
 
 
@@ -187,11 +198,18 @@ def evaluate_health(
     return {"status": status, "reasons": reasons}
 
 
-def run_health(day_records: Sequence[Mapping[str, object]]) -> Dict[str, object]:
+def run_health(
+    day_records: Sequence[Mapping[str, object]],
+    n_orphan_events: int = 0,
+) -> Dict[str, object]:
     """Aggregate per-day health verdicts into the run-level manifest entry.
 
     The run is as healthy as its worst day; reasons are flattened with the
     day number attached so the manifest is readable without the day table.
+    ``n_orphan_events`` counts execution-layer degradation events that fell
+    *between* day windows (a failed day attempt, a checkpoint-write retry)
+    and therefore appear in no day's verdict — any orphan degrades the run
+    to at least ``warn`` so a retried-then-succeeded day cannot look clean.
     """
     statuses: List[str] = []
     reasons: List[Dict[str, object]] = []
@@ -203,6 +221,23 @@ def run_health(day_records: Sequence[Mapping[str, object]]) -> Dict[str, object]
         for reason in health.get("reasons", ()):  # type: ignore[union-attr]
             if isinstance(reason, Mapping):
                 reasons.append({"day": record.get("day"), **reason})
+    if n_orphan_events > 0:
+        statuses.append(STATUS_WARN)
+        reasons.append(
+            {
+                "day": None,
+                "rule": "supervisor_degraded",
+                "status": STATUS_WARN,
+                "path": "runtime_events",
+                "value": float(n_orphan_events),
+                "threshold": 1.0,
+                "message": (
+                    f"supervisor_degraded: {n_orphan_events} execution-layer "
+                    "degradation events outside any day window "
+                    "(day retries or checkpoint-write retries)"
+                ),
+            }
+        )
     return {"status": worst_status(statuses), "reasons": reasons}
 
 
@@ -221,4 +256,62 @@ def rules_from_dicts(
                 description=str(spec.get("description", "")),
             )
         )
+    return tuple(rules)
+
+
+class AlertRuleError(ValueError):
+    """An alert-rules file that cannot be parsed or validated."""
+
+
+_RULE_KEYS = frozenset({"name", "path", "warn", "alert", "description"})
+
+
+def load_alert_rules(path: str) -> Tuple[AlertRule, ...]:
+    """Load a deployment rule set from JSON, with located validation errors.
+
+    Accepts either a bare list of rule objects or ``{"rules": [...]}``;
+    every error names the file and the offending rule index so a bad spec
+    is fixable from the message alone (``rules.json: rules[2] (score_psi):
+    alert threshold below warn threshold``).
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as stream:
+            payload = json.load(stream)
+    except OSError as error:
+        raise AlertRuleError(f"{path}: cannot read alert rules: {error}") from error
+    except json.JSONDecodeError as error:
+        raise AlertRuleError(f"{path}: invalid JSON: {error}") from error
+    if isinstance(payload, Mapping):
+        extra = sorted(set(payload) - {"rules"})
+        if extra or "rules" not in payload:
+            raise AlertRuleError(
+                f"{path}: expected a list of rule objects or {{\"rules\": [...]}}"
+            )
+        payload = payload["rules"]
+    if not isinstance(payload, list):
+        raise AlertRuleError(
+            f"{path}: expected a list of rule objects, got {type(payload).__name__}"
+        )
+    if not payload:
+        raise AlertRuleError(f"{path}: no alert rules defined")
+    rules: List[AlertRule] = []
+    for index, spec in enumerate(payload):
+        if not isinstance(spec, Mapping):
+            raise AlertRuleError(
+                f"{path}: rules[{index}]: expected an object, "
+                f"got {type(spec).__name__}"
+            )
+        where = f"{path}: rules[{index}]"
+        if isinstance(spec.get("name"), str):
+            where = f"{where} ({spec['name']})"
+        unknown = sorted(set(spec) - _RULE_KEYS)
+        if unknown:
+            raise AlertRuleError(f"{where}: unknown keys {unknown}")
+        missing = sorted({"name", "path"} - set(spec))
+        if missing:
+            raise AlertRuleError(f"{where}: missing required keys {missing}")
+        try:
+            rules.extend(rules_from_dicts([spec]))
+        except (TypeError, ValueError) as error:
+            raise AlertRuleError(f"{where}: {error}") from error
     return tuple(rules)

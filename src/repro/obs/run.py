@@ -26,6 +26,7 @@ from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 from repro.obs import logs as _logs
 from repro.obs import manifest as _manifest
 from repro.obs import monitor as _monitor
+from repro.obs.events import RuntimeEventLog, use_event_log
 from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.obs.provenance import DECISIONS_FILENAME, DecisionLog, use_decision_log
 from repro.obs.tracing import Tracer, use_tracer
@@ -52,6 +53,7 @@ class RunTelemetry:
         self.registry = MetricsRegistry(enabled=enabled)
         self.tracer = Tracer(enabled=enabled)
         self.decisions = DecisionLog(enabled=enabled)
+        self.events = RuntimeEventLog(enabled=enabled)
         self.days: List[Dict[str, object]] = []
         self.ingest_reports: List[Dict[str, object]] = []
         self.warnings: List[str] = []
@@ -68,6 +70,7 @@ class RunTelemetry:
             stack.enter_context(use_registry(self.registry))
             stack.enter_context(use_tracer(self.tracer))
             stack.enter_context(use_decision_log(self.decisions))
+            stack.enter_context(use_event_log(self.events))
             stack.enter_context(_logs.bound(run_id=self.run_id))
             yield self
 
@@ -79,10 +82,14 @@ class RunTelemetry:
         detection counts, provenance) into the yielded dict."""
         metrics_before = self.registry.snapshot()
         phases_before = self.tracer.phase_totals()
+        events_mark = self.events.mark()
         record: Dict[str, object] = {"day": int(day)}
         with _logs.bound(day=int(day)):
             with self.tracer.span("segugio_run_day", day=int(day)):
                 yield record
+        runtime_events = self.events.since(events_mark)
+        if runtime_events:
+            record["runtime_events"] = runtime_events
         phases_after = self.tracer.phase_totals()
         record["phases"] = {
             name: round(seconds - phases_before.get(name, 0.0), 6)
@@ -120,6 +127,10 @@ class RunTelemetry:
         return sorted(tags)
 
     def build_manifest(self) -> Dict[str, object]:
+        n_day_events = sum(
+            len(record.get("runtime_events", ()))  # type: ignore[arg-type]
+            for record in self.days
+        )
         return {
             "manifest_version": _manifest.MANIFEST_VERSION,
             "run_id": self.run_id,
@@ -127,12 +138,15 @@ class RunTelemetry:
             "created_unix": round(self.created_unix, 6),
             "config": self.config,
             "config_sha256": _manifest.config_hash(self.config),
-            "health": _monitor.run_health(self.days),
+            "health": _monitor.run_health(
+                self.days, n_orphan_events=len(self.events) - n_day_events
+            ),
             "days": self.days,
             "metrics": self.registry.snapshot(),
             "spans": self.tracer.span_tree(),
             "ingest": self.ingest_reports,
             "degradations": self.degradations(),
+            "runtime_events": self.events.to_list(),
             "warnings": self.warnings,
             "trace_file": _manifest.TRACE_FILENAME,
             "decisions_file": (

@@ -19,6 +19,13 @@ faults:
 * :mod:`repro.runtime.checkpoint` — checksummed checkpoint/resume for
   :class:`~repro.core.tracker.DomainTracker` so a killed run resumes to a
   bit-identical ledger.
+* :mod:`repro.runtime.supervisor` — supervised process-pool execution with
+  a deterministic degradation ladder (resubmit → shrink pool → serial)
+  that converts worker death, hangs, and transient errors into recorded
+  slowdowns instead of wrong or missing results.
+* :mod:`repro.runtime.faults` — deterministic, seed-keyed fault injection
+  (``SEGUGIO_FAULTS`` / ``--inject-faults`` / ``segugio chaos``) proving
+  the ladder's bit-identical-output invariant.
 
 Submodules are resolved lazily so low-level packages (``repro.datasets``)
 can import :mod:`repro.runtime.retry` without dragging in the ingest and
@@ -51,6 +58,21 @@ _LAZY_EXPORTS = {
     "save_checkpoint": "repro.runtime.checkpoint",
     "load_checkpoint": "repro.runtime.checkpoint",
     "resume_tracker": "repro.runtime.checkpoint",
+    "load_drift_sidecar": "repro.runtime.checkpoint",
+    "save_drift_sidecar": "repro.runtime.checkpoint",
+    "SupervisorPolicy": "repro.runtime.supervisor",
+    "supervised_map": "repro.runtime.supervisor",
+    "supervised_process_day": "repro.runtime.supervisor",
+    "current_policy": "repro.runtime.supervisor",
+    "use_policy": "repro.runtime.supervisor",
+    "FaultPlan": "repro.runtime.faults",
+    "FaultPlanError": "repro.runtime.faults",
+    "FaultSpec": "repro.runtime.faults",
+    "load_fault_plan": "repro.runtime.faults",
+    "install_fault_plan": "repro.runtime.faults",
+    "use_fault_plan": "repro.runtime.faults",
+    "current_fault_plan": "repro.runtime.faults",
+    "maybe_fault": "repro.runtime.faults",
 }
 
 __all__ = sorted(

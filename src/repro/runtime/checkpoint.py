@@ -16,6 +16,15 @@ bit-rotted file.  A checkpoint therefore:
 Format: a single text file whose first line is
 ``segugio-checkpoint v<N> sha256=<hex>`` and whose remainder is canonical
 (sorted-keys) JSON.
+
+The tracker's day-over-day *drift reference* (full feature matrix and
+score vector of the last processed day) is deliberately outside the
+checksummed payload — it would bloat every save and the ledger does not
+need it.  It rides in a best-effort ``<path>.drift.npz`` sidecar instead:
+written atomically next to each checkpoint, loaded on resume only when its
+day matches the checkpoint's last processed day, and silently skipped when
+missing, stale, or corrupt — a lost sidecar costs one day's drift summary,
+never the run.
 """
 
 from __future__ import annotations
@@ -24,14 +33,18 @@ import dataclasses
 import hashlib
 import json
 import os
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Dict, Optional
+
+import numpy as np
 
 from repro.core.pipeline import SegugioConfig
 from repro.core.pruning import PruneConfig
+from repro.obs.events import current_event_log
 from repro.obs.logs import get_logger
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import current_tracer
-from repro.runtime.retry import atomic_file
+from repro.runtime.faults import maybe_fault
+from repro.runtime.retry import atomic_file, retry
 from repro.utils.errors import CheckpointError
 
 if TYPE_CHECKING:  # runtime import would cycle: tracker imports this module
@@ -39,6 +52,8 @@ if TYPE_CHECKING:  # runtime import would cycle: tracker imports this module
 
 CHECKPOINT_VERSION = 1
 _HEADER_PREFIX = "segugio-checkpoint"
+
+DRIFT_SIDECAR_SUFFIX = ".drift.npz"
 
 _log = get_logger("checkpoint")
 
@@ -74,7 +89,14 @@ def _digest(body: str) -> str:
 
 
 def save_checkpoint(tracker: "DomainTracker", path: str) -> None:
-    """Atomically write *tracker* (a :class:`DomainTracker`) to *path*."""
+    """Atomically write *tracker* (a :class:`DomainTracker`) to *path*.
+
+    Transient ``OSError`` during the write is retried on the deterministic
+    backoff schedule, each retry recorded as an ``io_retry`` runtime event;
+    the atomic staging pattern guarantees a failed attempt leaves no torn
+    file behind.  The drift sidecar is saved best-effort afterwards — a
+    sidecar failure warns and is recorded, but never fails the checkpoint.
+    """
     payload = {
         "checkpoint_version": CHECKPOINT_VERSION,
         "config": config_to_dict(tracker.config),
@@ -82,10 +104,41 @@ def save_checkpoint(tracker: "DomainTracker", path: str) -> None:
     }
     body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     header = f"{_HEADER_PREFIX} v{CHECKPOINT_VERSION} sha256={_digest(body)}"
-    with current_tracer().span("segugio_checkpoint_save", path=path):
+    events = current_event_log()
+
+    def _write() -> None:
         with atomic_file(path) as staging:
             with open(staging, "w") as stream:
                 stream.write(header + "\n" + body + "\n")
+            maybe_fault("checkpoint_save", path=staging)
+
+    def _on_retry(attempt: int, error: BaseException) -> None:
+        events.record(
+            "io_retry",
+            site="checkpoint_save",
+            path=path,
+            attempt=attempt,
+            error=str(error),
+        )
+        _log.warning(
+            "checkpoint_save_retry", path=path, attempt=attempt, error=str(error)
+        )
+
+    with current_tracer().span("segugio_checkpoint_save", path=path):
+        retry(attempts=3, on_retry=_on_retry)(_write)()
+        try:
+            save_drift_sidecar(tracker, path)
+        except OSError as error:
+            events.record(
+                "io_retry",
+                site="drift_sidecar_save",
+                path=path,
+                attempt=0,
+                error=str(error),
+            )
+            _log.warning(
+                "drift_sidecar_save_failed", path=path, error=str(error)
+            )
     registry = get_registry()
     if registry.enabled:
         registry.counter(
@@ -100,6 +153,89 @@ def save_checkpoint(tracker: "DomainTracker", path: str) -> None:
         n_days=len(tracker.days_processed),
         n_tracked=len(tracker.tracked),
     )
+
+
+def drift_sidecar_path(path: str) -> str:
+    """Where the drift sidecar for checkpoint *path* lives."""
+    return path + DRIFT_SIDECAR_SUFFIX
+
+
+def save_drift_sidecar(tracker: "DomainTracker", path: str) -> Optional[str]:
+    """Persist the tracker's drift reference next to its checkpoint.
+
+    Writes ``<path>.drift.npz`` atomically (the reference arrays plus a
+    JSON metadata record), so a resumed run's first drift summary is
+    bit-identical to the one an uninterrupted run would have computed.
+    When the tracker has no reference yet, any stale sidecar is removed —
+    a sidecar must never outlive the state it describes.  Returns the
+    sidecar path, or None when nothing was written.
+    """
+    sidecar = drift_sidecar_path(path)
+    reference = tracker.drift_reference()
+    if reference is None:
+        if os.path.exists(sidecar):
+            os.remove(sidecar)
+        return None
+    meta = {
+        "day": int(reference["day"]),  # type: ignore[arg-type]
+        "blacklist": sorted(reference["blacklist"]),  # type: ignore[arg-type]
+        "prune_stats": dict(reference["prune_stats"]),  # type: ignore[arg-type]
+        "n_scored": int(reference["n_scored"]),  # type: ignore[arg-type]
+    }
+    with atomic_file(sidecar) as staging:
+        with open(staging, "wb") as stream:
+            np.savez(
+                stream,
+                features=np.asarray(reference["features"], dtype=np.float64),
+                scores=np.asarray(reference["scores"], dtype=np.float64),
+                meta=np.array(json.dumps(meta, sort_keys=True)),
+            )
+    _log.info("drift_sidecar_saved", path=sidecar, day=meta["day"])
+    return sidecar
+
+
+def load_drift_sidecar(
+    path: str, expected_day: Optional[int] = None
+) -> Optional[Dict[str, object]]:
+    """Load the drift reference saved next to checkpoint *path*, if usable.
+
+    Returns None — with a structured warning, never an exception — when
+    the sidecar is missing, unreadable, or describes a different day than
+    *expected_day* (it then predates the checkpoint and would produce a
+    wrong drift summary).  The sidecar is an optimization, not state: the
+    resumed ledger is bit-identical either way.
+    """
+    sidecar = drift_sidecar_path(path)
+    if not os.path.exists(sidecar):
+        return None
+    try:
+        with np.load(sidecar, allow_pickle=False) as data:
+            features = np.array(data["features"], dtype=np.float64)
+            scores = np.array(data["scores"], dtype=np.float64)
+            meta = json.loads(str(data["meta"][()]))
+        day = int(meta["day"])
+        reference: Dict[str, object] = {
+            "day": day,
+            "features": features,
+            "scores": scores,
+            "blacklist": frozenset(str(name) for name in meta["blacklist"]),
+            "prune_stats": dict(meta["prune_stats"]),
+            "n_scored": int(meta["n_scored"]),
+        }
+    except Exception as error:  # any corruption mode: degrade, don't die
+        _log.warning(
+            "drift_sidecar_unreadable", path=sidecar, error=str(error)
+        )
+        return None
+    if expected_day is not None and day != int(expected_day):
+        _log.warning(
+            "drift_sidecar_stale",
+            path=sidecar,
+            sidecar_day=day,
+            expected_day=int(expected_day),
+        )
+        return None
+    return reference
 
 
 def load_checkpoint(path: str) -> dict:
@@ -188,6 +324,14 @@ def resume_tracker(
             else config_from_dict(payload["config"])
         )
         tracker = DomainTracker.from_state(payload["state"], config=resolved)
+        reference = load_drift_sidecar(
+            path,
+            expected_day=(
+                tracker.days_processed[-1] if tracker.days_processed else None
+            ),
+        )
+        if reference is not None:
+            tracker.restore_drift_reference(reference)
     registry = get_registry()
     if registry.enabled:
         registry.counter(

@@ -80,3 +80,76 @@ class TestCommands:
         assert main(["classify-dir", directory, "--top", "3"]) == 0
         out = capsys.readouterr().out
         assert "unknown domains scored" in out
+
+
+class TestFaultToleranceFlags:
+    """`track` fault/supervision flags and the `chaos` subcommand."""
+
+    def test_chaos_parser_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.days == 3
+        assert args.estimators == 24
+        assert args.plan is None
+
+    def test_track_accepts_supervision_flags(self, tmp_path):
+        import json
+
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            json.dumps(
+                {"faults": [{"kind": "io_error", "site": "pipeline_fit"}]}
+            )
+        )
+        args = build_parser().parse_args(
+            [
+                "track",
+                "--inject-faults",
+                str(plan),
+                "--task-timeout",
+                "120",
+            ]
+        )
+        assert args.inject_faults == str(plan)
+        assert args.task_timeout == 120.0
+
+    def test_track_bad_fault_plan_exits_with_located_error(self, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text('{"faults": [{"kind": "nope", "site": "forest_fit"}]}')
+        with pytest.raises(SystemExit) as excinfo:
+            main(["track", "--days", "1", "--inject-faults", str(plan)])
+        assert "unknown kind" in str(excinfo.value)
+        assert str(plan) in str(excinfo.value)
+
+    def test_track_bad_alert_rules_exit_with_located_error(self, tmp_path):
+        rules = tmp_path / "rules.json"
+        rules.write_text('[{"name": "x"}]')
+        with pytest.raises(SystemExit) as excinfo:
+            main(["track", "--days", "1", "--alert-rules", str(rules)])
+        assert str(rules) in str(excinfo.value)
+
+    def test_monitor_bad_reference_exits_with_located_error(self, tmp_path):
+        # the bad spec is rejected up front, before any manifest is loaded
+        with pytest.raises(SystemExit) as excinfo:
+            main(["monitor", str(tmp_path), "--reference", "sometimes"])
+        assert "sometimes" in str(excinfo.value)
+
+    def test_chaos_small_run_exits_zero_and_prints_verdict(
+        self, tmp_path, capsys
+    ):
+        assert (
+            main(
+                [
+                    "chaos",
+                    "--days",
+                    "1",
+                    "--estimators",
+                    "5",
+                    "--out",
+                    str(tmp_path / "chaos"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "invariants:" in out

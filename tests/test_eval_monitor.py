@@ -7,6 +7,8 @@ from repro.eval.monitor import (
     MonitorError,
     RunSummary,
     load_runs,
+    parse_reference,
+    reference_deltas,
     render_monitor,
     render_monitor_html,
     sparkline,
@@ -222,3 +224,62 @@ class TestExplainReplayCli:
     def test_explain_dir_without_decisions_exits_nonzero(self, tmp_path):
         with pytest.raises(SystemExit, match="decisions.jsonl"):
             main(["explain", "--telemetry-dir", str(tmp_path)])
+
+
+_REFERENCE_DAYS = [
+    {"day": 1, "n_scored": 100, "n_new_detections": 10, "threshold": 0.5},
+    {"day": 2, "n_scored": 150, "n_new_detections": 0, "threshold": 0.5},
+    {"day": 3, "n_scored": 200, "n_new_detections": 5, "threshold": 0.25},
+]
+
+
+class TestReferenceWindows:
+    def test_parse_reference_specs(self):
+        assert parse_reference("previous") == ("previous", None)
+        assert parse_reference("pinned:160") == ("pinned", 160)
+        assert parse_reference("rolling:7") == ("rolling", 7)
+
+    @pytest.mark.parametrize(
+        "spec", ["bogus", "pinned:", "pinned:soon", "rolling:0", "rolling:x"]
+    )
+    def test_bad_specs_name_the_offender(self, spec):
+        with pytest.raises(MonitorError, match="reference") as excinfo:
+            parse_reference(spec)
+        assert spec in str(excinfo.value)
+
+    def test_previous_mode_adds_no_rows(self):
+        assert reference_deltas(_REFERENCE_DAYS, "previous", None) == []
+
+    def test_pinned_compares_every_other_day_to_the_pin(self):
+        rows = reference_deltas(_REFERENCE_DAYS, "pinned", 1)
+        assert {row["day"] for row in rows} == {2, 3}  # the pin itself skipped
+        by_key = {(row["day"], row["metric"]): row for row in rows}
+        assert by_key[(2, "scored")]["delta_pct"] == pytest.approx(50.0)
+        assert by_key[(2, "new detections")]["delta_pct"] == pytest.approx(-100.0)
+        assert by_key[(3, "threshold")]["delta_pct"] == pytest.approx(-50.0)
+
+    def test_pinned_day_must_be_loaded(self):
+        with pytest.raises(MonitorError, match="not.*among") as excinfo:
+            reference_deltas(_REFERENCE_DAYS, "pinned", 99)
+        assert "1, 2, 3" in str(excinfo.value)  # the error lists what IS loaded
+
+    def test_zero_baseline_yields_no_percentage(self):
+        rows = reference_deltas(_REFERENCE_DAYS, "pinned", 2)
+        by_key = {(row["day"], row["metric"]): row for row in rows}
+        assert by_key[(3, "new detections")]["delta_pct"] is None
+
+    def test_rolling_mean_skips_days_without_history(self):
+        rows = reference_deltas(_REFERENCE_DAYS, "rolling", 2)
+        assert {row["day"] for row in rows} == {2, 3}  # day 1 has no history
+        by_key = {(row["day"], row["metric"]): row for row in rows}
+        assert by_key[(3, "scored")]["reference"] == pytest.approx(125.0)
+        assert by_key[(3, "scored")]["delta_pct"] == pytest.approx(60.0)
+
+    def test_render_includes_reference_table(self):
+        text = render_monitor([_alert_run()], reference="pinned:160")
+        assert "reference drift vs pinned day 160:" in text
+        html = render_monitor_html([_alert_run()], reference="rolling:1")
+        assert "rolling mean of previous 1 day(s)" in html
+
+    def test_render_previous_mode_is_unchanged(self):
+        assert "reference drift" not in render_monitor([_alert_run()])

@@ -9,6 +9,7 @@ fallback, recorded in provenance) or fail loudly with an actionable error
 
 import dataclasses
 import os
+import shutil
 
 import numpy as np
 import pytest
@@ -20,9 +21,14 @@ from repro.core.tracker import DomainTracker
 from repro.dns.activity import ActivityIndex
 from repro.dns.e2ld import E2ldIndex
 from repro.dns.trace import DayTrace
+from repro.eval.chaos import run_chaos
 from repro.intel.blacklist import CncBlacklist
 from repro.intel.whitelist import DomainWhitelist
+from repro.obs.events import RuntimeEventLog, use_event_log
 from repro.pdns.database import PassiveDNSDatabase
+from repro.runtime.checkpoint import drift_sidecar_path, load_drift_sidecar
+from repro.runtime.faults import FaultPlan, FaultSpec, use_fault_plan
+from repro.runtime.supervisor import SupervisorPolicy, supervised_process_day
 from repro.utils.errors import CheckpointError, IngestError
 from repro.utils.ids import Interner
 
@@ -329,3 +335,135 @@ class TestFuzzedDirectoryEndToEnd:
                 stream.write(f"garbage-row-{i}\n")
         with pytest.raises(IngestError, match="cap"):
             load_observation_checked(directory, mode="lenient")
+
+
+PARALLEL = SegugioConfig(n_estimators=5, n_jobs=2)
+
+# any combination of worker-pool and pipeline faults; `unique_by` keeps
+# pipeline_fit to a single spec so its firings stay within the day-retry
+# budget (the invariant under test is byte-identity, not exhaustion)
+_FAULT_SPECS = st.lists(
+    st.one_of(
+        st.builds(
+            FaultSpec,
+            kind=st.sampled_from(["worker_kill", "io_error"]),
+            site=st.just("forest_fit"),
+            task=st.integers(min_value=0, max_value=3),
+            count=st.integers(min_value=1, max_value=2),
+        ),
+        st.builds(
+            FaultSpec,
+            kind=st.just("io_error"),
+            site=st.just("pipeline_fit"),
+            count=st.integers(min_value=1, max_value=2),
+        ),
+    ),
+    max_size=3,
+    unique_by=lambda spec: (spec.site, spec.task),
+)
+
+
+class TestAnyFaultPlanIsHarmless:
+    """Property: whatever the fault plan, the ledger bytes never change."""
+
+    @pytest.fixture(scope="class")
+    def clean_state(self, train_context):
+        tracker = DomainTracker(config=PARALLEL, fp_target=0.01)
+        tracker.process_day(train_context)
+        return tracker.state_dict()
+
+    @given(specs=_FAULT_SPECS)
+    @settings(max_examples=5, deadline=None)
+    def test_blacklists_survive_any_plan_bit_identically(
+        self, specs, clean_state, train_context
+    ):
+        policy = SupervisorPolicy(base_delay=0.0, sleep=lambda _: None)
+        tracker = DomainTracker(config=PARALLEL, fp_target=0.01)
+        with use_fault_plan(FaultPlan(list(specs))):
+            with use_event_log(RuntimeEventLog()):
+                supervised_process_day(tracker, train_context, policy=policy)
+        assert tracker.state_dict() == clean_state
+
+
+class TestChaosHarness:
+    """The ``segugio chaos`` twin-run harness proves its own invariants."""
+
+    def test_canned_plan_passes_every_invariant(self, tmp_path):
+        report = run_chaos(
+            out_dir=str(tmp_path / "chaos"), days=2, estimators=5, jobs=2
+        )
+        assert report.passed, report.summary()
+        names = [invariant.name for invariant in report.invariants]
+        assert "outputs_bit_identical" in names
+        assert "checkpoint_intact" in names
+        assert "degradations_recorded" in names
+        assert report.fired  # the canned plan really injected something
+        assert "PASS" in report.summary()
+
+    def test_midrun_kill_restores_ledger_and_drift_sidecar(self, tmp_path):
+        report = run_chaos(
+            out_dir=str(tmp_path / "chaos"),
+            days=2,
+            estimators=5,
+            jobs=2,
+            kill_day_offset=0,  # crash + resume after the first day
+        )
+        assert report.passed, report.summary()
+        by_name = {invariant.name: invariant for invariant in report.invariants}
+        assert by_name["ledger_bit_identical"].passed
+        assert by_name["drift_monitor_continuity"].passed
+
+
+class TestDriftSidecar:
+    """The drift reference rides in a sidecar outside the checksummed blob."""
+
+    @pytest.fixture(scope="class")
+    def tracked_ckpt(self, tmp_path_factory, scenario):
+        tracker = DomainTracker(config=FAST, fp_target=0.01)
+        for i in range(2):
+            tracker.process_day(scenario.context("isp1", scenario.eval_day(i)))
+        path = str(tmp_path_factory.mktemp("sidecar") / "run.ckpt")
+        tracker.save_checkpoint(path)
+        return path, tracker
+
+    def test_sidecar_round_trips_the_reference(self, tracked_ckpt):
+        path, tracker = tracked_ckpt
+        assert os.path.exists(drift_sidecar_path(path))
+        stored = load_drift_sidecar(path)
+        live = tracker.drift_reference()
+        assert stored is not None and live is not None
+        assert stored["day"] == live["day"]
+        np.testing.assert_array_equal(stored["features"], live["features"])
+        np.testing.assert_array_equal(stored["scores"], live["scores"])
+        assert stored["blacklist"] == live["blacklist"]
+
+    def test_resume_restores_the_drift_reference(self, tracked_ckpt):
+        path, tracker = tracked_ckpt
+        resumed = DomainTracker.resume(path)
+        restored = resumed.drift_reference()
+        assert restored is not None
+        assert restored["day"] == tracker.drift_reference()["day"]
+
+    def test_corrupt_sidecar_degrades_to_first_day_semantics(
+        self, tracked_ckpt, tmp_path
+    ):
+        path, _tracker = tracked_ckpt
+        ckpt = str(tmp_path / "run.ckpt")
+        shutil.copy(path, ckpt)
+        with open(drift_sidecar_path(ckpt), "wb") as stream:
+            stream.write(b"definitely not an npz archive")
+        resumed = DomainTracker.resume(ckpt)  # degrades, never raises
+        assert resumed.drift_reference() is None
+
+    def test_stale_sidecar_for_another_day_is_ignored(self, tracked_ckpt):
+        path, tracker = tracked_ckpt
+        day = int(tracker.drift_reference()["day"])
+        assert load_drift_sidecar(path, expected_day=day) is not None
+        assert load_drift_sidecar(path, expected_day=day + 1) is None
+
+    def test_missing_sidecar_is_not_an_error(self, tracked_ckpt, tmp_path):
+        path, _tracker = tracked_ckpt
+        ckpt = str(tmp_path / "bare.ckpt")
+        shutil.copy(path, ckpt)  # a checkpoint shipped without its sidecar
+        resumed = DomainTracker.resume(ckpt)
+        assert resumed.drift_reference() is None

@@ -398,3 +398,25 @@ class TestSEG009AnnotationNames:
     def test_builtins_are_known(self):
         src = "def f(x: int, y: list) -> dict:\n    return {}\n"
         assert rules_hit(src) == []
+
+
+class TestSEG011FaultContainment:
+    def test_flags_os_exit_outside_faults(self):
+        src = "import os\nos._exit(1)\n"
+        assert "SEG011" in rules_hit(src)
+
+    def test_flags_os_kill_outside_faults(self):
+        src = "import os, signal\nos.kill(123, signal.SIGKILL)\n"
+        assert "SEG011" in rules_hit(src)
+
+    def test_flags_smuggled_from_import(self):
+        assert "SEG011" in rules_hit("from os import _exit\n")
+        assert "SEG011" in rules_hit("from signal import raise_signal\n")
+
+    def test_allows_the_fault_injection_module(self):
+        src = "import os\nos._exit(1)\n"
+        assert rules_hit(src, module="repro.runtime.faults") == []
+
+    def test_allows_unrelated_os_calls(self):
+        src = "import os\np = os.path.join('a', 'b')\nos.remove(p)\n"
+        assert rules_hit(src) == []

@@ -1,0 +1,221 @@
+"""Deterministic fault injection: plans, directives, and delivery."""
+
+import json
+
+import pytest
+
+from repro.runtime.faults import (
+    FAULT_KINDS,
+    FAULTS_ENV_VAR,
+    KNOWN_SITES,
+    FaultDirective,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    apply_directive,
+    current_fault_plan,
+    install_fault_plan,
+    load_fault_plan,
+    maybe_fault,
+    plan_from_dict,
+    use_fault_plan,
+)
+
+
+class TestFaultPlanMatching:
+    def test_take_matches_site_and_task(self):
+        plan = FaultPlan([FaultSpec(kind="io_error", site="forest_fit", task=2)])
+        assert plan.take("forest_fit", 0) is None
+        assert plan.take("forest_predict", 2) is None
+        directive = plan.take("forest_fit", 2)
+        assert directive == FaultDirective(
+            kind="io_error", seconds=30.0, detail="forest_fit[2]"
+        )
+
+    def test_directives_are_consumed(self):
+        plan = FaultPlan([FaultSpec(kind="worker_kill", site="forest_fit")])
+        assert plan.take("forest_fit", 0) is not None
+        # one-shot: a resubmitted task runs clean
+        assert plan.take("forest_fit", 0) is None
+        assert plan.n_fired == 1
+        assert plan.fired_kinds() == ["worker_kill"]
+
+    def test_count_fires_that_many_times(self):
+        plan = FaultPlan([FaultSpec(kind="io_error", site="pipeline_fit", count=2)])
+        assert plan.take("pipeline_fit") is not None
+        assert plan.take("pipeline_fit") is not None
+        assert plan.take("pipeline_fit") is None
+
+    def test_rate_is_deterministic_in_the_seed(self):
+        spec = FaultSpec(kind="io_error", site="forest_fit", rate=0.5)
+        fired_a = [
+            FaultPlan([spec], seed=11).take("forest_fit", task) is not None
+            for task in range(32)
+        ]
+        fired_b = [
+            FaultPlan([spec], seed=11).take("forest_fit", task) is not None
+            for task in range(32)
+        ]
+        assert fired_a == fired_b  # same seed -> same outcome, always
+        assert any(fired_a) and not all(fired_a)  # rate 0.5 is neither 0 nor 1
+        fired_other = [
+            FaultPlan([spec], seed=12).take("forest_fit", task) is not None
+            for task in range(32)
+        ]
+        assert fired_a != fired_other  # the seed actually keys the hash
+
+
+class TestPlanParsing:
+    def test_round_trips_a_full_plan(self):
+        plan = plan_from_dict(
+            {
+                "seed": 3,
+                "policy": {"task_timeout": 1.5, "max_retries": 2},
+                "faults": [
+                    {"kind": "worker_kill", "site": "forest_fit", "task": 0},
+                    {"kind": "task_hang", "site": "forest_predict", "seconds": 9.0},
+                ],
+            }
+        )
+        assert plan.seed == 3
+        assert plan.policy == {"task_timeout": 1.5, "max_retries": 2.0}
+        assert plan.specs[0].kind == "worker_kill"
+        assert plan.specs[1].seconds == 9.0
+
+    @pytest.mark.parametrize(
+        "payload, match",
+        [
+            ([], "plan must be an object"),
+            ({"bogus": 1}, "unknown top-level keys"),
+            ({"seed": "x"}, "seed must be an integer"),
+            ({"policy": {"nope": 1}}, "unknown policy keys"),
+            ({"policy": {"task_timeout": "soon"}}, "must be a number"),
+            ({"faults": "all"}, "faults must be a list"),
+            ({"faults": [{"kind": "nope", "site": "forest_fit"}]}, "unknown kind"),
+            ({"faults": [{"kind": "io_error", "site": "nope"}]}, "unknown site"),
+            (
+                {"faults": [{"kind": "io_error", "site": "forest_fit", "task": -1}]},
+                "non-negative",
+            ),
+            (
+                {"faults": [{"kind": "io_error", "site": "forest_fit", "rate": 2}]},
+                "rate must be in",
+            ),
+            (
+                {"faults": [{"kind": "io_error", "site": "forest_fit", "huh": 1}]},
+                "unknown keys",
+            ),
+        ],
+    )
+    def test_bad_specs_raise_located_errors(self, payload, match):
+        with pytest.raises(FaultPlanError, match=match) as excinfo:
+            plan_from_dict(payload, source="plan.json")
+        assert "plan.json" in str(excinfo.value)  # every error names the file
+
+    def test_bad_spec_errors_name_the_index(self):
+        with pytest.raises(FaultPlanError, match=r"faults\[1\]"):
+            plan_from_dict(
+                {
+                    "faults": [
+                        {"kind": "io_error", "site": "forest_fit"},
+                        {"kind": "nope", "site": "forest_fit"},
+                    ]
+                },
+                source="plan.json",
+            )
+
+    def test_load_fault_plan_from_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(
+            json.dumps(
+                {"faults": [{"kind": "io_error", "site": "checkpoint_save"}]}
+            )
+        )
+        plan = load_fault_plan(str(path))
+        assert plan.specs[0].site == "checkpoint_save"
+
+    def test_load_fault_plan_bad_json_names_the_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        with pytest.raises(FaultPlanError, match="invalid JSON") as excinfo:
+            load_fault_plan(str(path))
+        assert str(path) in str(excinfo.value)
+
+    def test_taxonomy_is_closed(self):
+        # the documented taxonomy is the whole taxonomy
+        assert set(FAULT_KINDS) == {
+            "worker_kill",
+            "task_hang",
+            "io_error",
+            "corrupt_intermediate",
+            "memory_pressure",
+        }
+        assert "forest_fit" in KNOWN_SITES and "checkpoint_save" in KNOWN_SITES
+
+
+class TestActivation:
+    def test_use_fault_plan_scopes_and_restores(self):
+        plan = FaultPlan([FaultSpec(kind="io_error", site="pipeline_fit")])
+        before = current_fault_plan()
+        with use_fault_plan(plan):
+            assert current_fault_plan() is plan
+        assert current_fault_plan() is before
+
+    def test_env_var_loads_lazily(self, tmp_path, monkeypatch):
+        path = tmp_path / "env-plan.json"
+        path.write_text(
+            json.dumps({"faults": [{"kind": "io_error", "site": "pipeline_fit"}]})
+        )
+        monkeypatch.setenv(FAULTS_ENV_VAR, str(path))
+        install_fault_plan(None)  # reset any cached state
+        try:
+            import repro.runtime.faults as faults_module
+
+            monkeypatch.setattr(faults_module, "_ENV_CHECKED", False)
+            plan = current_fault_plan()
+            assert plan is not None
+            assert plan.specs[0].site == "pipeline_fit"
+        finally:
+            install_fault_plan(None)
+
+
+class TestDelivery:
+    def test_io_error_raises_oserror(self):
+        with pytest.raises(OSError, match="injected transient I/O"):
+            apply_directive(FaultDirective(kind="io_error", detail="x"))
+
+    def test_memory_pressure_raises_memoryerror(self):
+        with pytest.raises(MemoryError, match="injected RSS"):
+            apply_directive(FaultDirective(kind="memory_pressure", detail="x"))
+
+    def test_corrupt_intermediate_scribbles_then_raises(self, tmp_path):
+        staging = tmp_path / "staging.bin"
+        staging.write_bytes(b"good bytes")
+        with pytest.raises(OSError, match="torn write"):
+            apply_directive(
+                FaultDirective(kind="corrupt_intermediate", detail="x"),
+                path=str(staging),
+            )
+        assert b"corrupted" in staging.read_bytes()
+
+    def test_worker_only_kinds_are_noops_in_the_coordinator(self):
+        # the serial ground floor must never be less safe than the pool:
+        # in-process delivery of kill/hang does nothing (and returns fast)
+        apply_directive(
+            FaultDirective(kind="worker_kill"), in_worker=False
+        )
+        apply_directive(
+            FaultDirective(kind="task_hang", seconds=3600.0), in_worker=False
+        )
+
+    def test_maybe_fault_is_a_noop_without_a_plan(self):
+        with use_fault_plan(None):
+            maybe_fault("pipeline_fit", task=0)
+
+    def test_maybe_fault_fires_and_consumes(self):
+        plan = FaultPlan([FaultSpec(kind="io_error", site="pipeline_fit")])
+        with use_fault_plan(plan):
+            with pytest.raises(OSError):
+                maybe_fault("pipeline_fit", task=0)
+            maybe_fault("pipeline_fit", task=0)  # consumed: clean second call
+        assert plan.n_fired == 1

@@ -1,4 +1,4 @@
-"""The segugio-lint rule set (SEG001–SEG010).
+"""The segugio-lint rule set (SEG001–SEG011).
 
 Each rule protects a guarantee the runtime or the paper reproduction
 relies on; the ``rationale`` string is surfaced by ``--list-rules`` and
@@ -34,6 +34,22 @@ FORBIDDEN_FOR_LAYERED = ("repro.cli", "repro.eval", "repro.obs.run")
 #: packages whose public functions must be fully annotated
 ANNOTATED_PACKAGES = frozenset(
     {"repro.core", "repro.ml", "repro.runtime", "repro.dns", "repro.intel"}
+)
+
+#: the one module allowed to call process-kill primitives (SEG011): the
+#: fault-injection layer kills workers *on purpose*; anywhere else a kill
+#: is an unsupervised crash the degradation ladder cannot absorb
+FAULT_PRIMITIVE_ALLOWED_MODULES = frozenset({"repro.runtime.faults"})
+
+_FAULT_PRIMITIVE_CALLS = frozenset(
+    {
+        "os._exit",
+        "os.kill",
+        "os.killpg",
+        "os.abort",
+        "signal.raise_signal",
+        "signal.pthread_kill",
+    }
 )
 
 #: the one repro.eval module allowed raw perf_counter reads (SEG010): the
@@ -720,6 +736,58 @@ class PerfTimingRule(Rule):
             )
 
 
+class FaultContainmentRule(Rule):
+    """SEG011 — process-kill primitives outside the fault-injection layer.
+
+    ``repro.runtime.faults`` kills pool workers *deliberately* so the
+    supervisor's degradation ladder can be exercised; that is the one
+    legitimate use.  Anywhere else, ``os._exit`` / ``os.kill`` /
+    ``os.abort`` bypasses ``finally`` blocks, atexit handlers, and the
+    atomic-write staging discipline — an un-absorbable crash dressed up as
+    control flow.  Library code signals failure by raising; only the
+    fault layer gets to pull the trigger.
+    """
+
+    rule_id = "SEG011"
+    name = "fault-containment"
+    rationale = (
+        "process-kill primitives (os._exit, os.kill, os.abort, ...) are "
+        "confined to repro.runtime.faults; elsewhere they are crashes the "
+        "supervisor cannot absorb"
+    )
+    node_types = (ast.Call, ast.ImportFrom)
+
+    _SMUGGLED_NAMES = frozenset(
+        {"_exit", "kill", "killpg", "abort", "raise_signal", "pthread_kill"}
+    )
+
+    def check_node(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.module in FAULT_PRIMITIVE_ALLOWED_MODULES:
+            return
+        if isinstance(node, ast.ImportFrom):
+            if node.module in ("os", "signal") and node.level == 0:
+                for alias in node.names:
+                    if alias.name in self._SMUGGLED_NAMES:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"from {node.module} import {alias.name} smuggles a "
+                            "process-kill primitive past the fault-containment "
+                            "guard — only repro.runtime.faults may kill processes",
+                        )
+            return
+        assert isinstance(node, ast.Call)
+        name = dotted_name(node.func)
+        if name in _FAULT_PRIMITIVE_CALLS:
+            yield self.finding(
+                ctx,
+                node,
+                f"{name}() outside repro.runtime.faults is an unsupervised "
+                "crash — raise an exception and let the supervisor's "
+                "degradation ladder handle it",
+            )
+
+
 def build_rules() -> Tuple[Rule, ...]:
     """One fresh instance of every shipped rule, in rule-id order."""
     return (
@@ -733,6 +801,7 @@ def build_rules() -> Tuple[Rule, ...]:
         WhitespaceRule(),
         AnnotationNameRule(),
         PerfTimingRule(),
+        FaultContainmentRule(),
     )
 
 
