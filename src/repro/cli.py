@@ -8,8 +8,12 @@ Examples::
     segugio track --days 3 --checkpoint /tmp/run.ckpt
     segugio track --days 5 --resume /tmp/run.ckpt --checkpoint /tmp/run.ckpt
     segugio track --days 3 --telemetry-dir /tmp/telemetry
+    segugio track --days 3 --telemetry-dir /tmp/telemetry --profile \\
+        --budgets examples/budgets.json
     segugio track --days 3 --alert-rules rules.json --task-timeout 120
     segugio telemetry /tmp/telemetry/manifest.json
+    segugio profile /tmp/telemetry --html profile.html
+    segugio bench --e2e --out BENCH_e2e.json
     segugio explain --telemetry-dir /tmp/telemetry --domain evil.example
     segugio monitor /tmp/telemetry --html dashboard.html
     segugio monitor /tmp/telemetry --reference rolling:7
@@ -166,6 +170,18 @@ def _load_alert_rules(args: argparse.Namespace):
         raise SystemExit(str(error))
 
 
+def _load_budgets(args: argparse.Namespace):
+    """The --budgets file as a ResourceBudget tuple (None when absent)."""
+    if not getattr(args, "budgets", None):
+        return None
+    from repro.obs import ResourceBudgetError, load_resource_budgets
+
+    try:
+        return load_resource_budgets(args.budgets)
+    except ResourceBudgetError as error:
+        raise SystemExit(str(error))
+
+
 def _load_fault_plan(args: argparse.Namespace):
     """The fault-plan file named by the flag (None when absent)."""
     path = getattr(args, "inject_faults", None) or getattr(args, "plan", None)
@@ -219,12 +235,25 @@ def _run_track(args: argparse.Namespace) -> None:
             fp_target=args.fp_target,
             alert_rules=alert_rules,
         )
+    if args.profile and not args.telemetry_dir:
+        raise SystemExit(
+            "--profile needs --telemetry-dir (the resource summary lands "
+            "in the run manifest)"
+        )
+    if args.budgets and not args.profile:
+        raise SystemExit(
+            "--budgets needs --profile (budgets are evaluated over the "
+            "profiled resource summary)"
+        )
     if args.telemetry_dir:
         from repro.obs import RunTelemetry
         from repro.runtime.checkpoint import config_to_dict
 
         tracker.telemetry = RunTelemetry(
-            command="track", config=config_to_dict(tracker.config)
+            command="track",
+            config=config_to_dict(tracker.config),
+            profile=args.profile,
+            budgets=_load_budgets(args),
         )
     last_done = tracker.days_processed[-1] if tracker.days_processed else None
     with use_fault_plan(plan) if plan is not None else nullcontext():
@@ -259,6 +288,8 @@ def _run_track(args: argparse.Namespace) -> None:
         print(f"run manifest written to {manifest_path}")
         print(f"span trace written to {trace_path}")
         print(f"inspect with: segugio telemetry {manifest_path}")
+        if args.profile:
+            print(f"resource profile: segugio profile {args.telemetry_dir}")
     confirmed = tracker.confirmations(scenario.commercial_blacklist, horizon=35)
     print(
         f"\ntracked {len(tracker)} domains; {len(confirmed)} later entered "
@@ -517,14 +548,46 @@ def _run_bench(args: argparse.Namespace) -> None:
 
     repeats = 1 if args.quick else args.repeats
     scale = "small" if args.quick else args.scale
+    if args.e2e:
+        from repro.eval.bench import render_e2e_bench, run_e2e_bench
+
+        payload = run_e2e_bench(
+            scale=scale,
+            seed=args.seed,
+            n_jobs=_jobs(args),
+            repeats=repeats,
+            n_days=args.days,
+        )
+        out = args.out or "BENCH_e2e.json"
+        with open(out, "w") as stream:
+            json.dump(payload, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(render_e2e_bench(payload))
+        print(f"benchmark payload written to {out}")
+        gate = payload["gate"]
+        if not gate["passed"]:
+            profiling = payload["profiling"]
+            raise SystemExit(
+                "e2e gate failed: "
+                + (
+                    "profiling perturbed decision outputs"
+                    if not profiling["outputs_bit_identical"]
+                    else (
+                        f"profiling overhead {profiling['overhead_pct']:.2f}% "
+                        f">= {gate['max_overhead_pct']:.0f}%"
+                    )
+                )
+            )
+        return
     payload = run_hotpath_bench(
         scale=scale, seed=args.seed, n_jobs=_jobs(args), repeats=repeats
     )
-    with open(args.out, "w") as stream:
+    out = args.out or "BENCH_hotpath.json"
+    with open(out, "w") as stream:
         json.dump(payload, stream, indent=2, sort_keys=True)
         stream.write("\n")
     print(render_bench(payload))
-    print(f"benchmark payload written to {args.out}")
+    print(f"benchmark payload written to {out}")
     features = payload["features"]
     slow = [
         key
@@ -557,6 +620,7 @@ def _run_chaos(args: argparse.Namespace) -> None:
         fp_target=args.fp_target,
         kill_day_offset=args.kill_day,
         alert_rules=alert_rules,
+        profile=args.profile,
     )
     print(report.summary())
     if not report.passed:
@@ -571,6 +635,27 @@ def _run_telemetry(args: argparse.Namespace) -> None:
     except ManifestError as error:
         raise SystemExit(str(error))
     print(render_telemetry(manifest))
+
+
+def _run_profile(args: argparse.Namespace) -> None:
+    from repro.eval.profile import (
+        ProfileError,
+        load_profile,
+        render_profile,
+        render_profile_html,
+    )
+
+    try:
+        manifest = load_profile(args.telemetry_dir)
+        text = render_profile(manifest)
+        html_text = render_profile_html(manifest) if args.html else None
+    except ProfileError as error:
+        raise SystemExit(str(error))
+    print(text)
+    if args.html and html_text is not None:
+        with open(args.html, "w") as stream:
+            stream.write(html_text)
+        print(f"\nhtml profile written to {args.html}")
 
 
 def _run_lint(lint_args: List[str]) -> int:
@@ -719,6 +804,21 @@ def build_parser() -> argparse.ArgumentParser:
         "(see repro.obs.monitor.load_alert_rules)",
     )
     track.add_argument(
+        "--profile",
+        action="store_true",
+        help="record per-phase CPU/peak-RSS/IO, throughput, and pool "
+        "stats into the manifest's resources key (needs --telemetry-dir; "
+        "observation only — decision outputs stay bit-identical)",
+    )
+    track.add_argument(
+        "--budgets",
+        default=None,
+        help="JSON file of declarative resource budgets (max_peak_rss_mb, "
+        "min rows/s, ...) checked against the profiled summary and folded "
+        "into run health (needs --profile; see "
+        "repro.obs.resources.load_resource_budgets)",
+    )
+    track.add_argument(
         "--inject-faults",
         default=None,
         help="fault-plan JSON to inject deterministic failures "
@@ -844,6 +944,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="JSON file of SLO alert rules for the drill's health verdicts",
     )
+    chaos.add_argument(
+        "--profile",
+        action="store_true",
+        help="record resource accounting during the chaos run; the "
+        "bit-identity invariants then also prove profiling is inert",
+    )
     _add_jobs_flag(chaos)
     chaos.set_defaults(func=_run_chaos)
 
@@ -894,7 +1000,25 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="CI smoke mode: small scale, single repeat",
     )
-    bench.add_argument("--out", default="BENCH_hotpath.json")
+    bench.add_argument(
+        "--e2e",
+        action="store_true",
+        help="end-to-end baseline instead: a pinned tracking campaign "
+        "profiled off vs. on -> BENCH_e2e.json (rows/s, edges/s, peak "
+        "RSS), gated on bit-identical outputs and <3%% overhead",
+    )
+    bench.add_argument(
+        "--days",
+        type=int,
+        default=2,
+        help="tracked days for the --e2e campaign (default 2)",
+    )
+    bench.add_argument(
+        "--out",
+        default=None,
+        help="payload path (default BENCH_hotpath.json, or BENCH_e2e.json "
+        "with --e2e)",
+    )
     _add_jobs_flag(bench)
     bench.set_defaults(func=_run_bench)
 
@@ -904,6 +1028,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     telemetry.add_argument("manifest", help="path to a manifest.json")
     telemetry.set_defaults(func=_run_telemetry)
+
+    profile = sub.add_parser(
+        "profile",
+        help="phase-tree + hotspot resource view of a profiled run "
+        "(manifest written by track --telemetry-dir ... --profile)",
+    )
+    profile.add_argument(
+        "telemetry_dir",
+        help="a --telemetry-dir output (or a manifest.json path)",
+    )
+    profile.add_argument(
+        "--html",
+        default=None,
+        help="additionally write a self-contained HTML profile here",
+    )
+    profile.set_defaults(func=_run_profile)
 
     # Hidden dev subcommand (handled in main() before parsing so every
     # flag forwards verbatim): runs the repo's static-analysis pass

@@ -64,6 +64,12 @@ from repro.obs.provenance import (
     VOTE_BINS,
     current_decision_log,
 )
+from repro.obs.resources import (
+    UNIT_DOMAINS_SCORED,
+    UNIT_GRAPH_EDGES,
+    UNIT_TRACE_ROWS,
+    count_units,
+)
 from repro.obs.tracing import Stopwatch, current_tracer
 from repro.pdns.abuse import AbuseOracle
 from repro.pdns.database import PassiveDNSDatabase
@@ -341,6 +347,12 @@ class Segugio:
         registry = get_registry()
         with watch.phase("build_graph"):
             graph = BehaviorGraph.from_trace(context.trace)
+        # Throughput numerators for the resource profile (--profile): one
+        # build consumes the day's full trace and yields the raw graph, so
+        # the counts accumulate once per prepare_day call — the same cadence
+        # as the build_graph phase wall-clock they are divided by.
+        count_units(UNIT_TRACE_ROWS, int(context.trace.n_edges))
+        count_units(UNIT_GRAPH_EDGES, int(graph.n_edges))
         _emit_graph_metrics(registry, graph, stage="raw")
         with watch.phase("label_nodes"):
             domain_labels = label_domains(
@@ -491,6 +503,7 @@ class Segugio:
                 if unknown_ids.size
                 else np.empty(0, dtype=np.float64)
             )
+        count_units(UNIT_DOMAINS_SCORED, int(unknown_ids.size))
         registry = get_registry()
         if registry.enabled:
             registry.counter(

@@ -214,7 +214,13 @@ class DomainTracker:
                 pdns_window=self.config.pdns_window_days,
             )
         model = Segugio(self.config)
-        with tracer.span("segugio_tracker_fit", day=context.day):
+        # n_trace_rows sizes the day's input on the span so the resource
+        # profile (``segugio profile``) can relate phase cost to volume.
+        with tracer.span(
+            "segugio_tracker_fit",
+            day=context.day,
+            n_trace_rows=int(context.trace.n_edges),
+        ):
             model.fit(context)
 
         with tracer.span("segugio_tracker_calibrate"):

@@ -19,8 +19,10 @@ every measurement is best-of-``repeats`` to damp scheduler noise.
 
 from __future__ import annotations
 
+import io
+import json
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -29,6 +31,12 @@ from repro.synth.scenario import Scenario
 
 #: bump when the payload layout changes (consumers: CI artifact diffing)
 BENCH_SCHEMA_VERSION = 1
+
+#: schema of the ``BENCH_e2e.json`` payload emitted by ``bench --e2e``
+E2E_SCHEMA_VERSION = 1
+
+#: regression gate: profiling overhead above this trips ``bench --e2e``
+E2E_OVERHEAD_GATE_PCT = 3.0
 
 
 def _best_of(fn: Callable[[], object], repeats: int) -> float:
@@ -138,6 +146,191 @@ def run_hotpath_bench(
         },
         "features": features,
     }
+
+
+# ---------------------------------------------------------------------- #
+# end-to-end baseline (BENCH_e2e.json)
+# ---------------------------------------------------------------------- #
+
+
+def _campaign_contexts(scale: str, seed: int, isp: str, n_days: int):
+    """The pinned day contexts the e2e campaign replays (built untimed)."""
+    scenario = (
+        Scenario.small(seed=seed)
+        if scale == "small"
+        else Scenario.benchmark(seed=seed)
+    )
+    return [
+        scenario.context(isp, scenario.eval_day(offset))
+        for offset in range(n_days)
+    ]
+
+
+def _tracked_campaign(
+    contexts,
+    config: SegugioConfig,
+    fp_target: float,
+    profile: bool,
+) -> Tuple[float, str, str, Dict[str, object]]:
+    """One timed run of the pinned tracking campaign.
+
+    Returns ``(seconds, decisions_jsonl, ledger_json, manifest)``.  The
+    campaign is fully deterministic, so the artifacts are identical
+    across repeats — only the wall-clock varies.
+    """
+    from repro.core.tracker import DomainTracker
+    from repro.obs.run import RunTelemetry
+
+    telemetry = RunTelemetry(
+        command="bench-e2e",
+        run_id=f"bench-e2e-{'profiled' if profile else 'baseline'}",
+        profile=profile,
+    )
+    tracker = DomainTracker(
+        config, fp_target=fp_target, telemetry=telemetry
+    )
+    start = time.perf_counter()
+    for context in contexts:
+        tracker.process_day(context)
+    seconds = time.perf_counter() - start
+    buffer = io.StringIO()
+    telemetry.decisions.write_jsonl(buffer)
+    decisions_jsonl = buffer.getvalue()
+    ledger_json = json.dumps(tracker.state_dict(), sort_keys=True)
+    manifest = telemetry.build_manifest()
+    return seconds, decisions_jsonl, ledger_json, manifest
+
+
+def run_e2e_bench(
+    scale: str = "small",
+    seed: int = 7,
+    n_jobs: int = 1,
+    repeats: int = 2,
+    isp: str = "isp1",
+    n_days: int = 2,
+    fp_target: float = 0.01,
+    config: Optional[SegugioConfig] = None,
+) -> Dict[str, object]:
+    """The end-to-end baseline behind ``segugio bench --e2e``.
+
+    Runs the same pinned tracking campaign twice — profiling off
+    (baseline) and on — and reports:
+
+    * throughput headlines from the profiled run's ``resources`` summary
+      (trace rows/s, graph edges/s, domains scored/s) plus its peak RSS;
+    * the profiling **overhead** in percent of baseline wall-clock —
+      best-of-*repeats* on both sides, with baseline and profiled runs
+      interleaved after an untimed warm-up so slow drift (CPU frequency,
+      container throttling) biases neither side; and
+    * whether the decision ledger and ``decisions.jsonl`` stream are
+      **bit-identical** between the two runs — the observation-only
+      guarantee of :mod:`repro.obs.resources`, measured, not assumed.
+
+    ``gate.passed`` is False when outputs diverge or overhead reaches
+    :data:`E2E_OVERHEAD_GATE_PCT`; the CLI turns that into a non-zero
+    exit, making this the regression gate for the profiling layer.
+    """
+    if config is None:
+        config = SegugioConfig(n_jobs=n_jobs)
+    contexts = _campaign_contexts(scale, seed, isp, n_days)
+    _tracked_campaign(contexts, config, fp_target, False)  # warm-up, untimed
+    base_s = prof_s = float("inf")
+    base_decisions = base_ledger = prof_decisions = prof_ledger = ""
+    manifest: Dict[str, object] = {}
+    for _ in range(max(1, repeats)):
+        s, base_decisions, base_ledger, _ = _tracked_campaign(
+            contexts, config, fp_target, False
+        )
+        base_s = min(base_s, s)
+        s, prof_decisions, prof_ledger, manifest = _tracked_campaign(
+            contexts, config, fp_target, True
+        )
+        prof_s = min(prof_s, s)
+    identical = (
+        base_decisions == prof_decisions and base_ledger == prof_ledger
+    )
+    overhead_pct = (
+        (prof_s - base_s) / base_s * 100.0 if base_s > 0 else 0.0
+    )
+    resources = manifest.get("resources")
+    throughput: Mapping[str, object] = {}
+    peak_rss_mb = None
+    units: Mapping[str, object] = {}
+    if isinstance(resources, Mapping):
+        raw = resources.get("throughput")
+        if isinstance(raw, Mapping):
+            throughput = raw
+        raw = resources.get("units")
+        if isinstance(raw, Mapping):
+            units = raw
+        process = resources.get("process")
+        if isinstance(process, Mapping):
+            peak_rss_mb = process.get("peak_rss_mb")
+    passed = identical and overhead_pct < E2E_OVERHEAD_GATE_PCT
+    return {
+        "schema_version": E2E_SCHEMA_VERSION,
+        "params": {
+            "scale": scale,
+            "seed": int(seed),
+            "isp": isp,
+            "n_jobs": int(n_jobs),
+            "repeats": int(repeats),
+            "n_days": int(n_days),
+            "fp_target": float(fp_target),
+            "n_estimators": int(config.n_estimators),
+        },
+        "baseline": {"seconds": base_s},
+        "profiled": {"seconds": prof_s},
+        "throughput": {
+            "trace_rows_per_s": throughput.get("trace_rows_per_s"),
+            "graph_edges_per_s": throughput.get("graph_edges_per_s"),
+            "domains_scored_per_s": throughput.get("domains_scored_per_s"),
+        },
+        "units": dict(units),
+        "peak_rss_mb": peak_rss_mb,
+        "profiling": {
+            "overhead_pct": overhead_pct,
+            "outputs_bit_identical": identical,
+            "n_decision_records": base_decisions.count("\n"),
+        },
+        "gate": {
+            "max_overhead_pct": E2E_OVERHEAD_GATE_PCT,
+            "passed": passed,
+        },
+    }
+
+
+def render_e2e_bench(payload: Dict[str, object]) -> str:
+    """Human-readable summary of a ``BENCH_e2e.json`` payload."""
+    params = payload["params"]
+    throughput = payload["throughput"]
+    profiling = payload["profiling"]
+    gate = payload["gate"]
+
+    def per_s(key: str) -> str:
+        value = throughput.get(key)  # type: ignore[union-attr]
+        return f"{float(value):.0f}/s" if value is not None else "n/a"
+
+    peak = payload.get("peak_rss_mb")
+    lines = [
+        f"end-to-end benchmark (scale={params['scale']}, "
+        f"seed={params['seed']}, days={params['n_days']}, "
+        f"jobs={params['n_jobs']}, repeats={params['repeats']})",
+        f"  baseline: {payload['baseline']['seconds']:.3f}s, "
+        f"profiled: {payload['profiled']['seconds']:.3f}s "
+        f"(overhead {profiling['overhead_pct']:+.2f}%)",
+        f"  throughput: trace rows {per_s('trace_rows_per_s')}, "
+        f"graph edges {per_s('graph_edges_per_s')}, "
+        f"domains scored {per_s('domains_scored_per_s')}",
+        f"  peak rss: "
+        + (f"{float(peak):.1f} MB" if peak is not None else "n/a"),
+        f"  outputs bit-identical with profiling: "
+        f"{profiling['outputs_bit_identical']} "
+        f"({profiling['n_decision_records']} decision records)",
+        f"  gate (overhead < {gate['max_overhead_pct']:.0f}% and "
+        f"bit-identical): {'PASS' if gate['passed'] else 'FAIL'}",
+    ]
+    return "\n".join(lines)
 
 
 def render_bench(payload: Dict[str, object]) -> str:

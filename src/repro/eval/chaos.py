@@ -174,6 +174,7 @@ def run_chaos(
     kill_day_offset: Optional[int] = None,
     policy: Optional[SupervisorPolicy] = None,
     alert_rules: Optional[Sequence[AlertRule]] = None,
+    profile: bool = False,
 ) -> ChaosReport:
     """Run the chaos scenario and verify every invariant; never raises on
     a mere invariant failure — the report carries the verdict.
@@ -183,6 +184,9 @@ def run_chaos(
     which must restore both the ledger and the drift-monitor sidecar.
     ``estimators`` should be >= 17 so the parallel predict path has more
     than one tree chunk and ``forest_predict`` fault sites can fire.
+    ``profile`` turns on resource accounting for the chaos run: the
+    manifest gains its additive ``resources`` key and the bit-identity
+    invariants then double as proof that profiling perturbs nothing.
     """
     if plan is None:
         plan = plan_from_dict(DEFAULT_CHAOS_PLAN, source="<default chaos plan>")
@@ -206,7 +210,9 @@ def run_chaos(
     os.makedirs(out_dir, exist_ok=True)
     checkpoint_path = os.path.join(out_dir, CHECKPOINT_FILENAME)
     config = SegugioConfig(n_estimators=estimators, n_jobs=jobs)
-    telemetry = RunTelemetry(command="chaos", config=config_to_dict(config))
+    telemetry = RunTelemetry(
+        command="chaos", config=config_to_dict(config), profile=profile
+    )
     tracker = DomainTracker(
         config=config,
         fp_target=fp_target,

@@ -300,12 +300,27 @@ def render_monitor(
     ]
     for run in runs:
         manifest = run.manifest
-        lines.append(
+        line = (
             f"  {run.path}: run {manifest.get('run_id', '?')} "
             f"({manifest.get('command', '?')}), {len(run.days)} day(s), "
             f"{len(run.decisions)} decision record(s), "
             f"health {_badge(str(run.health.get('status', 'unknown')))}"
         )
+        # profiled runs (track --profile) carry an additive resources key;
+        # surface the headline number and point at the dedicated view
+        resources = manifest.get("resources")
+        if isinstance(resources, Mapping):
+            process = resources.get("process")
+            peak = (
+                process.get("peak_rss_mb")
+                if isinstance(process, Mapping)
+                else None
+            )
+            if peak is not None:
+                line += f", peak rss {float(peak):.1f} MB (profiled)"
+            else:
+                line += ", profiled"
+        lines.append(line)
     if not rows:
         lines.append("")
         lines.append("no day records in any manifest — nothing to trend.")

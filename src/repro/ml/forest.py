@@ -179,6 +179,11 @@ class RandomForestClassifier:
                 self.trees_ = self._fit_parallel(
                     seeds, params, X_binned, y, base_weight, jobs
                 )
+                if span is not None:
+                    # Pool fan-out size: pairs with the supervisor's
+                    # per-label task stats ("forest_fit") in the resource
+                    # profile's pool-utilization table.
+                    span.set_attribute("n_pool_tasks", jobs)
             n_degraded = len(events) - events_mark
             if span is not None and n_degraded:
                 span.set_attribute("n_supervisor_events", n_degraded)
@@ -245,7 +250,10 @@ class RandomForestClassifier:
         events = current_event_log()
         events_mark = events.mark()
         with current_tracer().span(
-            "segugio_forest_predict", n_samples=int(X.shape[0]), n_jobs=jobs
+            "segugio_forest_predict",
+            n_samples=int(X.shape[0]),
+            n_jobs=jobs,
+            n_chunks=len(chunks),
         ) as span:
             X_binned = self.bin_mapper_.transform(X)
             if jobs <= 1:

@@ -75,6 +75,19 @@ from repro.obs.metrics import (
     get_registry,
     use_registry,
 )
+from repro.obs.resources import (
+    RESOURCES_SCHEMA_VERSION,
+    ResourceBudget,
+    ResourceBudgetError,
+    ResourceMonitor,
+    ResourceReader,
+    count_units,
+    current_monitor,
+    derive_throughput,
+    evaluate_budgets,
+    load_resource_budgets,
+    use_monitor,
+)
 from repro.obs.run import RunTelemetry
 from repro.obs.tracing import (
     Span,
@@ -100,6 +113,11 @@ __all__ = [
     "MetricsError",
     "MetricsRegistry",
     "ProvenanceError",
+    "RESOURCES_SCHEMA_VERSION",
+    "ResourceBudget",
+    "ResourceBudgetError",
+    "ResourceMonitor",
+    "ResourceReader",
     "RunTelemetry",
     "RuntimeEventLog",
     "SPAN_RENAMES_V1",
@@ -111,16 +129,21 @@ __all__ = [
     "bound",
     "config_hash",
     "configure",
+    "count_units",
     "current_decision_log",
     "current_event_log",
+    "current_monitor",
     "current_tracer",
     "decisions_for_domain",
+    "derive_throughput",
+    "evaluate_budgets",
     "evaluate_health",
     "get_logger",
     "get_registry",
     "load_alert_rules",
     "load_decisions",
     "load_manifest",
+    "load_resource_budgets",
     "render_decision",
     "render_telemetry",
     "rules_from_dicts",
@@ -128,6 +151,7 @@ __all__ = [
     "upgrade_manifest_v1",
     "use_decision_log",
     "use_event_log",
+    "use_monitor",
     "use_registry",
     "use_tracer",
     "worst_status",

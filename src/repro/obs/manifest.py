@@ -37,7 +37,12 @@ Manifest layout (``manifest_version`` 2)::
                                      # repro.runtime.supervisor)
       "warnings": ["…"],
       "trace_file": "trace.jsonl",
-      "decisions_file": "decisions.jsonl" | null   # decision provenance
+      "decisions_file": "decisions.jsonl" | null,  # decision provenance
+      "resources": {…}               # additive: per-phase CPU/peak-RSS/IO,
+                                     # throughput gauges, and pool stats —
+                                     # present only on ``--profile`` runs
+                                     # (repro.obs.resources; readers render
+                                     # "n/a" when absent)
     }
 
 **Version history.** v1 (PR 2) predates the SEG006 telemetry-naming
@@ -50,6 +55,9 @@ health — so telemetry dirs written by older builds keep rendering.
 The ``runtime_events`` keys (run-level and per-day) were added later as
 a purely *additive* v2 extension: readers must treat a missing key as an
 empty list, so older v2 manifests stay valid without a version bump.
+The ``resources`` key (run-level and per-day) follows the same additive
+contract: only ``--profile`` runs write it, and readers must render
+"n/a" — never fail — when it is absent.
 
 ``segugio telemetry manifest.json`` renders the per-phase cost breakdown in
 the shape of the paper's §IV-G efficiency table (learning vs. classification
@@ -286,6 +294,85 @@ def render_telemetry(manifest: Mapping[str, object]) -> str:
                 + [f"{(sum(train) / sum(test)):.1f}x"],
             )
         )
+
+    # Resource cost (additive v2 ``resources`` key, written by --profile
+    # runs): the §IV-G table again, but in CPU seconds and peak RSS rather
+    # than wall-clock alone.  Manifests without the key render "n/a".
+    lines.append("")
+    resources = manifest.get("resources")
+    if not isinstance(resources, Mapping):
+        lines.append(
+            "resource cost: n/a (run was not profiled; "
+            "rerun with --profile to record per-phase CPU/RSS/IO)"
+        )
+    else:
+        process: Mapping[str, object] = resources.get("process", {})  # type: ignore[assignment]
+        if not isinstance(process, Mapping):
+            process = {}
+
+        def cell(value: object, spec: str = ".3f") -> str:
+            if value is None:
+                return "n/a"
+            try:
+                return format(float(value), spec)  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                return "n/a"
+
+        lines.append("resource cost (profiled run), cf. paper §IV-G:")
+        util = process.get("cpu_util")
+        summary = (
+            f"  process: wall {cell(process.get('wall_s'))}s, "
+            f"cpu {cell(process.get('cpu_s'))}s"
+        )
+        if util is not None:
+            summary += f" (util {cell(util, '.2f')})"
+        summary += f", peak rss {cell(process.get('peak_rss_mb'), '.1f')} MB"
+        lines.append(summary)
+        io_read = process.get("io_read_bytes")
+        io_write = process.get("io_write_bytes")
+        if io_read is not None or io_write is not None:
+            lines.append(
+                f"  io: read {cell(io_read, '.0f')} B, "
+                f"write {cell(io_write, '.0f')} B"
+            )
+        phase_stats: Mapping[str, object] = resources.get("phases", {})  # type: ignore[assignment]
+        if isinstance(phase_stats, Mapping) and phase_stats:
+            ordered = [p for p in TRAIN_PHASES if p in phase_stats]
+            ordered += [p for p in TEST_PHASES if p in phase_stats]
+            ordered += [p for p in phase_stats if p not in ordered]
+            rwidth = 14
+
+            def resource_row(name: str, values: Sequence[str]) -> str:
+                cells = "".join(f"{v:>{rwidth}s}" for v in values)
+                return f"  {name:<28s}{cells}"
+
+            lines.append(
+                resource_row("phase", ["wall s", "cpu s", "peak rss MB"])
+            )
+            for name in ordered:
+                stats = phase_stats.get(name)
+                if not isinstance(stats, Mapping):
+                    continue
+                lines.append(
+                    resource_row(
+                        name,
+                        [
+                            cell(stats.get("wall_s")),
+                            cell(stats.get("cpu_s")),
+                            cell(stats.get("peak_rss_mb"), ".1f"),
+                        ],
+                    )
+                )
+        throughput: Mapping[str, object] = resources.get("throughput", {})  # type: ignore[assignment]
+        if isinstance(throughput, Mapping) and throughput:
+            lines.append(
+                "  throughput: "
+                + ", ".join(
+                    f"{name[: -len('_per_s')] if name.endswith('_per_s') else name}"
+                    f" {cell(value, '.1f')}/s"
+                    for name, value in sorted(throughput.items())
+                )
+            )
 
     counter_rows = [
         ("unknown domains scored", "n_scored"),

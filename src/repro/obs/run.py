@@ -21,7 +21,7 @@ from __future__ import annotations
 import os
 import time
 from contextlib import ExitStack, contextmanager
-from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.obs import logs as _logs
 from repro.obs import manifest as _manifest
@@ -29,6 +29,12 @@ from repro.obs import monitor as _monitor
 from repro.obs.events import RuntimeEventLog, use_event_log
 from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.obs.provenance import DECISIONS_FILENAME, DecisionLog, use_decision_log
+from repro.obs.resources import (
+    ResourceBudget,
+    ResourceMonitor,
+    evaluate_budgets,
+    use_monitor,
+)
 from repro.obs.tracing import Tracer, use_tracer
 
 
@@ -45,6 +51,9 @@ class RunTelemetry:
         config: Optional[Mapping[str, object]] = None,
         run_id: Optional[str] = None,
         enabled: bool = True,
+        profile: bool = False,
+        budgets: Optional[Sequence[ResourceBudget]] = None,
+        resource_monitor: Optional[ResourceMonitor] = None,
     ) -> None:
         self.run_id = run_id if run_id is not None else _new_run_id()
         self.command = command
@@ -54,6 +63,15 @@ class RunTelemetry:
         self.tracer = Tracer(enabled=enabled)
         self.decisions = DecisionLog(enabled=enabled)
         self.events = RuntimeEventLog(enabled=enabled)
+        # Resource accounting is a second opt-in on top of telemetry: the
+        # monitor observes only (decision outputs stay bit-identical), but
+        # its samplers are not free, so ``--profile`` turns them on.
+        self.resources = (
+            resource_monitor
+            if resource_monitor is not None
+            else ResourceMonitor(enabled=bool(enabled and profile))
+        )
+        self.budgets: Tuple[ResourceBudget, ...] = tuple(budgets or ())
         self.days: List[Dict[str, object]] = []
         self.ingest_reports: List[Dict[str, object]] = []
         self.warnings: List[str] = []
@@ -71,6 +89,9 @@ class RunTelemetry:
             stack.enter_context(use_tracer(self.tracer))
             stack.enter_context(use_decision_log(self.decisions))
             stack.enter_context(use_event_log(self.events))
+            if self.resources.enabled:
+                stack.enter_context(use_monitor(self.resources))
+                stack.enter_context(self.resources.running())
             stack.enter_context(_logs.bound(run_id=self.run_id))
             yield self
 
@@ -83,6 +104,7 @@ class RunTelemetry:
         metrics_before = self.registry.snapshot()
         phases_before = self.tracer.phase_totals()
         events_mark = self.events.mark()
+        resources_mark = self.resources.day_mark()
         record: Dict[str, object] = {"day": int(day)}
         with _logs.bound(day=int(day)):
             with self.tracer.span("segugio_run_day", day=int(day)):
@@ -100,6 +122,9 @@ class RunTelemetry:
         record["metrics"] = MetricsRegistry.delta(
             self.registry.snapshot(), metrics_before
         )
+        resources_delta = self.resources.day_delta(resources_mark)
+        if resources_delta is not None:
+            record["resources"] = resources_delta
         self.days.append(record)
 
     # ------------------------------------------------------------------ #
@@ -131,16 +156,31 @@ class RunTelemetry:
             len(record.get("runtime_events", ()))  # type: ignore[arg-type]
             for record in self.days
         )
-        return {
+        health = _monitor.run_health(
+            self.days, n_orphan_events=len(self.events) - n_day_events
+        )
+        # ``resources`` is a purely additive v2 key (like runtime_events):
+        # absent unless the run profiled, and readers must render "n/a"
+        # for manifests without it rather than fail.
+        resources: Optional[Dict[str, object]] = None
+        if self.resources.enabled:
+            resources = self.resources.summary()
+            violations = evaluate_budgets(resources, self.budgets)
+            if violations:
+                reasons: List[Dict[str, object]] = health["reasons"]  # type: ignore[assignment]
+                reasons.extend({"day": None, **v} for v in violations)
+                health["status"] = _monitor.worst_status(
+                    [str(health["status"])]
+                    + [str(v["status"]) for v in violations]
+                )
+        manifest: Dict[str, object] = {
             "manifest_version": _manifest.MANIFEST_VERSION,
             "run_id": self.run_id,
             "command": self.command,
             "created_unix": round(self.created_unix, 6),
             "config": self.config,
             "config_sha256": _manifest.config_hash(self.config),
-            "health": _monitor.run_health(
-                self.days, n_orphan_events=len(self.events) - n_day_events
-            ),
+            "health": health,
             "days": self.days,
             "metrics": self.registry.snapshot(),
             "spans": self.tracer.span_tree(),
@@ -153,6 +193,9 @@ class RunTelemetry:
                 DECISIONS_FILENAME if len(self.decisions) else None
             ),
         }
+        if resources is not None:
+            manifest["resources"] = resources
+        return manifest
 
     def write(self, out_dir: str) -> Tuple[str, str]:
         """Write ``manifest.json`` + ``trace.jsonl`` into *out_dir*.

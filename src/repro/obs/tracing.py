@@ -32,6 +32,7 @@ from contextlib import contextmanager
 from typing import Dict, IO, Iterator, List, Optional, Tuple, Union
 
 from repro.obs import logs as _logs
+from repro.obs import resources as _resources
 
 
 class Span:
@@ -130,6 +131,12 @@ class Tracer:
             self.roots.append(span)
         self._stack.append(span)
         log_token = _logs.push_context(phase=name)
+        # Resource accounting rides the span stack: when a run activated a
+        # ResourceMonitor (``--profile``), every span opens a frame whose
+        # CPU/RSS/IO deltas land as a ``resources`` span attribute and in
+        # the per-phase totals.  Observation only — never feeds back.
+        monitor = _resources.current_monitor()
+        frame = monitor.open_frame(name) if monitor.enabled else None
         started = time.perf_counter()
         try:
             yield span
@@ -139,6 +146,10 @@ class Tracer:
             raise
         finally:
             span.duration = time.perf_counter() - started
+            if frame is not None:
+                delta = monitor.close_frame(frame)
+                if delta:
+                    span.attributes["resources"] = delta
             _logs.pop_context(log_token)
             self._stack.pop()
 

@@ -61,9 +61,12 @@ from typing import (
     Type,
 )
 
+import os
+
 from repro.obs.events import RuntimeEventLog, current_event_log
 from repro.obs.logs import get_logger
 from repro.obs.provenance import current_decision_log
+from repro.obs.resources import ResourceMonitor, current_monitor, process_clock
 from repro.obs.tracing import current_tracer
 from repro.runtime.faults import (
     FaultDirective,
@@ -178,13 +181,43 @@ def ladder_widths(jobs: int, max_retries: int) -> List[int]:
     return widths
 
 
+@dataclass(frozen=True)
+class _MeasuredResult:
+    """A task result wrapped with its worker-side self-measurement.
+
+    Produced by :func:`_supervised_call` when profiling is active and
+    unwrapped by the coordinator before the result lands in the output
+    list — callers of :func:`supervised_map` never see it, so profiling
+    cannot perturb results.
+    """
+
+    result: Any
+    exec_wall_s: float
+    exec_cpu_s: float
+    pid: int
+
+
 def _supervised_call(
-    fn: Callable[..., Any], args: Tuple[Any, ...], directive: Optional[FaultDirective]
+    fn: Callable[..., Any],
+    args: Tuple[Any, ...],
+    directive: Optional[FaultDirective],
+    measure: bool = False,
 ) -> Any:
-    """Worker shim: execute one injected fault directive, then the task."""
+    """Worker shim: execute one injected fault directive, then the task.
+
+    With *measure* (set when the coordinating run profiles resources) the
+    task self-times its wall and CPU seconds via
+    :func:`repro.obs.resources.process_clock` and returns a
+    :class:`_MeasuredResult` for the coordinator to unwrap.
+    """
     if directive is not None:
         apply_directive(directive, in_worker=True)
-    return fn(*args)
+    if not measure:
+        return fn(*args)
+    wall0, cpu0 = process_clock()
+    result = fn(*args)
+    wall1, cpu1 = process_clock()
+    return _MeasuredResult(result, wall1 - wall0, cpu1 - cpu0, os.getpid())
 
 
 def _run_serial(
@@ -201,11 +234,20 @@ def _run_serial(
     delays = backoff_schedule(
         policy.max_retries + 2, policy.base_delay, policy.multiplier
     )
+    monitor: ResourceMonitor = current_monitor()
     for index in pending:
         attempt = 0
         while True:
             try:
-                results[index] = fn(*tasks[index])
+                if monitor.enabled:
+                    wall0, cpu0 = process_clock()
+                    results[index] = fn(*tasks[index])
+                    wall1, cpu1 = process_clock()
+                    monitor.observe_task(
+                        label, 0.0, wall1 - wall0, cpu1 - cpu0, "serial"
+                    )
+                else:
+                    results[index] = fn(*tasks[index])
             except policy.retry_on as error:
                 if attempt >= len(delays):
                     raise
@@ -248,12 +290,24 @@ def _run_pool_round(
             if directive is not None:
                 directives[index] = directive
     failure: Optional[str] = None
+    monitor: ResourceMonitor = current_monitor()
+    measure = monitor.enabled
     pool = ProcessPoolExecutor(max_workers=width)
     try:
-        futures = {
-            pool.submit(_supervised_call, fn, tasks[index], directives.get(index)): index
-            for index in pending
-        }
+        futures: Dict[Any, int] = {}
+        submitted: Dict[int, float] = {}
+        for index in pending:
+            futures[
+                pool.submit(
+                    _supervised_call,
+                    fn,
+                    tasks[index],
+                    directives.get(index),
+                    measure,
+                )
+            ] = index
+            if measure:
+                submitted[index] = time.perf_counter()
         outstanding = set(futures)
         while outstanding:
             finished, outstanding = wait(
@@ -270,7 +324,7 @@ def _run_pool_round(
             for future in finished:
                 index = futures[future]
                 try:
-                    results[index] = future.result()
+                    value = future.result()
                 except BrokenProcessPool:
                     events.record(EVENT_WORKER_LOST, label=label, task=index)
                     return EVENT_WORKER_LOST
@@ -286,6 +340,21 @@ def _run_pool_round(
                     if failure is None:
                         failure = EVENT_TASK_RETRY
                 else:
+                    if isinstance(value, _MeasuredResult):
+                        # queue-wait = submit-to-result latency minus the
+                        # worker's own execution wall; observation only
+                        latency = time.perf_counter() - submitted.get(
+                            index, time.perf_counter()
+                        )
+                        monitor.observe_task(
+                            label,
+                            max(latency - value.exec_wall_s, 0.0),
+                            value.exec_wall_s,
+                            value.exec_cpu_s,
+                            value.pid,
+                        )
+                        value = value.result
+                    results[index] = value
                     done[index] = True
         return failure
     finally:

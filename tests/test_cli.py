@@ -153,3 +153,106 @@ class TestFaultToleranceFlags:
         out = capsys.readouterr().out
         assert "PASS" in out
         assert "invariants:" in out
+
+
+class TestProfilingFlags:
+    """`track --profile/--budgets`, `segugio profile`, and `bench --e2e`."""
+
+    def test_profile_requires_telemetry_dir(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["track", "--days", "1", "--profile"])
+        assert "--telemetry-dir" in str(excinfo.value)
+
+    def test_budgets_require_profile(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "track",
+                    "--days",
+                    "1",
+                    "--telemetry-dir",
+                    str(tmp_path),
+                    "--budgets",
+                    "examples/budgets.json",
+                ]
+            )
+        assert "--profile" in str(excinfo.value)
+
+    def test_bad_budgets_exit_with_located_error(self, tmp_path):
+        budgets = tmp_path / "budgets.json"
+        budgets.write_text("[]")
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "track",
+                    "--days",
+                    "1",
+                    "--telemetry-dir",
+                    str(tmp_path / "t"),
+                    "--profile",
+                    "--budgets",
+                    str(budgets),
+                ]
+            )
+        assert str(budgets) in str(excinfo.value)
+
+    def test_tracked_profiled_run_then_profile_view(self, tmp_path, capsys):
+        telemetry_dir = str(tmp_path / "telemetry")
+        assert (
+            main(
+                [
+                    "track",
+                    "--days",
+                    "1",
+                    "--telemetry-dir",
+                    telemetry_dir,
+                    "--profile",
+                    "--budgets",
+                    "examples/budgets.json",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        html_path = str(tmp_path / "profile.html")
+        assert main(["profile", telemetry_dir, "--html", html_path]) == 0
+        out = capsys.readouterr().out
+        assert "segugio profile" in out
+        assert "phase tree" in out
+        with open(html_path) as stream:
+            assert "<!doctype html>" in stream.read()
+
+    def test_profile_view_on_unprofiled_run(self, tmp_path, capsys):
+        telemetry_dir = str(tmp_path / "telemetry")
+        assert (
+            main(
+                ["track", "--days", "1", "--telemetry-dir", telemetry_dir]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["profile", telemetry_dir]) == 0
+        assert "resources: n/a" in capsys.readouterr().out
+
+    def test_profile_missing_dir_exits_with_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["profile", str(tmp_path / "nowhere")])
+
+    def test_bench_e2e_writes_schema_versioned_payload(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        try:
+            main(["bench", "--e2e", "--days", "1", "--quick"])
+        except SystemExit as error:
+            # the wall-clock gate may trip on a noisy box; bit-identity
+            # must not be the reason
+            assert "perturbed" not in str(error)
+        out = capsys.readouterr().out
+        assert "end-to-end benchmark" in out
+        payload = json.load(open("BENCH_e2e.json"))
+        assert payload["schema_version"] == 1
+        assert payload["profiling"]["outputs_bit_identical"] is True
+        assert payload["throughput"]["trace_rows_per_s"] is not None

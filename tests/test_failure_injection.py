@@ -413,6 +413,22 @@ class TestChaosHarness:
         assert by_name["ledger_bit_identical"].passed
         assert by_name["drift_monitor_continuity"].passed
 
+    def test_profiled_chaos_run_stays_bit_identical(self, tmp_path):
+        """Resource profiling under faults + parallelism changes no bytes,
+        and the chaos manifest gains the additive ``resources`` key."""
+        import json
+
+        out_dir = str(tmp_path / "chaos")
+        report = run_chaos(
+            out_dir=out_dir, days=1, estimators=5, jobs=2, profile=True
+        )
+        assert report.passed, report.summary()
+        with open(report.manifest_path) as stream:
+            manifest = json.load(stream)
+        resources = manifest["resources"]
+        assert resources["schema_version"] == 1
+        assert resources["process"]["wall_s"] > 0
+
 
 class TestDriftSidecar:
     """The drift reference rides in a sidecar outside the checksummed blob."""

@@ -1,4 +1,4 @@
-"""Per-rule positive/negative fixtures for SEG001–SEG009.
+"""Per-rule positive/negative fixtures for the segugio-lint rule set.
 
 Each test lints a small snippet as if it lived at a given module path —
 the rules are path-sensitive (layering, exemptions), so the fixtures
@@ -420,3 +420,44 @@ class TestSEG011FaultContainment:
     def test_allows_unrelated_os_calls(self):
         src = "import os\np = os.path.join('a', 'b')\nos.remove(p)\n"
         assert rules_hit(src) == []
+
+
+class TestSEG012ResourceReadContainment:
+    def test_flags_getrusage_outside_monitor(self):
+        src = "import resource\nr = resource.getrusage(resource.RUSAGE_SELF)\n"
+        assert "SEG012" in rules_hit(src)
+
+    def test_flags_os_times_outside_monitor(self):
+        assert "SEG012" in rules_hit("import os\nt = os.times()\n")
+
+    def test_flags_tracemalloc_calls(self):
+        src = "import tracemalloc\ntracemalloc.start()\nm = tracemalloc.get_traced_memory()\n"
+        hits = [f.rule for f in findings_for(src)]
+        assert hits.count("SEG012") == 2
+
+    def test_flags_proc_self_open(self):
+        src = "s = open('/proc/self/status').read()\n"
+        assert "SEG012" in rules_hit(src)
+
+    def test_flags_smuggled_from_imports(self):
+        assert "SEG012" in rules_hit("from resource import getrusage\n")
+        assert "SEG012" in rules_hit("from os import times\n")
+        assert "SEG012" in rules_hit("from tracemalloc import start\n")
+
+    def test_allows_the_resource_monitor_module(self):
+        src = (
+            "import os, resource, tracemalloc\n"
+            "t = os.times()\n"
+            "r = resource.getrusage(resource.RUSAGE_SELF)\n"
+            "tracemalloc.is_tracing()\n"
+            "s = open('/proc/self/io').read()\n"
+        )
+        assert rules_hit(src, module="repro.obs.resources") == []
+
+    def test_allows_docstring_mentions_and_other_opens(self):
+        src = '"""reads /proc/self/status for RSS"""\nf = open("notes.txt")\n'
+        assert rules_hit(src) == []
+
+    def test_allows_non_literal_open(self):
+        src = "def read(path):\n    return open(path).read()\n"
+        assert rules_hit(src, module="repro.synth.fake") == []

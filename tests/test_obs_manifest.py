@@ -186,6 +186,52 @@ class TestRenderTelemetry:
         text = render_telemetry(load_manifest(path))
         assert "run r1" in text
 
+    def test_unprofiled_manifest_renders_resource_na(self):
+        text = render_telemetry(self.make_manifest())
+        assert "resource cost: n/a" in text
+        assert "--profile" in text
+
+    def test_profiled_manifest_renders_resource_section(self):
+        manifest = self.make_manifest()
+        manifest["resources"] = {
+            "schema_version": 1,
+            "platform": {"n_rss_samples": 8},
+            "process": {
+                "wall_s": 4.0,
+                "cpu_s": 3.5,
+                "cpu_util": 0.875,
+                "peak_rss_mb": 130.5,
+                "io_read_bytes": 100,
+                "io_write_bytes": 2048,
+            },
+            "phases": {
+                "build_graph": {"wall_s": 1.0, "cpu_s": 0.9, "n": 2,
+                                "peak_rss_mb": 120.0},
+                "train_classifier": {"wall_s": 3.0, "cpu_s": 2.6, "n": 2},
+            },
+            "units": {"trace_rows": 50000},
+            "throughput": {"trace_rows_per_s": 50000.0},
+        }
+        text = render_telemetry(manifest)
+        assert "resource cost (profiled run)" in text
+        assert "peak rss 130.5 MB" in text
+        row = next(
+            l
+            for l in text.splitlines()
+            if "build_graph" in l and "0.900" in l
+        )
+        assert "120.0" in row
+        assert "trace_rows 50000.0/s" in text
+
+    def test_resources_key_survives_write_and_load(self, tmp_path):
+        """The additive contract: extra keys round-trip untouched."""
+        manifest = self.make_manifest()
+        manifest["resources"] = {"schema_version": 1, "process": {"wall_s": 1}}
+        path = str(tmp_path / "manifest.json")
+        write_manifest(manifest, path)
+        loaded = load_manifest(path)
+        assert loaded["resources"] == manifest["resources"]
+
 
 class TestV1Compatibility:
     """PR-2 era manifests (version 1) must keep loading after the v2 bump."""

@@ -1,4 +1,4 @@
-"""The segugio-lint rule set (SEG001–SEG011).
+"""The segugio-lint rule set (SEG001–SEG012).
 
 Each rule protects a guarantee the runtime or the paper reproduction
 relies on; the ``rationale`` string is surfaced by ``--list-rules`` and
@@ -51,6 +51,41 @@ _FAULT_PRIMITIVE_CALLS = frozenset(
         "signal.pthread_kill",
     }
 )
+
+#: the one module allowed raw resource-accounting reads (SEG012): the
+#: resource monitor normalizes platform quirks (ru_maxrss units, missing
+#: /proc) once; a second reader would re-learn them wrong
+RESOURCE_READ_ALLOWED_MODULES = frozenset({"repro.obs.resources"})
+
+_RESOURCE_READ_CALLS = frozenset(
+    {
+        "resource.getrusage",
+        "os.times",
+        "tracemalloc.start",
+        "tracemalloc.stop",
+        "tracemalloc.get_traced_memory",
+        "tracemalloc.take_snapshot",
+        "tracemalloc.reset_peak",
+        "tracemalloc.is_tracing",
+    }
+)
+
+#: names whose bare ``from``-import smuggles a resource primitive past
+#: the SEG012 dotted-call check, keyed by source module
+_RESOURCE_SMUGGLED_NAMES = {
+    "resource": frozenset({"getrusage"}),
+    "os": frozenset({"times"}),
+    "tracemalloc": frozenset(
+        {
+            "start",
+            "stop",
+            "get_traced_memory",
+            "take_snapshot",
+            "reset_peak",
+            "is_tracing",
+        }
+    ),
+}
 
 #: the one repro.eval module allowed raw perf_counter reads (SEG010): the
 #: benchmark harness measures best-of-N wall time *as its output*, and
@@ -788,6 +823,72 @@ class FaultContainmentRule(Rule):
             )
 
 
+class ResourceReadContainmentRule(Rule):
+    """SEG012 — raw resource-accounting reads outside the resource monitor.
+
+    ``repro.obs.resources`` owns every platform quirk of resource
+    accounting: ``ru_maxrss`` is KiB on Linux but bytes on macOS,
+    ``/proc/self/io`` needs privileges some containers drop, and
+    ``tracemalloc`` left running skews every later measurement.  A second
+    call site re-learns those lessons wrong — and numbers that bypass the
+    :class:`ResourceMonitor` never reach the manifest's ``resources`` key,
+    so ``segugio profile`` disagrees with whatever ad-hoc figure was
+    printed.  Everyone else reads through the monitor (or its
+    ``process_clock`` helper for worker self-timing).
+    """
+
+    rule_id = "SEG012"
+    name = "resource-read-containment"
+    rationale = (
+        "raw resource reads (resource.getrusage, os.times, tracemalloc, "
+        "/proc/self/*) are confined to repro.obs.resources; elsewhere "
+        "they bypass the ResourceMonitor and its platform fallbacks"
+    )
+    node_types = (ast.Call, ast.ImportFrom)
+
+    def check_node(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.module in RESOURCE_READ_ALLOWED_MODULES:
+            return
+        if isinstance(node, ast.ImportFrom):
+            smuggled = _RESOURCE_SMUGGLED_NAMES.get(node.module or "")
+            if smuggled and node.level == 0:
+                for alias in node.names:
+                    if alias.name in smuggled:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"from {node.module} import {alias.name} smuggles a "
+                            "raw resource read past the ResourceMonitor — go "
+                            "through repro.obs.resources",
+                        )
+            return
+        assert isinstance(node, ast.Call)
+        name = dotted_name(node.func)
+        if name in _RESOURCE_READ_CALLS:
+            yield self.finding(
+                ctx,
+                node,
+                f"{name}() outside repro.obs.resources bypasses the "
+                "ResourceMonitor and its platform fallbacks — read through "
+                "repro.obs.resources instead",
+            )
+            return
+        if (
+            name in ("open", "os.open", "io.open")
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+            and node.args[0].value.startswith("/proc/")
+        ):
+            yield self.finding(
+                ctx,
+                node,
+                f"reading {node.args[0].value} outside repro.obs.resources "
+                "bypasses the ResourceMonitor — use its ResourceReader, "
+                "which degrades gracefully when /proc is absent",
+            )
+
+
 def build_rules() -> Tuple[Rule, ...]:
     """One fresh instance of every shipped rule, in rule-id order."""
     return (
@@ -802,6 +903,7 @@ def build_rules() -> Tuple[Rule, ...]:
         AnnotationNameRule(),
         PerfTimingRule(),
         FaultContainmentRule(),
+        ResourceReadContainmentRule(),
     )
 
 
