@@ -391,6 +391,7 @@ def _explain_from_artifacts(args: argparse.Namespace) -> None:
     """Replay a verdict from a telemetry dir's decisions.jsonl — no rerun."""
     import os
 
+    from repro.obs.manifest import MANIFEST_FILENAME, ManifestError, load_manifest
     from repro.obs.provenance import (
         DECISIONS_FILENAME,
         ProvenanceError,
@@ -399,10 +400,28 @@ def _explain_from_artifacts(args: argparse.Namespace) -> None:
         render_decision,
     )
 
-    path = os.path.join(args.telemetry_dir, DECISIONS_FILENAME)
+    # The manifest records the decisions file it wrote (None when the run
+    # recorded no decisions); honor it rather than assuming the default
+    # name, falling back only when no manifest is present at all.
+    decisions_name = DECISIONS_FILENAME
+    manifest_path = os.path.join(args.telemetry_dir, MANIFEST_FILENAME)
+    if os.path.exists(manifest_path):
+        try:
+            manifest = load_manifest(manifest_path)
+        except ManifestError as error:
+            raise SystemExit(str(error))
+        recorded = manifest.get("decisions_file")
+        if recorded is None:
+            raise SystemExit(
+                f"run {manifest.get('run_id', '?')} recorded no decision "
+                f"provenance (manifest decisions_file is null) — rerun "
+                "with --telemetry-dir to capture decisions"
+            )
+        decisions_name = str(recorded)
+    path = os.path.join(args.telemetry_dir, decisions_name)
     if not os.path.exists(path):
         raise SystemExit(
-            f"no {DECISIONS_FILENAME} in {args.telemetry_dir} (was the run "
+            f"no {decisions_name} in {args.telemetry_dir} (was the run "
             "started with --telemetry-dir?)"
         )
     try:
@@ -1045,10 +1064,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile.set_defaults(func=_run_profile)
 
-    # Hidden dev subcommand (handled in main() before parsing so every
-    # flag forwards verbatim): runs the repo's static-analysis pass
-    # (tools/lint, DESIGN.md §9), e.g. `segugio lint --format json`.
-    lint = sub.add_parser("lint")
+    # Handled in main() before parsing so every flag forwards verbatim
+    # to ``python -m tools.lint`` (argparse's REMAINDER mishandles a
+    # leading option token like `segugio lint --format json`).
+    lint = sub.add_parser(
+        "lint",
+        help="run segugio-lint: per-file rules (SEG001-SEG012) plus "
+        "whole-program analyses (SEG101-SEG104) over the checkout",
+        description="Static analysis enforcing the repo's determinism, "
+        "layering, and telemetry contracts (DESIGN.md §9). All flags "
+        "forward verbatim to `python -m tools.lint`: --format "
+        "{human,json,github}, --select RULES, --graph {dot,json}, "
+        "--explain SEGxxx, --stats, --baseline PATH, --write-baseline, "
+        "--list-rules.",
+    )
     lint.add_argument("lint_args", nargs=argparse.REMAINDER)
     lint.set_defaults(func=_run_lint_namespace)
     return parser

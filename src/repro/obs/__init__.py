@@ -75,6 +75,7 @@ from repro.obs.metrics import (
     get_registry,
     use_registry,
 )
+from repro.obs.spans import SPAN_NAMES
 from repro.obs.resources import (
     RESOURCES_SCHEMA_VERSION,
     ResourceBudget,
@@ -120,6 +121,7 @@ __all__ = [
     "ResourceReader",
     "RunTelemetry",
     "RuntimeEventLog",
+    "SPAN_NAMES",
     "SPAN_RENAMES_V1",
     "Span",
     "Stopwatch",

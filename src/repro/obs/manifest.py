@@ -69,6 +69,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from typing import Dict, List, Mapping, Optional, Sequence
 
 MANIFEST_VERSION = 2
@@ -235,6 +236,18 @@ def render_telemetry(manifest: Mapping[str, object]) -> str:
         f"run {run_id} — segugio {command}, {len(days)} day(s), "
         f"config sha256 {str(config_sha)[:12]}"
     ]
+    created = manifest.get("created_unix")
+    if created is not None:
+        try:
+            stamp = time.strftime(
+                "%Y-%m-%d %H:%M:%SZ", time.gmtime(float(created))  # type: ignore[arg-type]
+            )
+        except (TypeError, ValueError, OverflowError, OSError):
+            stamp = "?"
+        lines[0] += f", created {stamp}"
+    upgraded = manifest.get("upgraded_from_version")
+    if upgraded is not None:
+        lines[0] += f" (upgraded from manifest v{upgraded})"
 
     health = manifest.get("health")
     if isinstance(health, Mapping) and health.get("status"):
@@ -446,4 +459,16 @@ def render_telemetry(manifest: Mapping[str, object]) -> str:
         lines.append("warnings:")
         for text in warnings:
             lines.append(f"  {text}")
+
+    # Companion artifacts the manifest points at, so a reader of the
+    # rendered summary knows what else the telemetry dir holds.
+    metrics: Mapping[str, object] = manifest.get("metrics") or {}  # type: ignore[assignment]
+    artifacts = [f"trace {manifest.get('trace_file') or '-'}"]
+    decisions_file = manifest.get("decisions_file")
+    if decisions_file:
+        artifacts.append(f"decisions {decisions_file}")
+    if isinstance(metrics, Mapping):
+        artifacts.append(f"{len(metrics)} metric series")
+    lines.append("")
+    lines.append("artifacts: " + ", ".join(artifacts))
     return "\n".join(lines)

@@ -283,3 +283,56 @@ class TestReferenceWindows:
 
     def test_render_previous_mode_is_unchanged(self):
         assert "reference drift" not in render_monitor([_alert_run()])
+
+
+class TestExplainManifestResolution:
+    """``segugio explain`` resolves the decisions file through the
+    manifest's ``decisions_file`` key rather than assuming the default
+    filename (the SEG103 manifest-contract consumer for that key)."""
+
+    @pytest.fixture
+    def run_copy(self, telemetry_dir, tmp_path):
+        import shutil
+
+        dest = str(tmp_path / "run")
+        shutil.copytree(telemetry_dir, dest)
+        return dest
+
+    def test_renamed_decisions_file_followed_via_manifest(
+        self, run_copy, capsys
+    ):
+        import json
+        import os
+
+        os.rename(
+            os.path.join(run_copy, "decisions.jsonl"),
+            os.path.join(run_copy, "verdicts.jsonl"),
+        )
+        manifest_path = os.path.join(run_copy, "manifest.json")
+        with open(manifest_path) as stream:
+            manifest = json.load(stream)
+        manifest["decisions_file"] = "verdicts.jsonl"
+        with open(manifest_path, "w") as stream:
+            json.dump(manifest, stream)
+        assert main(["explain", "--telemetry-dir", run_copy]) == 0
+        assert "forest vote" in capsys.readouterr().out
+
+    def test_null_decisions_file_is_a_located_error(self, run_copy):
+        import json
+        import os
+
+        manifest_path = os.path.join(run_copy, "manifest.json")
+        with open(manifest_path) as stream:
+            manifest = json.load(stream)
+        manifest["decisions_file"] = None
+        with open(manifest_path, "w") as stream:
+            json.dump(manifest, stream)
+        with pytest.raises(SystemExit, match="no decision provenance"):
+            main(["explain", "--telemetry-dir", run_copy])
+
+    def test_no_manifest_falls_back_to_default_name(self, run_copy, capsys):
+        import os
+
+        os.remove(os.path.join(run_copy, "manifest.json"))
+        assert main(["explain", "--telemetry-dir", run_copy]) == 0
+        assert "forest vote" in capsys.readouterr().out

@@ -115,3 +115,44 @@ class TestLoadErrors:
         path.write_text(json.dumps({"version": 1, "entries": [entry, entry]}))
         with pytest.raises(LintConfigError):
             load_baseline(str(path))
+
+
+class TestScopedExpiry:
+    """Scanned-path-aware staleness: partial runs must not expire entries
+    they never looked at, and entries for deleted files always expire."""
+
+    def test_unscanned_existing_file_kept_silently(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        target = tmp_path / "src" / "repro" / "core" / "x.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("print('x')\n")
+        kept, stale = apply_baseline(
+            [], [make_entry()], scanned_paths={"src/repro/other.py"}
+        )
+        assert kept == []
+        assert stale == []
+
+    def test_scanned_unmatched_entry_is_stale(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        target = tmp_path / "src" / "repro" / "core" / "x.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("x = 1\n")  # content no longer matches
+        kept, stale = apply_baseline(
+            [], [make_entry()], scanned_paths={"src/repro/core/x.py"}
+        )
+        assert [e.path for e in stale] == ["src/repro/core/x.py"]
+
+    def test_missing_file_entry_is_stale_even_when_unscanned(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        # the baselined file does not exist at all
+        kept, stale = apply_baseline(
+            [], [make_entry()], scanned_paths={"src/repro/other.py"}
+        )
+        assert [e.path for e in stale] == ["src/repro/core/x.py"]
+
+    def test_default_behavior_unchanged_without_scope(self):
+        # scanned_paths=None keeps the historic all-unmatched-are-stale rule
+        kept, stale = apply_baseline([], [make_entry()])
+        assert [e.path for e in stale] == ["src/repro/core/x.py"]

@@ -174,3 +174,180 @@ class TestModuleInvocation:
         )
         assert result.returncode == 0
         assert "SEG008" in result.stdout
+
+
+class TestWholeProgramPhase:
+    """Two-phase orchestration: default runs add SEG101-SEG104, explicit
+    targets stay per-file, warnings are exit-code neutral."""
+
+    @pytest.fixture
+    def project_tree(self, tmp_path, monkeypatch):
+        """A default-target tree with a span registry and one used span."""
+        pkg = tmp_path / "src" / "repro"
+        (pkg / "obs").mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "obs" / "__init__.py").write_text("")
+        (pkg / "obs" / "spans.py").write_text(
+            "SPAN_NAMES = frozenset({'segugio_used_phase'})\n"
+        )
+        (pkg / "core.py").write_text(
+            "def run(tracer: object) -> None:\n"
+            "    with tracer.span('segugio_used_phase'):\n"
+            "        pass\n"
+        )
+        monkeypatch.chdir(tmp_path)
+        return tmp_path
+
+    def test_clean_project_default_run(self, project_tree, capsys):
+        assert main(["--no-index-cache"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_unregistered_span_fails_default_run(self, project_tree, capsys):
+        (project_tree / "src" / "repro" / "rogue.py").write_text(
+            "def run(tracer: object) -> None:\n"
+            "    with tracer.span('segugio_rogue_phase'):\n"
+            "        pass\n"
+        )
+        assert main(["--no-index-cache"]) == 1
+        assert "SEG104" in capsys.readouterr().out
+
+    def test_warning_findings_exit_zero(self, project_tree, capsys):
+        # a registered-but-unused span name is a warning, not a failure
+        (project_tree / "src" / "repro" / "obs" / "spans.py").write_text(
+            "SPAN_NAMES = frozenset({'segugio_used_phase', "
+            "'segugio_ghost_phase'})\n"
+        )
+        assert main(["--no-index-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "segugio_ghost_phase" in out
+        assert "warning" in out
+
+    def test_warnings_annotate_not_error_in_github_format(
+        self, project_tree, capsys
+    ):
+        (project_tree / "src" / "repro" / "obs" / "spans.py").write_text(
+            "SPAN_NAMES = frozenset({'segugio_used_phase', "
+            "'segugio_ghost_phase'})\n"
+        )
+        assert main(["--no-index-cache", "--format", "github"]) == 0
+        out = capsys.readouterr().out
+        assert "::warning file=src/repro/obs/spans.py" in out
+
+    def test_explicit_target_skips_project_phase(self, project_tree, capsys):
+        (project_tree / "src" / "repro" / "rogue.py").write_text(
+            "def run(tracer: object) -> None:\n"
+            "    with tracer.span('segugio_rogue_phase'):\n"
+            "        pass\n"
+        )
+        # per-file rules see nothing wrong with rogue.py on its own
+        assert main(["src/repro/rogue.py"]) == 0
+
+    def test_no_project_flag_skips_seg1xx(self, project_tree, capsys):
+        (project_tree / "src" / "repro" / "rogue.py").write_text(
+            "def run(tracer: object) -> None:\n"
+            "    with tracer.span('segugio_rogue_phase'):\n"
+            "        pass\n"
+        )
+        assert main(["--no-project", "--no-index-cache"]) == 0
+
+    def test_json_format_embeds_stats(self, project_tree, capsys):
+        assert main(["--no-index-cache", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "index" in payload["stats"]
+        assert payload["stats"]["index"]["files"] >= 4
+
+    def test_stats_flag_prints_to_stderr(self, project_tree, capsys):
+        assert main(["--no-index-cache", "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "segugio-lint stats" in captured.err
+        assert "segugio-lint stats" not in captured.out
+
+
+class TestGraphAndExplain:
+    @pytest.fixture
+    def linked_tree(self, tmp_path, monkeypatch):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "a.py").write_text(
+            "from repro.b import helper\n"
+            "\n"
+            "\n"
+            "def entry(seed: int) -> int:\n"
+            "    return helper(seed)\n"
+        )
+        (pkg / "b.py").write_text(
+            "def helper(n: int) -> int:\n    return n\n"
+        )
+        monkeypatch.chdir(tmp_path)
+        return tmp_path
+
+    def test_graph_dot(self, linked_tree, capsys):
+        assert main(["--graph", "dot", "--no-index-cache"]) == 0
+        out = capsys.readouterr().out
+        assert '"repro.a" -> "repro.b";' in out
+
+    def test_graph_json(self, linked_tree, capsys):
+        assert main(["--graph", "json", "--no-index-cache"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "repro.b:helper" in payload["calls"]["repro.a:entry"]
+
+    def test_explain_renders_flow_path(self, linked_tree, capsys):
+        (linked_tree / "src" / "repro" / "c.py").write_text(
+            "import numpy as np\n"
+            "\n"
+            "\n"
+            "def make(n: int) -> object:\n"
+            "    return np.random.default_rng(n)\n"
+            "\n"
+            "\n"
+            "def outer(count: int) -> object:\n"
+            "    return make(count)\n"
+        )
+        assert main(["--explain", "SEG101", "--no-index-cache"]) == 1
+        out = capsys.readouterr().out
+        assert "flow path:" in out
+        assert "outer" in out
+
+    def test_explain_unknown_rule_exits_two(self, linked_tree, capsys):
+        assert main(["--explain", "SEG999"]) == 2
+
+    def test_select_unknown_rule_exits_two(self, linked_tree, capsys):
+        assert main(["--select", "SEG999"]) == 2
+
+    def test_select_filters_rules(self, linked_tree, capsys):
+        (linked_tree / "src" / "repro" / "noisy.py").write_text("print('x')\n")
+        # SEG001 fires normally; selecting SEG002 only silences it
+        assert main(["--select", "SEG002", "--no-index-cache"]) == 0
+        assert main(["--select", "SEG001", "--no-index-cache"]) == 1
+
+
+class TestBaselineScopeAwareness:
+    def test_partial_run_preserves_out_of_scope_entries(
+        self, dirty_tree, capsys
+    ):
+        # baseline the finding from a full run
+        assert main(["src", "--write-baseline", "--baseline", "bl.json"]) == 0
+        # a partial run over the clean file must not expire noisy.py's entry
+        assert main(["src/repro/core/quiet.py", "--baseline", "bl.json"]) == 0
+        out = capsys.readouterr().out
+        assert "stale" not in out
+
+    def test_deleted_file_expires_entry_in_partial_run(
+        self, dirty_tree, capsys
+    ):
+        assert main(["src", "--write-baseline", "--baseline", "bl.json"]) == 0
+        (dirty_tree / "src" / "repro" / "core" / "noisy.py").unlink()
+        assert main(["src/repro/core/quiet.py", "--baseline", "bl.json"]) == 1
+        assert "stale" in capsys.readouterr().out
+
+    def test_partial_write_baseline_preserves_unscanned_entries(
+        self, dirty_tree, capsys
+    ):
+        assert main(["src", "--write-baseline", "--baseline", "bl.json"]) == 0
+        # rewriting from a partial run keeps the unscanned noisy.py entry
+        assert main(
+            ["src/repro/core/quiet.py", "--write-baseline", "--baseline", "bl.json"]
+        ) == 0
+        doc = json.loads((dirty_tree / "bl.json").read_text())
+        assert [e["path"] for e in doc["entries"]] == ["src/repro/core/noisy.py"]

@@ -309,3 +309,46 @@ class TestV1Compatibility:
         upgraded = upgrade_manifest_v1(payload)
         assert payload["manifest_version"] == 1
         assert upgraded is not payload
+
+
+class TestRenderTelemetryArtifacts:
+    """The header/footer fields added for the SEG103 manifest contract:
+    every key the producers write has a reader in the rendered view."""
+
+    def test_created_stamp_in_header(self):
+        # 2026-08-06 00:33:20 UTC
+        text = render_telemetry(minimal_manifest(created_unix=1785976400.0))
+        header = text.splitlines()[0]
+        assert "created 2026-08-05" in header or "created 2026-08-06" in header
+        assert header.endswith("Z") or "Z" in header
+
+    def test_unparseable_created_stamp_degrades(self):
+        text = render_telemetry(minimal_manifest(created_unix=1e300))
+        assert "created ?" in text.splitlines()[0]
+
+    def test_upgrade_marker_in_header(self):
+        text = render_telemetry(minimal_manifest(upgraded_from_version=1))
+        assert "(upgraded from manifest v1)" in text.splitlines()[0]
+
+    def test_no_upgrade_marker_on_native_manifest(self):
+        text = render_telemetry(minimal_manifest())
+        assert "upgraded from" not in text
+
+    def test_artifacts_footer_lists_companions(self):
+        text = render_telemetry(
+            minimal_manifest(
+                decisions_file="decisions.jsonl",
+                metrics={"segugio_run_days_total": {}, "segugio_x": {}},
+            )
+        )
+        footer = text.splitlines()[-1]
+        assert footer.startswith("artifacts: ")
+        assert "trace trace.jsonl" in footer
+        assert "decisions decisions.jsonl" in footer
+        assert "2 metric series" in footer
+
+    def test_artifacts_footer_without_decisions(self):
+        text = render_telemetry(minimal_manifest())
+        footer = text.splitlines()[-1]
+        assert "trace trace.jsonl" in footer
+        assert "decisions" not in footer

@@ -1,10 +1,13 @@
 """segugio-lint: AST-based static analysis enforcing the repo's contracts.
 
 Runnable as ``python -m tools.lint`` from the repository root (zero
-dependencies, stdlib only). The rule set (SEG001–SEG008) machine-checks
-the determinism, layering, exception-hygiene, and telemetry-naming
-invariants that PR 1 (bit-identical checkpoint resume) and PR 2 (pinned
-run manifests) established — see DESIGN.md §9 for the rule catalogue and
+dependencies, stdlib only). Two phases: per-file rules (SEG001–SEG012)
+machine-check the determinism, layering, exception-hygiene, and
+telemetry-naming invariants; whole-program rules (SEG101–SEG104) run on
+an incrementally cached project index (import graph + call graph +
+symbol summaries) and check interprocedural contracts — seed taint,
+pool-callable picklability, the manifest producer/consumer contract, and
+the span-name registry. See DESIGN.md §9 for the rule catalogue and
 ``# seg: ignore[SEGxxx]`` suppression syntax.
 """
 
@@ -22,6 +25,13 @@ from tools.lint.engine import (
     Rule,
     module_name_for,
 )
+from tools.lint.index import ProjectIndex, build_index
+from tools.lint.project_rules import (
+    PROJECT_RULE_IDS,
+    ProjectRule,
+    build_project_rules,
+    run_project_rules,
+)
 from tools.lint.reporting import FORMATS, render
 from tools.lint.rules import ALL_RULE_IDS, build_rules
 
@@ -33,11 +43,17 @@ __all__ = [
     "Finding",
     "LintConfigError",
     "ModuleContext",
+    "PROJECT_RULE_IDS",
+    "ProjectIndex",
+    "ProjectRule",
     "Rule",
     "apply_baseline",
+    "build_index",
+    "build_project_rules",
     "build_rules",
     "load_baseline",
     "module_name_for",
     "render",
     "render_baseline",
+    "run_project_rules",
 ]

@@ -19,7 +19,8 @@ from __future__ import annotations
 
 import dataclasses
 import json
-from typing import Dict, List, Optional, Sequence, Tuple
+import os
+from typing import AbstractSet, Dict, List, Optional, Sequence, Tuple
 
 from tools.lint.engine import Finding, LintConfigError
 
@@ -77,14 +78,24 @@ def load_baseline(path: str) -> List[BaselineEntry]:
 
 
 def apply_baseline(
-    findings: Sequence[Finding], entries: Sequence[BaselineEntry]
+    findings: Sequence[Finding],
+    entries: Sequence[BaselineEntry],
+    scanned_paths: Optional[AbstractSet[str]] = None,
 ) -> Tuple[List[Finding], List[BaselineEntry]]:
     """Split findings against the baseline → (kept findings, stale entries).
 
     An entry suppresses every finding with the same ``(rule, path,
     snippet)`` — duplicate identical lines in one file are deliberate
-    duplicates of the same decision. Entries that suppressed nothing are
-    returned as stale.
+    duplicates of the same decision.
+
+    Staleness depends on scope. With ``scanned_paths=None`` (the historic
+    behavior) every entry that suppressed nothing is stale. When the
+    caller passes the set of paths this run actually scanned, an unmatched
+    entry is stale only if its file was scanned (content mismatch) **or**
+    its file no longer exists on disk (the finding can never match again);
+    entries for unscanned-but-present files are kept silently, so a
+    partial run (``python -m tools.lint src/repro/core``) cannot expire
+    entries it never looked at.
     """
     table = {entry.key(): entry for entry in entries}
     used: set = set()
@@ -95,7 +106,15 @@ def apply_baseline(
             used.add(key)
         else:
             kept.append(finding)
-    stale = [entry for entry in entries if entry.key() not in used]
+    stale: List[BaselineEntry] = []
+    for entry in entries:
+        if entry.key() in used:
+            continue
+        if scanned_paths is None or entry.path in scanned_paths:
+            stale.append(entry)
+        elif not os.path.exists(entry.path):
+            # never scanned, and it never can be: the file is gone
+            stale.append(entry)
     return kept, stale
 
 

@@ -39,7 +39,14 @@ class LintConfigError(Exception):
 
 @dataclasses.dataclass(frozen=True)
 class Finding:
-    """One rule violation at ``path:line:col``."""
+    """One rule violation at ``path:line:col``.
+
+    ``severity`` is ``"error"`` (fails the run) or ``"warning"``
+    (reported, annotated in CI, but exit-code neutral — used by the
+    contract rules for "produced but never consumed" findings).
+    ``trace`` is the interprocedural flow path behind a whole-program
+    finding, one hop per line, rendered by ``--explain``.
+    """
 
     path: str
     line: int
@@ -47,12 +54,16 @@ class Finding:
     rule: str
     message: str
     snippet: str
+    severity: str = "error"
+    trace: Tuple[str, ...] = ()
 
     def sort_key(self) -> Tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.rule)
 
     def to_dict(self) -> Dict[str, object]:
-        return dataclasses.asdict(self)
+        payload = dataclasses.asdict(self)
+        payload["trace"] = list(self.trace)
+        return payload
 
 
 class ModuleContext:
@@ -183,6 +194,68 @@ def suppressed_rules(lines: Sequence[str]) -> Dict[int, Optional[frozenset]]:
     return table
 
 
+def statement_extents(tree: ast.AST) -> List[Tuple[int, int]]:
+    """``(first_line, last_line)`` of every statement, innermost-friendly.
+
+    Sorted by (start, -end) so a linear scan finds the *innermost*
+    statement containing a line last.  Used to honor ``# seg: ignore``
+    comments on any physical line of a multi-line statement — a finding
+    anchors at the statement's first line, but black-style call wrapping
+    puts the trailing comment on the closing-paren line.
+    """
+    extents: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt) or not hasattr(node, "lineno"):
+            continue
+        end = node.end_lineno or node.lineno
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            # compound statement (def/if/for/with/...): only its *header*
+            # lines count as one logical statement — a comment inside the
+            # body must not suppress a finding on the header
+            end = max(node.lineno, body[0].lineno - 1)
+        extents.append((node.lineno, end))
+    extents.sort(key=lambda pair: (pair[0], -pair[1]))
+    return extents
+
+
+def innermost_extent(
+    extents: Sequence[Tuple[int, int]], line: int
+) -> Tuple[int, int]:
+    """Smallest statement span containing *line* (falls back to the line)."""
+    best = (line, line)
+    best_size = None
+    for start, end in extents:
+        if start > line:
+            break
+        if start <= line <= end:
+            size = end - start
+            if best_size is None or size <= best_size:
+                best = (start, end)
+                best_size = size
+    return best
+
+
+def is_suppressed(
+    table: Dict[int, Optional[frozenset]],
+    extents: Sequence[Tuple[int, int]],
+    line: int,
+    rule: str,
+) -> bool:
+    """True when *rule* is ignored on *line* or any continuation line of
+    the innermost statement containing it."""
+    if not table:
+        return False
+    start, end = innermost_extent(extents, line)
+    for candidate in range(start, end + 1):
+        ids = table.get(candidate, "absent")
+        if ids == "absent":
+            continue
+        if ids is None or rule in ids:
+            return True
+    return False
+
+
 class Engine:
     """Walks a tree of Python files once, dispatching to pluggable rules."""
 
@@ -286,11 +359,9 @@ class Engine:
         table = suppressed_rules(ctx.lines)
         if not table:
             return list(findings)
-        kept = []
-        for finding in findings:
-            ids = table.get(finding.line, "absent")
-            if ids == "absent":
-                kept.append(finding)
-            elif ids is not None and finding.rule not in ids:
-                kept.append(finding)
-        return kept
+        extents = statement_extents(ctx.tree)
+        return [
+            finding
+            for finding in findings
+            if not is_suppressed(table, extents, finding.line, finding.rule)
+        ]

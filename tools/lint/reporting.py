@@ -1,9 +1,15 @@
-"""Output formats for segugio-lint: human, JSON, GitHub annotations."""
+"""Output formats for segugio-lint: human, JSON, GitHub annotations.
+
+Severity shapes the output: ``error`` findings keep the classic
+``path:line:col: RULE message`` shape (and ``::error`` annotations),
+``warning`` findings are marked as such (and ``::warning`` annotations)
+so CI surfaces them without failing the job.
+"""
 
 from __future__ import annotations
 
 import json
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from tools.lint.baseline import BaselineEntry
 from tools.lint.engine import Finding
@@ -11,16 +17,25 @@ from tools.lint.engine import Finding
 FORMATS = ("human", "json", "github")
 
 
+def _severity_counts(findings: Sequence[Finding]) -> Dict[str, int]:
+    counts = {"error": 0, "warning": 0}
+    for finding in findings:
+        counts[finding.severity] = counts.get(finding.severity, 0) + 1
+    return counts
+
+
 def render_human(
     findings: Sequence[Finding],
     stale: Sequence[BaselineEntry],
     files_scanned: int,
+    stats: Optional[Dict[str, object]] = None,
 ) -> str:
     lines: List[str] = []
     for finding in findings:
+        marker = "" if finding.severity == "error" else f"{finding.severity}: "
         lines.append(
             f"{finding.path}:{finding.line}:{finding.col}: "
-            f"{finding.rule} {finding.message}"
+            f"{finding.rule} {marker}{finding.message}"
         )
     for entry in stale:
         lines.append(
@@ -28,8 +43,15 @@ def render_human(
             f"({entry.snippet!r}) matches nothing — remove it"
         )
     if findings or stale:
+        counts = _severity_counts(findings)
+        breakdown = (
+            f" ({counts['error']} error(s), {counts['warning']} warning(s))"
+            if counts["warning"]
+            else ""
+        )
         lines.append(
-            f"segugio-lint: {len(findings)} finding(s), {len(stale)} stale "
+            f"segugio-lint: {len(findings)} finding(s){breakdown}, "
+            f"{len(stale)} stale "
             f"baseline entr{'y' if len(stale) == 1 else 'ies'} "
             f"across {files_scanned} file(s)"
         )
@@ -42,6 +64,7 @@ def render_json(
     findings: Sequence[Finding],
     stale: Sequence[BaselineEntry],
     files_scanned: int,
+    stats: Optional[Dict[str, object]] = None,
 ) -> str:
     payload = {
         "version": 1,
@@ -49,6 +72,8 @@ def render_json(
         "findings": [finding.to_dict() for finding in findings],
         "stale_baseline": [entry.to_dict() for entry in stale],
     }
+    if stats is not None:
+        payload["stats"] = stats
     return json.dumps(payload, indent=2)
 
 
@@ -61,11 +86,13 @@ def render_github(
     findings: Sequence[Finding],
     stale: Sequence[BaselineEntry],
     files_scanned: int,
+    stats: Optional[Dict[str, object]] = None,
 ) -> str:
     lines: List[str] = []
     for finding in findings:
+        command = "error" if finding.severity == "error" else "warning"
         lines.append(
-            f"::error file={finding.path},line={finding.line},"
+            f"::{command} file={finding.path},line={finding.line},"
             f"col={finding.col},title={finding.rule}::"
             + _escape_annotation(finding.message)
         )
@@ -84,16 +111,39 @@ def render_github(
     return "\n".join(lines)
 
 
+def render_explain(findings: Sequence[Finding], rule: str) -> str:
+    """The ``--explain SEGxxx`` view: each finding with its flow path."""
+    matched = [f for f in findings if f.rule == rule]
+    if not matched:
+        return f"segugio-lint: no {rule} findings to explain"
+    lines: List[str] = []
+    for finding in matched:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col}: "
+            f"{finding.rule} [{finding.severity}] {finding.message}"
+        )
+        if finding.trace:
+            lines.append("  flow path:")
+            for hop in finding.trace:
+                lines.append(f"    {hop}")
+        else:
+            lines.append("  (no interprocedural flow recorded)")
+        lines.append("")
+    lines.append(f"{len(matched)} {rule} finding(s) explained")
+    return "\n".join(lines)
+
+
 def render(
     fmt: str,
     findings: Sequence[Finding],
     stale: Sequence[BaselineEntry],
     files_scanned: int,
+    stats: Optional[Dict[str, object]] = None,
 ) -> str:
     if fmt == "human":
-        return render_human(findings, stale, files_scanned)
+        return render_human(findings, stale, files_scanned, stats)
     if fmt == "json":
-        return render_json(findings, stale, files_scanned)
+        return render_json(findings, stale, files_scanned, stats)
     if fmt == "github":
-        return render_github(findings, stale, files_scanned)
+        return render_github(findings, stale, files_scanned, stats)
     raise ValueError(f"unknown format {fmt!r} (expected one of {FORMATS})")
