@@ -255,6 +255,13 @@ def _run_track(args: argparse.Namespace) -> None:
             profile=args.profile,
             budgets=_load_budgets(args),
         )
+    shard_stack = None
+    if args.shards is not None:
+        import tempfile
+
+        if args.shards < 1:
+            raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+        shard_stack = tempfile.TemporaryDirectory(prefix="segugio-shards-")
     last_done = tracker.days_processed[-1] if tracker.days_processed else None
     with use_fault_plan(plan) if plan is not None else nullcontext():
         with use_policy(policy):
@@ -263,6 +270,10 @@ def _run_track(args: argparse.Namespace) -> None:
                 if last_done is not None and day <= last_done:
                     continue  # completed before the interruption; do not re-score
                 context = scenario.context(args.isp, day)
+                if shard_stack is not None:
+                    context = _shard_day_context(
+                        context, shard_stack.name, args.shards, _batch_size(args)
+                    )
                 # activate telemetry around the *whole* day so day retries
                 # and checkpoint-write retries land in the run's event log
                 with (
@@ -281,6 +292,16 @@ def _run_track(args: argparse.Namespace) -> None:
                         print(f"    new: {entry.name:<42s} [{truth}]")
                     if args.checkpoint:
                         tracker.save_checkpoint(args.checkpoint)
+                if shard_stack is not None:
+                    # one day's store is never needed again: keep disk
+                    # usage bounded by a single day
+                    import os
+                    import shutil
+
+                    shutil.rmtree(
+                        os.path.join(shard_stack.name, f"day-{day:05d}"),
+                        ignore_errors=True,
+                    )
     if args.checkpoint:
         print(f"checkpoint written to {args.checkpoint}")
     if tracker.telemetry is not None and args.telemetry_dir:
@@ -516,7 +537,11 @@ def _run_classify_dir(args: argparse.Namespace) -> None:
         telemetry = RunTelemetry(command="classify-dir")
     with telemetry.activate() if telemetry else nullcontext():
         context, ingest = load_observation_checked(
-            args.directory, mode=args.mode, max_error_rate=args.max_error_rate
+            args.directory,
+            mode=args.mode,
+            max_error_rate=args.max_error_rate,
+            shards=args.shards,
+            batch_size=args.batch_size,
         )
         if ingest.n_quarantined:
             print(ingest.summary())
@@ -560,6 +585,153 @@ def _run_classify_dir(args: argparse.Namespace) -> None:
         print(f"  {score:6.3f}  {name}")
 
 
+def _run_bigday(args: argparse.Namespace) -> None:
+    """Track a paper-scale synthetic day stream through the sharded path."""
+    import os
+    import shutil
+    import tempfile
+    import time
+    from contextlib import nullcontext
+
+    from repro.core.pipeline import SegugioConfig
+    from repro.core.tracker import DomainTracker
+    from repro.runtime.supervisor import (
+        policy_from_overrides,
+        supervised_process_day,
+        use_policy,
+    )
+    from repro.synth.bigday import BigDay, BigDayConfig
+
+    if args.shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+    alert_rules = _load_alert_rules(args)
+    policy = policy_from_overrides({})
+    started = time.perf_counter()
+    config = BigDayConfig.for_edges(
+        args.edges, seed=args.seed, n_days=max(args.days, 1)
+    )
+    world = BigDay(config)
+    print(
+        f"world ready in {time.perf_counter() - started:.1f}s: "
+        f"{config.n_machines} machines, {len(world.domains)} domains, "
+        f"{world.n_rows_per_day} raw rows/day"
+    )
+    tracker = DomainTracker(
+        config=SegugioConfig(n_jobs=_jobs(args), n_estimators=args.estimators),
+        fp_target=args.fp_target,
+        alert_rules=alert_rules,
+    )
+    if args.profile and not args.telemetry_dir:
+        raise SystemExit(
+            "--profile needs --telemetry-dir (the resource summary lands "
+            "in the run manifest)"
+        )
+    if args.budgets and not args.profile:
+        raise SystemExit(
+            "--budgets needs --profile (budgets are evaluated over the "
+            "profiled resource summary)"
+        )
+    if args.telemetry_dir:
+        from repro.obs import RunTelemetry
+        from repro.runtime.checkpoint import config_to_dict
+
+        tracker.telemetry = RunTelemetry(
+            command="bigday",
+            config=config_to_dict(tracker.config),
+            profile=args.profile,
+            budgets=_load_budgets(args),
+        )
+    store_stack = None
+    store_root = args.store_dir
+    if store_root is None:
+        store_stack = tempfile.TemporaryDirectory(prefix="segugio-bigday-")
+        store_root = store_stack.name
+    batch_size = _batch_size(args)
+    with use_policy(policy):
+        for offset in range(args.days):
+            day = world.eval_day(offset)
+            context = world.context(
+                day,
+                store_dir=store_root,
+                shards=args.shards,
+                batch_size=batch_size,
+            )
+            with (
+                tracker.telemetry.activate()
+                if tracker.telemetry is not None
+                else nullcontext()
+            ):
+                report = supervised_process_day(tracker, context, policy=policy)
+                print(report.summary())
+                for entry in report.new_detections[:5]:
+                    truth = (
+                        "MALWARE"
+                        if world.is_malware(entry.name)
+                        else "unknown"
+                    )
+                    print(f"    new: {entry.name:<42s} [{truth}]")
+            if store_stack is not None:
+                # stores under a caller-named --store-dir are kept for
+                # inspection; our own temporaries are dropped per day
+                shutil.rmtree(
+                    os.path.join(store_root, f"day-{day:05d}"),
+                    ignore_errors=True,
+                )
+    if args.verify:
+        _verify_bigday(world, args, batch_size, store_root)
+    if tracker.telemetry is not None and args.telemetry_dir:
+        manifest_path, trace_path = tracker.telemetry.write(args.telemetry_dir)
+        print(f"run manifest written to {manifest_path}")
+        print(f"span trace written to {trace_path}")
+        if args.profile:
+            print(f"resource profile: segugio profile {args.telemetry_dir}")
+    confirmed = tracker.confirmations(
+        world.blacklist, horizon=config.fresh_blacklist_lag + 30
+    )
+    print(
+        f"\ntracked {len(tracker)} domains; {len(confirmed)} later entered "
+        f"the blacklist"
+    )
+    if confirmed:
+        mean_lead = sum(c.lead_days for c in confirmed) / len(confirmed)
+        print(f"mean lead over the feed: {mean_lead:.1f} days")
+
+
+def _verify_bigday(world, args: argparse.Namespace, batch_size: int, store_root: str) -> None:
+    """Score the first day through both paths and demand identical bytes."""
+    import os
+    import shutil
+
+    import numpy as np
+
+    from repro import Segugio
+    from repro.core.pipeline import SegugioConfig
+
+    day = world.eval_day(0)
+    cfg = SegugioConfig(n_jobs=_jobs(args), n_estimators=args.estimators)
+    model_mem = Segugio(cfg).fit(world.context(day, batch_size=batch_size))
+    report_mem = model_mem.classify(world.context(day, batch_size=batch_size))
+    directory = os.path.join(store_root, "verify")
+    sharded = world.context(
+        day, store_dir=directory, shards=args.shards, batch_size=batch_size
+    )
+    model_shard = Segugio(cfg).fit(sharded)
+    report_shard = model_shard.classify(sharded)
+    shutil.rmtree(directory, ignore_errors=True)
+    identical = np.array_equal(
+        report_mem.domain_ids, report_shard.domain_ids
+    ) and np.array_equal(report_mem.scores, report_shard.scores)
+    if not identical:
+        raise SystemExit(
+            "verify FAILED: sharded day scores diverge from the in-memory "
+            "path — the determinism contract is broken"
+        )
+    print(
+        f"verify: day {day} sharded output bit-identical to in-memory "
+        f"({len(report_mem)} domains scored)"
+    )
+
+
 def _run_bench(args: argparse.Namespace) -> None:
     import json
 
@@ -576,6 +748,8 @@ def _run_bench(args: argparse.Namespace) -> None:
             n_jobs=_jobs(args),
             repeats=repeats,
             n_days=args.days,
+            n_shards=args.shards if args.shards is not None else 2,
+            batch_size=args.batch_size,
         )
         out = args.out or "BENCH_e2e.json"
         with open(out, "w") as stream:
@@ -586,17 +760,16 @@ def _run_bench(args: argparse.Namespace) -> None:
         gate = payload["gate"]
         if not gate["passed"]:
             profiling = payload["profiling"]
-            raise SystemExit(
-                "e2e gate failed: "
-                + (
-                    "profiling perturbed decision outputs"
-                    if not profiling["outputs_bit_identical"]
-                    else (
-                        f"profiling overhead {profiling['overhead_pct']:.2f}% "
-                        f">= {gate['max_overhead_pct']:.0f}%"
-                    )
+            if not profiling["outputs_bit_identical"]:
+                reason = "profiling perturbed decision outputs"
+            elif not payload["sharded"]["outputs_bit_identical"]:
+                reason = "sharded execution perturbed decision outputs"
+            else:
+                reason = (
+                    f"profiling overhead {profiling['overhead_pct']:.2f}% "
+                    f">= {gate['max_overhead_pct']:.0f}%"
                 )
-            )
+            raise SystemExit("e2e gate failed: " + reason)
         return
     payload = run_hotpath_bench(
         scale=scale, seed=args.seed, n_jobs=_jobs(args), repeats=repeats
@@ -753,6 +926,51 @@ def _jobs(args: argparse.Namespace) -> int:
     return 1 if args.jobs is None else args.jobs
 
 
+def _add_shard_flags(parser: argparse.ArgumentParser) -> None:
+    """--shards/--batch-size: the out-of-core streaming graph build."""
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="partition each day's edges by machine id into this many "
+        "shards and run the out-of-core graph build through the "
+        "supervised pool (outputs are bit-identical to the in-memory "
+        "path at any shard count)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="trace rows per streamed batch (default 65536); purely an "
+        "execution knob — any value yields bit-identical outputs",
+    )
+
+
+def _batch_size(args: argparse.Namespace) -> int:
+    from repro.dns.trace import DEFAULT_BATCH_SIZE
+
+    value = getattr(args, "batch_size", None)
+    if value is None:
+        return DEFAULT_BATCH_SIZE
+    if value < 1:
+        raise SystemExit(f"--batch-size must be >= 1, got {value}")
+    return value
+
+
+def _shard_day_context(context, root: str, shards: int, batch_size: int):
+    """Reshard one in-memory day context through an edge store under *root*."""
+    import os
+    from dataclasses import replace
+
+    from repro.datasets.edgestore import ShardedDayTrace
+
+    directory = os.path.join(root, f"day-{context.day:05d}")
+    trace = ShardedDayTrace.from_day_trace(
+        context.trace, directory, n_shards=shards, batch_size=batch_size
+    )
+    return replace(context, trace=trace)
+
+
 def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
     # default None = "not given": lets `track --resume` distinguish an
     # explicit --jobs 1 (override the checkpointed value back to serial)
@@ -851,7 +1069,69 @@ def build_parser() -> argparse.ArgumentParser:
         "supervisor declares a hang and degrades (default: no watchdog)",
     )
     _add_jobs_flag(track)
+    _add_shard_flags(track)
     track.set_defaults(func=_run_track)
+
+    bigday = sub.add_parser(
+        "bigday",
+        help="track a paper-scale synthetic day stream through the "
+        "sharded out-of-core graph build",
+    )
+    bigday.add_argument(
+        "--edges",
+        type=int,
+        default=5_200_000,
+        help="target deduplicated edges per day (default 5.2M — the "
+        "acceptance scale; the paper's ISPs see ~320M)",
+    )
+    bigday.add_argument("--days", type=int, default=2)
+    bigday.add_argument("--seed", type=int, default=0)
+    bigday.add_argument("--fp-target", type=float, default=0.001)
+    bigday.add_argument(
+        "--estimators",
+        type=int,
+        default=24,
+        help="forest size (smaller than the deployment default keeps the "
+        "scale run focused on the graph path)",
+    )
+    bigday.add_argument(
+        "--store-dir",
+        default=None,
+        help="directory for the per-day edge stores (kept for inspection; "
+        "default: a temporary directory dropped day by day)",
+    )
+    bigday.add_argument(
+        "--telemetry-dir",
+        default=None,
+        help="write a run manifest and span trace into this directory",
+    )
+    bigday.add_argument(
+        "--alert-rules",
+        default=None,
+        help="JSON file of SLO alert rules replacing the built-in set",
+    )
+    bigday.add_argument(
+        "--profile",
+        action="store_true",
+        help="record per-phase CPU/peak-RSS/IO and throughput into the "
+        "manifest's resources key (needs --telemetry-dir)",
+    )
+    bigday.add_argument(
+        "--budgets",
+        default=None,
+        help="JSON file of resource budgets (e.g. a process.peak_rss_mb "
+        "cap) checked against the profiled summary (needs --profile)",
+    )
+    bigday.add_argument(
+        "--verify",
+        action="store_true",
+        help="additionally score the first day through the in-memory "
+        "path and fail unless the sharded output is bit-identical "
+        "(materializes the full day — budget memory accordingly)",
+    )
+    _add_jobs_flag(bigday)
+    _add_shard_flags(bigday)
+    bigday.set_defaults(func=_run_bigday, shards=8)
 
     report = sub.add_parser(
         "report", help="run experiments and write a Markdown report"
@@ -996,6 +1276,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_ingest_flags(classify)
     _add_jobs_flag(classify)
+    _add_shard_flags(classify)
     classify.set_defaults(func=_run_classify_dir)
 
     health = sub.add_parser(
@@ -1039,6 +1320,7 @@ def build_parser() -> argparse.ArgumentParser:
         "with --e2e)",
     )
     _add_jobs_flag(bench)
+    _add_shard_flags(bench)
     bench.set_defaults(func=_run_bench)
 
     telemetry = sub.add_parser(

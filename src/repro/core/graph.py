@@ -29,6 +29,16 @@ class _Csr:
     __slots__ = ("offsets", "targets", "degrees")
 
     def __init__(self, sources: np.ndarray, targets: np.ndarray, n_sources: int) -> None:
+        if sources.size:
+            lo = int(sources.min())
+            hi = int(sources.max())
+            if lo < 0 or hi >= n_sources:
+                offender = lo if lo < 0 else hi
+                raise ValueError(
+                    f"edge references id {offender} outside the interned id "
+                    f"space [0, {n_sources}) — the trace was built against a "
+                    f"stale or torn interner"
+                )
         order = np.argsort(sources, kind="stable")
         self.targets = targets[order]
         self.degrees = np.bincount(sources, minlength=n_sources).astype(np.int64)

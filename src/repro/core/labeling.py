@@ -34,6 +34,7 @@ from repro.core.graph import BehaviorGraph
 from repro.dns.publicsuffix import PublicSuffixList
 from repro.intel.blacklist import CncBlacklist
 from repro.intel.whitelist import DomainWhitelist
+from repro.utils.ids import Interner
 
 UNKNOWN: int = 0
 BENIGN: int = 1
@@ -116,9 +117,34 @@ def label_domains(
     """
     if as_of_day is None:
         as_of_day = graph.day
-    labels = np.zeros(graph.n_domain_ids, dtype=np.int8)
-    for domain_id in graph.domain_ids():
-        name = graph.domains.name(int(domain_id))
+    return label_domain_ids(
+        graph.domain_ids(),
+        graph.domains,
+        graph.n_domain_ids,
+        blacklist,
+        whitelist,
+        as_of_day,
+    )
+
+
+def label_domain_ids(
+    domain_ids: Iterable[int],
+    domains: Interner,
+    n_domain_ids: int,
+    blacklist: CncBlacklist,
+    whitelist: DomainWhitelist,
+    as_of_day: int,
+) -> np.ndarray:
+    """Label the given domain ids over an id space of *n_domain_ids*.
+
+    The graph-free core of :func:`label_domains`, shared with the sharded
+    out-of-core build where present-domain ids come from merged per-shard
+    degree counts rather than a materialized graph.  Ids not listed stay
+    ``UNKNOWN`` — exactly how absent ids behave in :func:`label_domains`.
+    """
+    labels = np.zeros(n_domain_ids, dtype=np.int8)
+    for domain_id in domain_ids:
+        name = domains.name(int(domain_id))
         if blacklist.contains(name, as_of_day=as_of_day):
             labels[domain_id] = MALWARE
         elif whitelist.is_whitelisted(name):
@@ -178,6 +204,7 @@ __all__ = [
     "PublicSuffixList",
     "UNKNOWN",
     "derive_machine_labels",
+    "label_domain_ids",
     "label_domains",
     "label_graph",
 ]

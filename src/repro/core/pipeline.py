@@ -345,37 +345,58 @@ class Segugio:
         """
         watch = watch if watch is not None else Stopwatch()
         registry = get_registry()
-        with watch.phase("build_graph"):
-            graph = BehaviorGraph.from_trace(context.trace)
-        # Throughput numerators for the resource profile (--profile): one
-        # build consumes the day's full trace and yields the raw graph, so
-        # the counts accumulate once per prepare_day call — the same cadence
-        # as the build_graph phase wall-clock they are divided by.
-        count_units(UNIT_TRACE_ROWS, int(context.trace.n_edges))
-        count_units(UNIT_GRAPH_EDGES, int(graph.n_edges))
-        _emit_graph_metrics(registry, graph, stage="raw")
-        with watch.phase("label_nodes"):
-            domain_labels = label_domains(
-                graph, context.blacklist, context.whitelist, as_of_day=context.day
-            )
-            if hide_domains is not None:
-                hidden = np.asarray(list(hide_domains), dtype=np.int64)
-                if hidden.size:
-                    domain_labels[hidden] = UNKNOWN
-            labels = derive_machine_labels(graph, domain_labels)
-        if self.config.filter_probes:
-            with watch.phase("filter_probes"):
-                from repro.core.anomalies import remove_probe_machines
-
-                graph = remove_probe_machines(
-                    graph, labels, context.fqd_activity
+        if getattr(context.trace, "is_sharded", False):
+            if self.config.filter_probes:
+                raise ValueError(
+                    "filter_probes requires the in-memory path: the §VI "
+                    "probe heuristics walk per-machine adjacency, which a "
+                    "sharded trace never materializes — disable "
+                    "filter_probes or load the day without --shards"
                 )
-                labels = derive_machine_labels(graph, domain_labels)
-        with watch.phase("prune_graph"):
-            result = prune_graph(graph, labels, context.e2ld_index, self.config.prune)
+            from repro.core.sharded import build_day_sharded
+
+            result, labels, domain_labels = build_day_sharded(
+                context,
+                self.config,
+                registry,
+                hide_domains=hide_domains,
+                watch=watch,
+            )
             pruned = result.graph
-            # Degrees changed; rederive machine labels on the pruned graph.
-            labels = derive_machine_labels(pruned, domain_labels)
+        else:
+            with watch.phase("build_graph"):
+                graph = BehaviorGraph.from_trace(context.trace)
+            # Throughput numerators for the resource profile (--profile): one
+            # build consumes the day's full trace and yields the raw graph, so
+            # the counts accumulate once per prepare_day call — the same cadence
+            # as the build_graph phase wall-clock they are divided by.
+            count_units(UNIT_TRACE_ROWS, int(context.trace.n_edges))
+            count_units(UNIT_GRAPH_EDGES, int(graph.n_edges))
+            _emit_graph_metrics(registry, graph, stage="raw")
+            with watch.phase("label_nodes"):
+                domain_labels = label_domains(
+                    graph, context.blacklist, context.whitelist, as_of_day=context.day
+                )
+                if hide_domains is not None:
+                    hidden = np.asarray(list(hide_domains), dtype=np.int64)
+                    if hidden.size:
+                        domain_labels[hidden] = UNKNOWN
+                labels = derive_machine_labels(graph, domain_labels)
+            if self.config.filter_probes:
+                with watch.phase("filter_probes"):
+                    from repro.core.anomalies import remove_probe_machines
+
+                    graph = remove_probe_machines(
+                        graph, labels, context.fqd_activity
+                    )
+                    labels = derive_machine_labels(graph, domain_labels)
+            with watch.phase("prune_graph"):
+                result = prune_graph(
+                    graph, labels, context.e2ld_index, self.config.prune
+                )
+                pruned = result.graph
+                # Degrees changed; rederive machine labels on the pruned graph.
+                labels = derive_machine_labels(pruned, domain_labels)
         self.last_prune_ = result
         _emit_prune_metrics(registry, result.stats)
         _emit_graph_metrics(registry, pruned, stage="pruned")

@@ -16,7 +16,18 @@ database reference domains across days without string comparisons.
 from __future__ import annotations
 
 import io
-from typing import Dict, Iterable, List, Optional, TextIO, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    TextIO,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -65,6 +76,169 @@ def parse_trace_line(
                     category="bad_ipv4",
                 ) from None
     return machine, domain, ips
+
+
+#: default number of records per streaming batch — small enough that one
+#: batch of interned int64 ids is a rounding error next to the edge store,
+#: large enough to amortize the per-batch numpy/IO overhead
+DEFAULT_BATCH_SIZE = 65536
+
+
+class TraceRecord(NamedTuple):
+    """One parsed trace record with its 1-based source line number."""
+
+    lineno: int
+    machine: str
+    domain: str
+    ips: List[int]
+
+
+class TraceBatch(NamedTuple):
+    """A fixed-size chunk of interned trace records.
+
+    ``machine_ids``/``domain_ids`` are parallel edge arrays; the
+    resolution observations are flattened into parallel
+    ``res_domains``/``res_ips`` arrays (one row per observed IP), so a
+    batch is four dense numpy arrays regardless of how many IPs each
+    record carried.
+    """
+
+    machine_ids: np.ndarray
+    domain_ids: np.ndarray
+    res_domains: np.ndarray
+    res_ips: np.ndarray
+
+
+class TraceReader:
+    """Streaming record iterator over a trace TSV stream.
+
+    The reader owns the day-header state machine that `DayTrace.load`
+    and the lenient loader previously each re-implemented.  The
+    established day is exposed as :attr:`day`; a ``# day N`` header is
+    only allowed to *change* the day before the first edge record.  A
+    header with a different day appearing after records have been
+    parsed raises a located :class:`FeedFormatError` with
+    ``category="late_day_header"`` — previously both loaders silently
+    re-tagged every already-parsed edge to the new day at build time.
+
+    *on_error* selects the failure mode: ``None`` (strict) re-raises
+    each :class:`FeedFormatError`; a callable (lenient) receives the
+    error and the offending line is skipped, keeping the established
+    day.
+    """
+
+    def __init__(
+        self,
+        stream: Iterable[str],
+        *,
+        source: str = "trace",
+        on_error: Optional[Callable[[FeedFormatError], None]] = None,
+    ) -> None:
+        self.stream = stream
+        self.source = source
+        self.on_error = on_error
+        self.day = 0
+        self.n_records = 0
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        for lineno, line in enumerate(self.stream, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split()
+                if len(parts) == 2 and parts[0] == "day":
+                    try:
+                        self._apply_day_header(parts[1], lineno)
+                    except FeedFormatError as error:
+                        if self.on_error is None:
+                            raise
+                        self.on_error(error)
+                continue
+            try:
+                machine, domain, ips = parse_trace_line(
+                    line, source=self.source, lineno=lineno
+                )
+            except FeedFormatError as error:
+                if self.on_error is None:
+                    raise
+                self.on_error(error)
+                continue
+            self.n_records += 1
+            yield TraceRecord(lineno, machine, domain, ips)
+
+    def _apply_day_header(self, token: str, lineno: int) -> None:
+        try:
+            candidate = int(token)
+        except ValueError:
+            raise FeedFormatError(
+                f"non-numeric day header {token!r}",
+                source=self.source,
+                line=lineno,
+                category="bad_day",
+            ) from None
+        if candidate < 0:
+            raise FeedFormatError(
+                f"day header must be non-negative, got {candidate}",
+                source=self.source,
+                line=lineno,
+                category="bad_day",
+            )
+        if self.n_records and candidate != self.day:
+            raise FeedFormatError(
+                f"day header {candidate} after {self.n_records} record(s) "
+                f"already read under day {self.day} — a mid-file header "
+                f"cannot re-tag earlier records",
+                source=self.source,
+                line=lineno,
+                category="late_day_header",
+            )
+        self.day = candidate
+
+
+def iter_trace_batches(
+    reader: TraceReader,
+    machines: Interner,
+    domains: Interner,
+    *,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Iterator[TraceBatch]:
+    """Intern a reader's records and yield them as fixed-size batches.
+
+    Peak memory is bounded by *batch_size* records (plus the interners),
+    which is what lets a paper-scale day flow into the edge store
+    without ever materializing its edge list in Python.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    mids: List[int] = []
+    dids: List[int] = []
+    res_d: List[int] = []
+    res_i: List[int] = []
+    for record in reader:
+        mid = machines.intern(record.machine)
+        did = domains.intern(record.domain)
+        mids.append(mid)
+        dids.append(did)
+        for ip in record.ips:
+            res_d.append(did)
+            res_i.append(ip)
+        if len(mids) >= batch_size:
+            yield _pack_batch(mids, dids, res_d, res_i)
+            mids, dids, res_d, res_i = [], [], [], []
+    if mids:
+        yield _pack_batch(mids, dids, res_d, res_i)
+
+
+def _pack_batch(
+    mids: List[int], dids: List[int], res_d: List[int], res_i: List[int]
+) -> TraceBatch:
+    return TraceBatch(
+        np.asarray(mids, dtype=np.int64),
+        np.asarray(dids, dtype=np.int64),
+        np.asarray(res_d, dtype=np.int64),
+        np.asarray(res_i, dtype=np.uint32),
+    )
 
 
 class DayTrace:
@@ -190,8 +364,9 @@ class DayTrace:
         """Read a trace previously written by :meth:`save`.
 
         Malformed records — wrong column counts, non-numeric day headers,
-        invalid IPv4 strings — raise :class:`FeedFormatError` naming the
-        file and 1-based line number of the offending record.
+        day headers appearing after edge records, invalid IPv4 strings —
+        raise :class:`FeedFormatError` naming the file and 1-based line
+        number of the offending record.
         """
         own = isinstance(stream_or_path, str)
         stream = open(stream_or_path) if own else stream_or_path
@@ -203,47 +378,62 @@ class DayTrace:
         machines = machines if machines is not None else Interner()
         domains = domains if domains is not None else Interner()
         try:
-            day = 0
+            reader = TraceReader(stream, source=source)
             edge_m, edge_d = [], []
             resolutions: Dict[int, set] = {}
-            for lineno, line in enumerate(stream, start=1):
-                line = line.rstrip("\n")
-                if not line:
-                    continue
-                if line.startswith("#"):
-                    parts = line[1:].split()
-                    if len(parts) == 2 and parts[0] == "day":
-                        try:
-                            day = int(parts[1])
-                        except ValueError:
-                            raise FeedFormatError(
-                                f"non-numeric day header {parts[1]!r}",
-                                source=source,
-                                line=lineno,
-                                category="bad_day",
-                            ) from None
-                        if day < 0:
-                            raise FeedFormatError(
-                                f"day header must be non-negative, got {day}",
-                                source=source,
-                                line=lineno,
-                                category="bad_day",
-                            )
-                    continue
-                machine, domain, ips = parse_trace_line(
-                    line, source=source, lineno=lineno
-                )
-                mid = machines.intern(machine)
-                did = domains.intern(domain)
+            for record in reader:
+                mid = machines.intern(record.machine)
+                did = domains.intern(record.domain)
                 edge_m.append(mid)
                 edge_d.append(did)
-                if ips:
-                    resolutions.setdefault(did, set()).update(ips)
+                if record.ips:
+                    resolutions.setdefault(did, set()).update(record.ips)
             packed = {
                 did: np.array(sorted(ips), dtype=np.uint32)
                 for did, ips in resolutions.items()
             }
-            return cls.build(day, machines, domains, edge_m, edge_d, packed)
+            return cls.build(
+                reader.day, machines, domains, edge_m, edge_d, packed
+            )
+        finally:
+            if own:
+                stream.close()
+
+    @classmethod
+    def load_streaming(
+        cls,
+        stream_or_path: Union[str, TextIO],
+        machines: Optional[Interner] = None,
+        domains: Optional[Interner] = None,
+        *,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> "DayTrace":
+        """Read a saved trace through fixed-size batches.
+
+        Equivalent output to :meth:`load` (same strict error behavior,
+        bit-identical edge/resolution arrays), but records flow through
+        :func:`iter_trace_batches` into a :class:`DayTraceBuilder`, so
+        Python-side peak memory is bounded by *batch_size* records
+        instead of the whole file.
+        """
+        own = isinstance(stream_or_path, str)
+        stream = open(stream_or_path) if own else stream_or_path
+        source = (
+            stream_or_path
+            if own
+            else getattr(stream, "name", "<trace stream>")
+        )
+        machines = machines if machines is not None else Interner()
+        domains = domains if domains is not None else Interner()
+        try:
+            reader = TraceReader(stream, source=source)
+            builder = DayTraceBuilder(0, machines, domains)
+            for batch in iter_trace_batches(
+                reader, machines, domains, batch_size=batch_size
+            ):
+                feed_builder(builder, batch)
+            builder.set_day(reader.day)
+            return builder.build()
         finally:
             if own:
                 stream.close()
@@ -284,6 +474,15 @@ class DayTraceBuilder:
         self._domain_chunks: list = []
         self._resolved: Dict[int, set] = {}
         self._built = False
+
+    def set_day(self, day: int) -> "DayTraceBuilder":
+        """Re-tag the day under construction (a streamed file reveals its
+        day header before any records, but the builder is created first)."""
+        self._check_open()
+        if day < 0:
+            raise ValueError(f"day must be non-negative, got {day}")
+        self.day = int(day)
+        return self
 
     def add_edges(
         self,
@@ -362,6 +561,21 @@ class DayTraceBuilder:
     def _check_open(self) -> None:
         if self._built:
             raise RuntimeError("builder already built; create a new one")
+
+
+def feed_builder(builder: DayTraceBuilder, batch: TraceBatch) -> None:
+    """Append one :class:`TraceBatch` to a builder, edges and resolutions."""
+    builder.add_edges(batch.machine_ids, batch.domain_ids)
+    if batch.res_domains.size:
+        order = np.argsort(batch.res_domains, kind="stable")
+        dom_sorted = batch.res_domains[order]
+        ips_sorted = batch.res_ips[order]
+        uniques, starts = np.unique(dom_sorted, return_index=True)
+        bounds = np.append(starts, dom_sorted.size)
+        for i, did in enumerate(uniques):
+            builder.add_resolution(
+                int(did), ips_sorted[bounds[i] : bounds[i + 1]]
+            )
 
 
 def _dedupe_edges(

@@ -33,7 +33,7 @@ from repro.synth.scenario import Scenario
 BENCH_SCHEMA_VERSION = 1
 
 #: schema of the ``BENCH_e2e.json`` payload emitted by ``bench --e2e``
-E2E_SCHEMA_VERSION = 1
+E2E_SCHEMA_VERSION = 2
 
 #: regression gate: profiling overhead above this trips ``bench --e2e``
 E2E_OVERHEAD_GATE_PCT = 3.0
@@ -166,11 +166,50 @@ def _campaign_contexts(scale: str, seed: int, isp: str, n_days: int):
     ]
 
 
+def _manifest_resources(
+    manifest: Mapping[str, object],
+) -> Tuple[Mapping[str, object], Mapping[str, object], Optional[object]]:
+    """``(throughput, units, peak_rss_mb)`` from a telemetry manifest."""
+    throughput: Mapping[str, object] = {}
+    units: Mapping[str, object] = {}
+    peak_rss_mb = None
+    resources = manifest.get("resources")
+    if isinstance(resources, Mapping):
+        raw = resources.get("throughput")
+        if isinstance(raw, Mapping):
+            throughput = raw
+        raw = resources.get("units")
+        if isinstance(raw, Mapping):
+            units = raw
+        process = resources.get("process")
+        if isinstance(process, Mapping):
+            peak_rss_mb = process.get("peak_rss_mb")
+    return throughput, units, peak_rss_mb
+
+
+def _sharded_contexts(contexts, root: str, n_shards: int, batch_size: int):
+    """Rebuild *contexts* on out-of-core edge stores under *root* (untimed)."""
+    import dataclasses
+    import os
+
+    from repro.datasets.edgestore import ShardedDayTrace
+
+    sharded = []
+    for context in contexts:
+        directory = os.path.join(root, f"day-{context.day:05d}")
+        trace = ShardedDayTrace.from_day_trace(
+            context.trace, directory, n_shards=n_shards, batch_size=batch_size
+        )
+        sharded.append(dataclasses.replace(context, trace=trace))
+    return sharded
+
+
 def _tracked_campaign(
     contexts,
     config: SegugioConfig,
     fp_target: float,
     profile: bool,
+    tag: Optional[str] = None,
 ) -> Tuple[float, str, str, Dict[str, object]]:
     """One timed run of the pinned tracking campaign.
 
@@ -181,9 +220,11 @@ def _tracked_campaign(
     from repro.core.tracker import DomainTracker
     from repro.obs.run import RunTelemetry
 
+    if tag is None:
+        tag = "profiled" if profile else "baseline"
     telemetry = RunTelemetry(
         command="bench-e2e",
-        run_id=f"bench-e2e-{'profiled' if profile else 'baseline'}",
+        run_id=f"bench-e2e-{tag}",
         profile=profile,
     )
     tracker = DomainTracker(
@@ -210,11 +251,14 @@ def run_e2e_bench(
     n_days: int = 2,
     fp_target: float = 0.01,
     config: Optional[SegugioConfig] = None,
+    n_shards: int = 2,
+    batch_size: Optional[int] = None,
 ) -> Dict[str, object]:
     """The end-to-end baseline behind ``segugio bench --e2e``.
 
-    Runs the same pinned tracking campaign twice — profiling off
-    (baseline) and on — and reports:
+    Runs the same pinned tracking campaign three times — profiling off
+    (baseline), profiling on, and profiling on over *n_shards* out-of-core
+    edge stores (the streaming ingestion path) — and reports:
 
     * throughput headlines from the profiled run's ``resources`` summary
       (trace rows/s, graph edges/s, domains scored/s) plus its peak RSS;
@@ -223,50 +267,63 @@ def run_e2e_bench(
       interleaved after an untimed warm-up so slow drift (CPU frequency,
       container throttling) biases neither side; and
     * whether the decision ledger and ``decisions.jsonl`` stream are
-      **bit-identical** between the two runs — the observation-only
-      guarantee of :mod:`repro.obs.resources`, measured, not assumed.
+      **bit-identical** across all three runs — the observation-only
+      guarantee of :mod:`repro.obs.resources` and the determinism
+      contract of :mod:`repro.core.sharded`, measured, not assumed.
 
-    ``gate.passed`` is False when outputs diverge or overhead reaches
-    :data:`E2E_OVERHEAD_GATE_PCT`; the CLI turns that into a non-zero
-    exit, making this the regression gate for the profiling layer.
+    ``gate.passed`` is False when any outputs diverge or overhead
+    reaches :data:`E2E_OVERHEAD_GATE_PCT`; the CLI turns that into a
+    non-zero exit, making this the regression gate for both the
+    profiling layer and the sharded execution path.
     """
+    import tempfile
+
+    from repro.dns.trace import DEFAULT_BATCH_SIZE
+
     if config is None:
         config = SegugioConfig(n_jobs=n_jobs)
+    if batch_size is None:
+        batch_size = DEFAULT_BATCH_SIZE
     contexts = _campaign_contexts(scale, seed, isp, n_days)
     _tracked_campaign(contexts, config, fp_target, False)  # warm-up, untimed
-    base_s = prof_s = float("inf")
+    base_s = prof_s = shard_s = float("inf")
     base_decisions = base_ledger = prof_decisions = prof_ledger = ""
+    shard_decisions = shard_ledger = ""
     manifest: Dict[str, object] = {}
-    for _ in range(max(1, repeats)):
-        s, base_decisions, base_ledger, _ = _tracked_campaign(
-            contexts, config, fp_target, False
-        )
-        base_s = min(base_s, s)
-        s, prof_decisions, prof_ledger, manifest = _tracked_campaign(
-            contexts, config, fp_target, True
-        )
-        prof_s = min(prof_s, s)
+    shard_manifest: Dict[str, object] = {}
+    with tempfile.TemporaryDirectory(prefix="segugio-bench-shards-") as root:
+        sharded = _sharded_contexts(contexts, root, n_shards, batch_size)
+        for _ in range(max(1, repeats)):
+            s, base_decisions, base_ledger, _ = _tracked_campaign(
+                contexts, config, fp_target, False
+            )
+            base_s = min(base_s, s)
+            s, prof_decisions, prof_ledger, manifest = _tracked_campaign(
+                contexts, config, fp_target, True
+            )
+            prof_s = min(prof_s, s)
+            s, shard_decisions, shard_ledger, shard_manifest = (
+                _tracked_campaign(
+                    sharded, config, fp_target, True, tag="sharded"
+                )
+            )
+            shard_s = min(shard_s, s)
     identical = (
         base_decisions == prof_decisions and base_ledger == prof_ledger
+    )
+    shard_identical = (
+        base_decisions == shard_decisions and base_ledger == shard_ledger
     )
     overhead_pct = (
         (prof_s - base_s) / base_s * 100.0 if base_s > 0 else 0.0
     )
-    resources = manifest.get("resources")
-    throughput: Mapping[str, object] = {}
-    peak_rss_mb = None
-    units: Mapping[str, object] = {}
-    if isinstance(resources, Mapping):
-        raw = resources.get("throughput")
-        if isinstance(raw, Mapping):
-            throughput = raw
-        raw = resources.get("units")
-        if isinstance(raw, Mapping):
-            units = raw
-        process = resources.get("process")
-        if isinstance(process, Mapping):
-            peak_rss_mb = process.get("peak_rss_mb")
-    passed = identical and overhead_pct < E2E_OVERHEAD_GATE_PCT
+    throughput, units, peak_rss_mb = _manifest_resources(manifest)
+    shard_throughput, shard_units, shard_peak = _manifest_resources(
+        shard_manifest
+    )
+    passed = (
+        identical and shard_identical and overhead_pct < E2E_OVERHEAD_GATE_PCT
+    )
     return {
         "schema_version": E2E_SCHEMA_VERSION,
         "params": {
@@ -278,6 +335,8 @@ def run_e2e_bench(
             "n_days": int(n_days),
             "fp_target": float(fp_target),
             "n_estimators": int(config.n_estimators),
+            "n_shards": int(n_shards),
+            "batch_size": int(batch_size),
         },
         "baseline": {"seconds": base_s},
         "profiled": {"seconds": prof_s},
@@ -288,6 +347,23 @@ def run_e2e_bench(
         },
         "units": dict(units),
         "peak_rss_mb": peak_rss_mb,
+        "sharded": {
+            "n_shards": int(n_shards),
+            "batch_size": int(batch_size),
+            "seconds": shard_s,
+            "throughput": {
+                "trace_rows_per_s": shard_throughput.get("trace_rows_per_s"),
+                "graph_edges_per_s": shard_throughput.get(
+                    "graph_edges_per_s"
+                ),
+                "domains_scored_per_s": shard_throughput.get(
+                    "domains_scored_per_s"
+                ),
+            },
+            "units": dict(shard_units),
+            "peak_rss_mb": shard_peak,
+            "outputs_bit_identical": shard_identical,
+        },
         "profiling": {
             "overhead_pct": overhead_pct,
             "outputs_bit_identical": identical,
@@ -327,9 +403,36 @@ def render_e2e_bench(payload: Dict[str, object]) -> str:
         f"  outputs bit-identical with profiling: "
         f"{profiling['outputs_bit_identical']} "
         f"({profiling['n_decision_records']} decision records)",
-        f"  gate (overhead < {gate['max_overhead_pct']:.0f}% and "
-        f"bit-identical): {'PASS' if gate['passed'] else 'FAIL'}",
     ]
+    sharded = payload.get("sharded")
+    if isinstance(sharded, Mapping):
+        sh_tp = sharded.get("throughput")
+
+        def sh_per_s(key: str) -> str:
+            value = sh_tp.get(key) if isinstance(sh_tp, Mapping) else None
+            return f"{float(value):.0f}/s" if value is not None else "n/a"
+
+        sh_peak = sharded.get("peak_rss_mb")
+        lines += [
+            f"  sharded ({sharded['n_shards']} shards, "
+            f"batch {sharded['batch_size']}): "
+            f"{float(sharded['seconds']):.3f}s, "
+            f"trace rows {sh_per_s('trace_rows_per_s')}, "
+            f"graph edges {sh_per_s('graph_edges_per_s')}, "
+            f"domains scored {sh_per_s('domains_scored_per_s')}, "
+            f"peak rss "
+            + (
+                f"{float(sh_peak):.1f} MB"
+                if sh_peak is not None
+                else "n/a"
+            ),
+            f"  outputs bit-identical with sharding: "
+            f"{sharded['outputs_bit_identical']}",
+        ]
+    lines.append(
+        f"  gate (overhead < {gate['max_overhead_pct']:.0f}% and "
+        f"bit-identical): {'PASS' if gate['passed'] else 'FAIL'}"
+    )
     return "\n".join(lines)
 
 

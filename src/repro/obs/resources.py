@@ -68,6 +68,7 @@ RESOURCES_SCHEMA_VERSION = 1
 UNIT_TRACE_ROWS = "trace_rows"
 UNIT_GRAPH_EDGES = "graph_edges"
 UNIT_DOMAINS_SCORED = "domains_scored"
+UNIT_EDGE_BATCHES = "edge_batches"
 
 #: which phases' wall-clock each unit is divided by for its ``*_per_s``
 #: gauge; a unit whose phases recorded no time falls back to total wall
@@ -75,6 +76,7 @@ UNIT_PHASES: Dict[str, Tuple[str, ...]] = {
     UNIT_TRACE_ROWS: ("build_graph",),
     UNIT_GRAPH_EDGES: tuple(TRAIN_PHASES),
     UNIT_DOMAINS_SCORED: tuple(TEST_PHASES),
+    UNIT_EDGE_BATCHES: ("build_graph",),
 }
 
 #: task-latency histogram bucket upper bounds (seconds)

@@ -26,6 +26,8 @@ SPAN_NAMES = frozenset(
         "segugio_checkpoint_save",
         "segugio_checkpoint_resume",
         "segugio_supervisor_serial",
+        # out-of-core sharded graph build (repro.core.sharded)
+        "segugio_sharded_build",
         # core tracker phases (the paper's daily loop)
         "segugio_tracker_health_check",
         "segugio_tracker_fit",

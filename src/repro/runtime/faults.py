@@ -71,6 +71,9 @@ KNOWN_SITES = (
     "pipeline_fit",      # in-process: start of Segugio.fit for a day
     "pipeline_classify", # in-process: start of Segugio.classify for a day
     "checkpoint_save",   # in-process: inside the atomic checkpoint write
+    "shard_scan",        # worker task: degree/e2ld scan of one edge shard
+    "shard_labels",      # worker task: label propagation over one shard
+    "shard_prune",       # worker task: kept-edge extraction of one shard
 )
 
 #: policy override keys a plan file may carry (forwarded to SupervisorPolicy)

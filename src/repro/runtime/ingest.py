@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -35,7 +35,12 @@ from repro.datasets import store
 from repro.dns.activity import ActivityIndex
 from repro.dns.e2ld import E2ldIndex
 from repro.dns.publicsuffix import PublicSuffixList
-from repro.dns.trace import DayTrace, parse_trace_line
+from repro.dns.trace import (
+    DEFAULT_BATCH_SIZE,
+    DayTrace,
+    TraceReader,
+    iter_trace_batches,
+)
 from repro.intel.blacklist import CncBlacklist, parse_blacklist_line
 from repro.intel.whitelist import DomainWhitelist, parse_whitelist_line
 from repro.obs.logs import get_logger
@@ -43,6 +48,9 @@ from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.tracing import current_tracer
 from repro.utils.errors import FeedFormatError, IngestError
 from repro.utils.ids import Interner
+
+if TYPE_CHECKING:  # runtime import of edgestore stays function-level
+    from repro.datasets.edgestore import EdgeStoreWriter
 
 DEFAULT_MAX_ERROR_RATE = 0.05
 MAX_QUARANTINE_SAMPLES = 25
@@ -68,6 +76,13 @@ class IngestReport:
     how many records each absorbed; ``quarantined`` keeps the first
     :data:`MAX_QUARANTINE_SAMPLES` offenders verbatim so the operator can
     see *which* lines were bad, not just how many.
+
+    Kept records are additionally tallied per feed *source* (``trace``,
+    ``blacklist``, ``whitelist``, ``pdns``, ``activity``, ``interner``)
+    in ``kept``; quarantine counters already carry their source as the
+    category prefix.  The error-rate cap is applied *per source* — a
+    30%-garbage trace must not slip under the cap just because large
+    (always-clean) interner or pdns arrays dilute the overall rate.
     """
 
     source: str
@@ -75,6 +90,7 @@ class IngestReport:
     n_ok: int = 0
     counters: Dict[str, int] = field(default_factory=dict)
     quarantined: List[QuarantinedRecord] = field(default_factory=list)
+    kept: Dict[str, int] = field(default_factory=dict)
 
     @property
     def n_quarantined(self) -> int:
@@ -89,8 +105,42 @@ class IngestReport:
         seen = self.n_seen
         return self.n_quarantined / seen if seen else 0.0
 
-    def keep(self, n: int = 1) -> None:
+    def keep(self, n: int = 1, source: str = "records") -> None:
         self.n_ok += n
+        self.kept[source] = self.kept.get(source, 0) + n
+
+    def source_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-source kept/quarantined counts and malformed fraction.
+
+        The source of a quarantine counter is its category prefix
+        (``trace:bad_ipv4`` → ``trace``), matching the ``source=`` tags
+        passed to :meth:`keep`.
+        """
+        quarantined: Dict[str, int] = {}
+        for category, count in self.counters.items():
+            prefix = category.split(":", 1)[0]
+            quarantined[prefix] = quarantined.get(prefix, 0) + count
+        stats: Dict[str, Dict[str, float]] = {}
+        for source in sorted(set(self.kept) | set(quarantined)):
+            kept = self.kept.get(source, 0)
+            bad = quarantined.get(source, 0)
+            seen = kept + bad
+            stats[source] = {
+                "kept": kept,
+                "quarantined": bad,
+                "error_rate": bad / seen if seen else 0.0,
+            }
+        return stats
+
+    def sources_over_cap(
+        self, max_error_rate: float
+    ) -> Dict[str, Dict[str, float]]:
+        """The subset of :meth:`source_stats` whose rate exceeds the cap."""
+        return {
+            source: stats
+            for source, stats in self.source_stats().items()
+            if stats["error_rate"] > max_error_rate
+        }
 
     def quarantine(
         self, source: str, line: int, category: str, detail: str
@@ -107,6 +157,13 @@ class IngestReport:
             f"{self.n_ok} records kept, {self.n_quarantined} quarantined "
             f"({self.error_rate:.2%})"
         ]
+        for source, stats in self.source_stats().items():
+            if stats["quarantined"]:
+                lines.append(
+                    f"  {source}: {stats['quarantined']} of "
+                    f"{stats['kept'] + stats['quarantined']} quarantined "
+                    f"({stats['error_rate']:.2%})"
+                )
         for category in sorted(self.counters):
             lines.append(f"  {category}: {self.counters[category]}")
         for record in self.quarantined[:5]:
@@ -127,6 +184,14 @@ class IngestReport:
             "n_quarantined": self.n_quarantined,
             "error_rate": round(self.error_rate, 6),
             "counters": dict(sorted(self.counters.items())),
+            "sources": {
+                source: {
+                    "kept": stats["kept"],
+                    "quarantined": stats["quarantined"],
+                    "error_rate": round(stats["error_rate"], 6),
+                }
+                for source, stats in self.source_stats().items()
+            },
             "samples": [
                 {
                     "source": record.source,
@@ -181,58 +246,84 @@ def load_trace_lenient(
     machines: Optional[Interner] = None,
     domains: Optional[Interner] = None,
 ) -> DayTrace:
-    """Line-by-line :meth:`DayTrace.load` that quarantines bad records."""
+    """Line-by-line :meth:`DayTrace.load` that quarantines bad records.
+
+    A ``# day N`` header appearing after edge records (which strict mode
+    rejects as ``late_day_header``) is quarantined here and the
+    established day kept — it must not silently re-tag earlier records.
+    """
     machines = machines if machines is not None else Interner()
     domains = domains if domains is not None else Interner()
-    day = 0
     edge_m: List[int] = []
     edge_d: List[int] = []
     resolutions: Dict[int, set] = {}
     with open(path) as stream:
-        for lineno, line in enumerate(stream, start=1):
-            line = line.rstrip("\n")
-            if not line:
-                continue
-            if line.startswith("#"):
-                parts = line[1:].split()
-                if len(parts) == 2 and parts[0] == "day":
-                    try:
-                        candidate = int(parts[1])
-                    except ValueError:
-                        report.quarantine(
-                            path, lineno, "trace:bad_day",
-                            f"non-numeric day header {parts[1]!r}",
-                        )
-                        continue
-                    if candidate < 0:
-                        report.quarantine(
-                            path, lineno, "trace:bad_day",
-                            f"negative day header {candidate}",
-                        )
-                        continue
-                    day = candidate
-                continue
-            try:
-                machine, domain, ips = parse_trace_line(
-                    line, source=path, lineno=lineno
-                )
-            except FeedFormatError as error:
-                report.quarantine(
-                    path, lineno, f"trace:{error.category}", error.detail
-                )
-                continue
-            mid = machines.intern(machine)
-            did = domains.intern(domain)
+        reader = TraceReader(
+            stream, source=path, on_error=_quarantine_trace_error(report)
+        )
+        for record in reader:
+            mid = machines.intern(record.machine)
+            did = domains.intern(record.domain)
             edge_m.append(mid)
             edge_d.append(did)
-            if ips:
-                resolutions.setdefault(did, set()).update(ips)
-            report.keep()
+            if record.ips:
+                resolutions.setdefault(did, set()).update(record.ips)
+            report.keep(source="trace")
     packed = {
         did: np.array(sorted(ips), dtype=np.uint32)
         for did, ips in resolutions.items()
     }
-    return DayTrace.build(day, machines, domains, edge_m, edge_d, packed)
+    return DayTrace.build(
+        reader.day, machines, domains, edge_m, edge_d, packed
+    )
+
+
+def _quarantine_trace_error(report: IngestReport):
+    """An ``on_error`` hook routing reader errors into the report."""
+
+    def on_error(error: FeedFormatError) -> None:
+        report.quarantine(
+            error.source, error.line, f"trace:{error.category}", error.detail
+        )
+
+    return on_error
+
+
+def load_trace_to_store(
+    path: str,
+    writer: "EdgeStoreWriter",
+    machines: Optional[Interner] = None,
+    domains: Optional[Interner] = None,
+    *,
+    report: Optional[IngestReport] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Tuple[int, int]:
+    """Stream a trace TSV into an edge-store *writer* batch by batch.
+
+    The writer is any object with ``add_batch(machine_ids, domain_ids)``,
+    ``add_resolutions(domain_ids, ips)``, and ``set_day(day)`` — in
+    practice :class:`repro.datasets.edgestore.EdgeStoreWriter`.  Failure
+    mode follows the report: no report or ``mode="strict"`` raises on the
+    first malformed record; ``mode="lenient"`` quarantines into the
+    report.  Returns ``(day, n_records)``.
+    """
+    on_error = None
+    if report is not None and report.mode == "lenient":
+        on_error = _quarantine_trace_error(report)
+    machines = machines if machines is not None else Interner()
+    domains = domains if domains is not None else Interner()
+    with open(path) as stream:
+        reader = TraceReader(stream, source=path, on_error=on_error)
+        for batch in iter_trace_batches(
+            reader, machines, domains, batch_size=batch_size
+        ):
+            writer.add_batch(batch.machine_ids, batch.domain_ids)
+            if batch.res_domains.size:
+                writer.add_resolutions(batch.res_domains, batch.res_ips)
+            if report is not None:
+                report.keep(int(batch.machine_ids.size), source="trace")
+        writer.set_day(reader.day)
+    return reader.day, reader.n_records
 
 
 def load_blacklist_lenient(
@@ -255,7 +346,7 @@ def load_blacklist_lenient(
                 )
                 continue
             blacklist.add(domain, added_day, family)
-            report.keep()
+            report.keep(source="blacklist")
     return blacklist
 
 
@@ -281,7 +372,7 @@ def load_whitelist_lenient(
                     path, lineno, f"whitelist:{error.category}", error.detail
                 )
                 continue
-            report.keep()
+            report.keep(source="whitelist")
     return DomainWhitelist(e2lds, psl=psl, name=name)
 
 
@@ -337,7 +428,7 @@ def _screen_pdns(
                 report.counters.get("pdns:bad_day", 0) + n_bad_day
             )
     keep = ~(bad_id | bad_day)
-    report.keep(int(keep.sum()))
+    report.keep(int(keep.sum()), source="pdns")
     return days[keep], domains[keep], ips[keep]
 
 
@@ -375,8 +466,18 @@ def _screen_activity(
             report.counters[f"activity:{label}:id_range"] = (
                 report.counters.get(f"activity:{label}:id_range", 0) + n_bad
             )
+            if len(report.quarantined) < MAX_QUARANTINE_SAMPLES:
+                report.quarantined.append(
+                    QuarantinedRecord(
+                        f"{report.source}/activity.npz[{label}]",
+                        0,
+                        f"activity:{label}:id_range",
+                        f"{n_bad} rows with keys outside [0, {n_keys}) or "
+                        f"days outside [0, {observation_day}]",
+                    )
+                )
     keep = ~(bad_key | bad_day)
-    report.keep(int(keep.sum()))
+    report.keep(int(keep.sum()), source="activity")
     return pairs[keep]
 
 
@@ -389,15 +490,24 @@ def load_observation_checked(
     directory: str,
     mode: str = "strict",
     max_error_rate: float = DEFAULT_MAX_ERROR_RATE,
+    shards: Optional[int] = None,
+    batch_size: Optional[int] = None,
+    edgestore_dir: Optional[str] = None,
 ) -> Tuple[ObservationContext, IngestReport]:
     """Load an observation directory with explicit fault accounting.
 
     Returns ``(context, report)``.  In ``strict`` mode any malformed record
     raises immediately; in ``lenient`` mode malformed records are
     quarantined into the report, and an :class:`IngestError` is raised only
-    when the malformed fraction exceeds *max_error_rate* or a structural
-    fault (missing file, torn interner, day mismatch) makes the directory
-    unloadable without silent corruption.
+    when any single source's malformed fraction exceeds *max_error_rate*
+    or a structural fault (missing file, torn interner, day mismatch)
+    makes the directory unloadable without silent corruption.
+
+    With *shards* set, the trace streams through fixed-size batches into
+    a sharded edge store under *edgestore_dir* (default:
+    ``<directory>/edgestore``) and the returned context carries a
+    memory-mapped :class:`~repro.datasets.edgestore.ShardedDayTrace`
+    instead of an in-memory :class:`DayTrace`.
     """
     if mode not in ("strict", "lenient"):
         raise ValueError(f"mode must be 'strict' or 'lenient', got {mode!r}")
@@ -405,14 +515,28 @@ def load_observation_checked(
         raise ValueError(
             f"max_error_rate must be in [0, 1), got {max_error_rate}"
         )
+    if shards is not None and shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
     with current_tracer().span(
         "segugio_ingest_load_observation", directory=directory, mode=mode
     ):
-        return _load_observation_checked(directory, mode, max_error_rate)
+        return _load_observation_checked(
+            directory,
+            mode,
+            max_error_rate,
+            shards=shards,
+            batch_size=batch_size,
+            edgestore_dir=edgestore_dir,
+        )
 
 
 def _load_observation_checked(
-    directory: str, mode: str, max_error_rate: float
+    directory: str,
+    mode: str,
+    max_error_rate: float,
+    shards: Optional[int] = None,
+    batch_size: Optional[int] = None,
+    edgestore_dir: Optional[str] = None,
 ) -> Tuple[ObservationContext, IngestReport]:
     strict = mode == "strict"
     report = IngestReport(source=directory, mode=mode)
@@ -441,12 +565,35 @@ def _load_observation_checked(
     machines = store.load_interner(
         os.path.join(directory, "machines.txt"), n_machines, "machines"
     )
-    report.keep(n_domains + n_machines)
+    report.keep(n_domains + n_machines, source="interner")
 
     trace_path = os.path.join(directory, "trace.tsv")
-    if strict:
+    if shards is not None:
+        # Streamed, sharded path: records flow through fixed-size batches
+        # into a columnar edge store; nothing edge-shaped is materialized
+        # in Python.  Function-level import keeps the edgestore module
+        # optional for the plain in-memory path.
+        from repro.datasets.edgestore import EdgeStoreWriter, ShardedDayTrace
+
+        store_dir = (
+            edgestore_dir
+            if edgestore_dir is not None
+            else os.path.join(directory, "edgestore")
+        )
+        writer = EdgeStoreWriter(store_dir, n_shards=shards)
+        load_trace_to_store(
+            trace_path,
+            writer,
+            machines,
+            domains,
+            report=report,
+            batch_size=batch_size or DEFAULT_BATCH_SIZE,
+        )
+        writer.finalize(n_machines=len(machines), n_domains=len(domains))
+        trace = ShardedDayTrace.open(store_dir, machines, domains)
+    elif strict:
         trace = DayTrace.load(trace_path, machines=machines, domains=domains)
-        report.keep(trace.n_edges)
+        report.keep(trace.n_edges, source="trace")
     else:
         trace = load_trace_lenient(
             trace_path, report, machines=machines, domains=domains
@@ -471,7 +618,8 @@ def _load_observation_checked(
     if strict:
         blacklist = CncBlacklist.load(blacklist_path)
         whitelist = DomainWhitelist.load(whitelist_path, psl=psl)
-        report.keep(len(blacklist) + len(whitelist))
+        report.keep(len(blacklist), source="blacklist")
+        report.keep(len(whitelist), source="whitelist")
     else:
         blacklist = load_blacklist_lenient(blacklist_path, report)
         whitelist = load_whitelist_lenient(whitelist_path, report, psl=psl)
@@ -516,18 +664,25 @@ def _load_observation_checked(
             counters=dict(sorted(report.counters.items())),
         )
 
-    if report.error_rate > max_error_rate:
+    over_cap = report.sources_over_cap(max_error_rate)
+    if over_cap:
         _log.error(
             "error_rate_cap_exceeded",
             source=directory,
+            sources=sorted(over_cap),
             error_rate=round(report.error_rate, 6),
             max_error_rate=max_error_rate,
         )
+        worst = "; ".join(
+            f"{source} {stats['quarantined']} of "
+            f"{stats['kept'] + stats['quarantined']} malformed "
+            f"({stats['error_rate']:.2%})"
+            for source, stats in over_cap.items()
+        )
         raise IngestError(
-            f"{directory}: {report.n_quarantined} of {report.n_seen} "
-            f"records malformed ({report.error_rate:.2%}), above the "
-            f"{max_error_rate:.2%} cap — refusing to train on a gutted "
-            f"observation; breakdown: {dict(sorted(report.counters.items()))}"
+            f"{directory}: {worst}, above the {max_error_rate:.2%} "
+            f"per-source cap — refusing to train on a gutted observation; "
+            f"breakdown: {dict(sorted(report.counters.items()))}"
         )
 
     context = ObservationContext(

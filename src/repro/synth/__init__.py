@@ -22,6 +22,7 @@ Everything is driven by one root seed through
 bit-identical traces, blacklists, and histories.
 """
 
+from repro.synth.bigday import BigDay, BigDayConfig
 from repro.synth.config import (
     HostingConfig,
     IspConfig,
@@ -34,6 +35,8 @@ from repro.synth.config import (
 from repro.synth.scenario import Scenario
 
 __all__ = [
+    "BigDay",
+    "BigDayConfig",
     "HostingConfig",
     "IspConfig",
     "MalwareConfig",

@@ -253,6 +253,8 @@ class TestProfilingFlags:
         out = capsys.readouterr().out
         assert "end-to-end benchmark" in out
         payload = json.load(open("BENCH_e2e.json"))
-        assert payload["schema_version"] == 1
+        assert payload["schema_version"] == 2
         assert payload["profiling"]["outputs_bit_identical"] is True
         assert payload["throughput"]["trace_rows_per_s"] is not None
+        assert payload["sharded"]["outputs_bit_identical"] is True
+        assert payload["sharded"]["n_shards"] >= 1

@@ -140,3 +140,45 @@ def test_property_adjacency_is_involution(pairs):
     for d in graph.domain_ids():
         for m in graph.machines_of_domain(int(d)):
             assert int(d) in graph.domains_of_machine(int(m)).tolist()
+
+
+class TestEdgeIdValidation:
+    """Regression: an edge id beyond the interned space used to surface
+    as an opaque numpy broadcast ValueError from ``bincount``; it must
+    name the offending id and the valid range instead."""
+
+    def test_machine_id_out_of_range_is_located(self):
+        machines = Interner(["m0", "m1"])
+        domains = Interner(["d0.example"])
+        with pytest.raises(ValueError, match=r"id 7 outside.*\[0, 2\)"):
+            BehaviorGraph(
+                0,
+                machines,
+                domains,
+                np.array([0, 7], dtype=np.int64),
+                np.array([0, 0], dtype=np.int64),
+            )
+
+    def test_domain_id_out_of_range_is_located(self):
+        machines = Interner(["m0"])
+        domains = Interner(["d0.example", "d1.example"])
+        with pytest.raises(ValueError, match="stale or torn interner"):
+            BehaviorGraph(
+                0,
+                machines,
+                domains,
+                np.array([0], dtype=np.int64),
+                np.array([5], dtype=np.int64),
+            )
+
+    def test_negative_id_rejected(self):
+        machines = Interner(["m0"])
+        domains = Interner(["d0.example"])
+        with pytest.raises(ValueError, match="outside the interned id"):
+            BehaviorGraph(
+                0,
+                machines,
+                domains,
+                np.array([-1], dtype=np.int64),
+                np.array([0], dtype=np.int64),
+            )

@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 
 from repro.dns.records import AResponse, parse_ipv4
 from repro.dns.trace import DayTrace, _dedupe_edges
+from repro.utils.errors import FeedFormatError
 from repro.utils.ids import Interner
 
 
@@ -178,3 +179,95 @@ class TestDedupe:
         dm, dd = _dedupe_edges(m, d)
         assert set(zip(dm.tolist(), dd.tolist())) == set(pairs)
         assert dm.size == len(set(pairs))
+
+
+class TestDayHeaderStateMachine:
+    """Regression: a mid-file ``# day N`` header used to silently re-tag
+    every already-parsed edge to the new day at build time."""
+
+    def _tsv(self, *lines):
+        return io.StringIO("\n".join(lines) + "\n")
+
+    def test_late_header_with_new_day_rejected(self):
+        stream = self._tsv(
+            "# day 3",
+            "m0\td0.example\t10.0.0.1",
+            "# day 9",
+            "m1\td1.example\t10.0.0.2",
+        )
+        with pytest.raises(FeedFormatError, match="re-tag") as excinfo:
+            DayTrace.load(stream)
+        assert excinfo.value.category == "late_day_header"
+        assert excinfo.value.line == 3
+
+    def test_repeated_header_with_same_day_tolerated(self):
+        stream = self._tsv(
+            "# day 3",
+            "m0\td0.example\t10.0.0.1",
+            "# day 3",  # a harmless restatement, e.g. concatenated chunks
+            "m1\td1.example\t10.0.0.2",
+        )
+        trace = DayTrace.load(stream)
+        assert trace.day == 3
+        assert trace.n_edges == 2
+
+    def test_headers_before_any_record_may_revise_day(self):
+        stream = self._tsv("# day 3", "# day 5", "m0\td0.example\t10.0.0.1")
+        assert DayTrace.load(stream).day == 5
+
+    def test_streaming_loader_rejects_late_header_too(self):
+        stream = self._tsv(
+            "# day 3", "m0\td0.example\t10.0.0.1", "# day 9"
+        )
+        with pytest.raises(FeedFormatError, match="re-tag"):
+            DayTrace.load_streaming(stream, batch_size=1)
+
+
+class TestStreamingLoad:
+    def _reference(self):
+        machines = Interner(f"h{i}" for i in range(23))
+        domains = Interner(f"d{i}.example" for i in range(31))
+        em = [(i * 7) % 23 for i in range(300)]
+        ed = [(i * 11) % 31 for i in range(300)]
+        resolutions = {
+            3: np.array([16909060, 16909061], dtype=np.uint32),
+            8: np.array([167772161], dtype=np.uint32),
+        }
+        return DayTrace.build(6, machines, domains, em, ed, resolutions)
+
+    @pytest.mark.parametrize("batch_size", [1, 7, 100000])
+    def test_streaming_equals_eager_load(self, batch_size):
+        reference = self._reference()
+        tsv = reference.to_tsv()
+        eager = DayTrace.load(io.StringIO(tsv))
+        streamed = DayTrace.load_streaming(
+            io.StringIO(tsv), batch_size=batch_size
+        )
+        assert streamed.day == eager.day
+        np.testing.assert_array_equal(
+            streamed.edge_machines, eager.edge_machines
+        )
+        np.testing.assert_array_equal(
+            streamed.edge_domains, eager.edge_domains
+        )
+        assert streamed.resolutions.keys() == eager.resolutions.keys()
+        for did in eager.resolutions:
+            np.testing.assert_array_equal(
+                streamed.resolutions[did], eager.resolutions[did]
+            )
+
+    def test_streaming_shares_interners(self):
+        reference = self._reference()
+        machines, domains = Interner(), Interner()
+        streamed = DayTrace.load_streaming(
+            io.StringIO(reference.to_tsv()),
+            machines,
+            domains,
+            batch_size=16,
+        )
+        assert streamed.machines is machines
+        assert streamed.domains is domains
+
+    def test_bad_batch_size_rejected(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            DayTrace.load_streaming(io.StringIO("# day 1\n"), batch_size=0)

@@ -254,3 +254,98 @@ class TestCheckedDirectoryLoad:
             json.dump(meta, stream)
         with pytest.raises(IngestError, match="day"):
             load_observation_checked(copy, mode="lenient")
+
+
+class TestPerSourceAccounting:
+    """Regression: the error-rate cap used to be computed over ALL kept
+    records, so large always-clean interner/pdns arrays diluted a
+    30%-garbage trace under the cap."""
+
+    def test_dilution_cannot_hide_a_gutted_source(self):
+        report = IngestReport(source="obs", mode="lenient")
+        report.keep(100_000, source="interner")  # big, always clean
+        report.keep(50_000, source="pdns")
+        report.keep(70, source="trace")
+        for i in range(30):  # 30% of the trace is garbage
+            report.quarantine("trace.tsv", i + 1, "trace:bad_columns", "x")
+        # The old global rate sails under any sane cap...
+        assert report.error_rate < 0.001
+        # ...but the per-source view names the gutted feed.
+        over = report.sources_over_cap(0.05)
+        assert set(over) == {"trace"}
+        assert over["trace"]["quarantined"] == 30
+        assert over["trace"]["error_rate"] == pytest.approx(0.3)
+
+    def test_checked_load_applies_the_cap_per_source(
+        self, saved_dir, tmp_path
+    ):
+        copy = _copy(saved_dir, tmp_path)
+        trace_path = os.path.join(copy, "trace.tsv")
+        with open(trace_path) as stream:
+            n_rows = sum(
+                1 for line in stream if line.strip() and line[0] != "#"
+            )
+        with open(trace_path, "a") as stream:
+            for i in range(int(n_rows * 0.5)):
+                stream.write(f"garbage row {i} without tabs\n")
+        with pytest.raises(IngestError, match="per-source cap") as excinfo:
+            load_observation_checked(copy, mode="lenient", max_error_rate=0.05)
+        assert "trace" in str(excinfo.value)
+
+    def test_source_stats_in_report_dict(self, saved_dir):
+        _, report = load_observation_checked(saved_dir, mode="lenient")
+        payload = report.to_dict()
+        assert "sources" in payload
+        for source in ("interner", "trace", "pdns", "activity"):
+            assert payload["sources"][source]["kept"] > 0
+            assert payload["sources"][source]["error_rate"] == 0.0
+
+    def test_summary_names_dirty_sources(self):
+        report = IngestReport(source="obs", mode="lenient")
+        report.keep(10, source="trace")
+        report.quarantine("trace.tsv", 4, "trace:bad_ipv4", "bad")
+        summary = report.summary()
+        assert "trace: 1 of 11 quarantined" in summary
+
+
+class TestLateDayHeaderLenient:
+    """Regression: a mid-file ``# day N`` header used to silently re-tag
+    every earlier edge; lenient mode must quarantine it instead."""
+
+    def test_late_header_quarantined_and_day_kept(self, tmp_path):
+        path = str(tmp_path / "trace.tsv")
+        with open(path, "w") as stream:
+            stream.write("# day 3\n")
+            stream.write("m0\td0.example\t10.0.0.1\n")
+            stream.write("# day 9\n")  # must not re-tag the edge above
+            stream.write("m1\td1.example\t10.0.0.2\n")
+        report = IngestReport(source=path, mode="lenient")
+        trace = load_trace_lenient(path, report)
+        assert trace.day == 3
+        assert trace.n_edges == 2
+        assert report.counters["trace:late_day_header"] == 1
+        sample = report.quarantined[0]
+        assert sample.line == 3
+        assert sample.category == "trace:late_day_header"
+
+
+class TestActivityQuarantineSample:
+    def test_lenient_activity_screen_keeps_a_located_sample(
+        self, saved_dir, tmp_path
+    ):
+        copy = _copy(saved_dir, tmp_path)
+        path = os.path.join(copy, "activity.npz")
+        with np.load(path) as payload:
+            fqd, e2ld = payload["fqd"].copy(), payload["e2ld"].copy()
+        fqd[0, 1] = 10**9  # key far outside the interned id space
+        np.savez_compressed(path, fqd=fqd, e2ld=e2ld)
+        with pytest.raises(IngestError, match="activity"):
+            load_observation_checked(copy, mode="strict")
+        context, report = load_observation_checked(copy, mode="lenient")
+        assert report.counters["activity:fqd:id_range"] == 1
+        samples = [
+            record
+            for record in report.quarantined
+            if record.category == "activity:fqd:id_range"
+        ]
+        assert samples and "activity.npz[fqd]" in samples[0].source

@@ -74,9 +74,11 @@ POOL_ENTRYPOINTS = frozenset({("repro.runtime.supervisor", "supervised_map")})
 MANIFEST_PRODUCERS: Dict[str, Tuple[str, ...]] = {
     "repro.obs.run": ("manifest",),
     "repro.obs.manifest": ("payload",),
+    "repro.datasets.edgestore": ("manifest",),
 }
 MANIFEST_CONSUMERS: Dict[str, Tuple[str, ...]] = {
     "repro.obs.manifest": ("payload", "manifest"),
+    "repro.datasets.edgestore": ("manifest",),
     "repro.eval.profile": ("manifest",),
     "repro.eval.monitor": ("manifest", "self.manifest"),
     "repro.eval.chaos": ("manifest",),
