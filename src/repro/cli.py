@@ -255,6 +255,10 @@ def _run_track(args: argparse.Namespace) -> None:
             profile=args.profile,
             budgets=_load_budgets(args),
         )
+        # Stream decision records into the output directory as each day
+        # finalizes instead of buffering the whole campaign's ledger in
+        # memory (byte-identical output; see DecisionLog.stream_to).
+        tracker.telemetry.stream_decisions(args.telemetry_dir)
     shard_stack = None
     if args.shards is not None:
         import tempfile
@@ -641,6 +645,10 @@ def _run_bigday(args: argparse.Namespace) -> None:
             profile=args.profile,
             budgets=_load_budgets(args),
         )
+        # Paper-scale days carry ~1 GB of decision records; stream them
+        # to disk as each day finalizes instead of holding the whole
+        # campaign ledger in memory (byte-identical output).
+        tracker.telemetry.stream_decisions(args.telemetry_dir)
     store_stack = None
     store_root = args.store_dir
     if store_root is None:
@@ -750,6 +758,10 @@ def _run_bench(args: argparse.Namespace) -> None:
             n_days=args.days,
             n_shards=args.shards if args.shards is not None else 2,
             batch_size=args.batch_size,
+            # --quick exists for smoke coverage, not overhead verdicts:
+            # don't let the median-of-rounds overhead search grind
+            # through extra rounds on a noisy box
+            max_rounds=repeats if args.quick else None,
         )
         out = args.out or "BENCH_e2e.json"
         with open(out, "w") as stream:
@@ -764,6 +776,10 @@ def _run_bench(args: argparse.Namespace) -> None:
                 reason = "profiling perturbed decision outputs"
             elif not payload["sharded"]["outputs_bit_identical"]:
                 reason = "sharded execution perturbed decision outputs"
+            elif not payload["worker_tracing"]["complete"]:
+                reason = "worker span coverage incomplete"
+            elif not payload["sharded"]["worker_tracing"]["complete"]:
+                reason = "sharded worker span coverage incomplete"
             else:
                 reason = (
                     f"profiling overhead {profiling['overhead_pct']:.2f}% "
@@ -848,6 +864,27 @@ def _run_profile(args: argparse.Namespace) -> None:
         with open(args.html, "w") as stream:
             stream.write(html_text)
         print(f"\nhtml profile written to {args.html}")
+
+
+def _run_trace(args: argparse.Namespace) -> None:
+    from repro.eval.trace import (
+        TraceError,
+        load_trace,
+        render_trace,
+        render_trace_html,
+    )
+
+    try:
+        manifest, rows = load_trace(args.telemetry_dir)
+        text = render_trace(manifest, rows)
+        html_text = render_trace_html(manifest, rows) if args.html else None
+    except TraceError as error:
+        raise SystemExit(str(error))
+    print(text)
+    if args.html and html_text is not None:
+        with open(args.html, "w") as stream:
+            stream.write(html_text)
+        print(f"\nhtml trace written to {args.html}")
 
 
 def _run_lint(lint_args: List[str]) -> int:
@@ -1346,13 +1383,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile.set_defaults(func=_run_profile)
 
+    trace = sub.add_parser(
+        "trace",
+        help="unified parent + pool-worker timeline of a run's trace.jsonl "
+        "(worker lanes need track --telemetry-dir ... --profile)",
+    )
+    trace.add_argument(
+        "telemetry_dir",
+        help="a --telemetry-dir output (or a trace.jsonl path)",
+    )
+    trace.add_argument(
+        "--html",
+        default=None,
+        help="additionally write a self-contained HTML flamegraph here",
+    )
+    trace.set_defaults(func=_run_trace)
+
     # Handled in main() before parsing so every flag forwards verbatim
     # to ``python -m tools.lint`` (argparse's REMAINDER mishandles a
     # leading option token like `segugio lint --format json`).
     lint = sub.add_parser(
         "lint",
         help="run segugio-lint: per-file rules (SEG001-SEG012) plus "
-        "whole-program analyses (SEG101-SEG104) over the checkout",
+        "whole-program analyses (SEG101-SEG105) over the checkout",
         description="Static analysis enforcing the repo's determinism, "
         "layering, and telemetry contracts (DESIGN.md §9). All flags "
         "forward verbatim to `python -m tools.lint`: --format "

@@ -338,4 +338,82 @@ def run_chaos(
             else "drift-monitor reference diverged (or was lost) under chaos",
         )
     )
+
+    if profile:
+        add(_worker_span_invariant(manifest, completed))
     return report_out
+
+
+def _count_worker_spans(spans: object) -> int:
+    total = 0
+    for span in spans if isinstance(spans, list) else []:
+        if isinstance(span, dict):
+            if span.get("name") == "segugio_worker_task":
+                total += 1
+            total += _count_worker_spans(span.get("children"))
+    return total
+
+
+def _worker_span_invariant(
+    manifest: Dict[str, object], completed: bool
+) -> Invariant:
+    """Worker spans survive faults or are cleanly quarantined.
+
+    A profiled chaos run must account for every supervised pool task: the
+    attempt that completed each task contributes exactly one merged
+    ``segugio_worker_task`` span (so merged span count == the pool's task
+    count, per label), nothing goes missing, and any quarantined sidecar
+    record (a retried attempt's spill, e.g. after ``worker_kill`` broke
+    the pool mid-round) is surfaced in run health as the
+    ``worker_spans_quarantined`` warning — degraded observability is
+    reported, never silent (DESIGN.md §15).
+    """
+    resources = manifest.get("resources")
+    workers = resources.get("workers") if isinstance(resources, dict) else None
+    pool = resources.get("pool") if isinstance(resources, dict) else None
+    workers = workers if isinstance(workers, dict) else {}
+    pool = pool if isinstance(pool, dict) else {}
+    n_spans = _count_worker_spans(manifest.get("spans"))
+    n_merged = sum(int(s.get("n_merged", 0) or 0) for s in workers.values())
+    n_quarantined = sum(
+        int(s.get("n_quarantined", 0) or 0) for s in workers.values()
+    )
+    n_missing = sum(int(s.get("n_missing", 0) or 0) for s in workers.values())
+    per_label_ok = all(
+        int(workers.get(label, {}).get("n_merged", -1) or -1)
+        == int(stats.get("n_tasks", 0) or 0)
+        for label, stats in pool.items()
+        if isinstance(stats, dict)
+    )
+    health = manifest.get("health")
+    reasons = health.get("reasons") if isinstance(health, dict) else None
+    loss_flagged = any(
+        isinstance(reason, dict)
+        and reason.get("rule") == "worker_spans_quarantined"
+        for reason in (reasons if isinstance(reasons, list) else [])
+    )
+    ok = (
+        completed
+        and n_merged > 0
+        and n_spans == n_merged
+        and n_missing == 0
+        and per_label_ok
+        and (n_quarantined == 0 or loss_flagged)
+    )
+    detail = (
+        f"{n_spans} worker span(s) merged, {n_quarantined} quarantined, "
+        f"{n_missing} missing"
+        + (
+            "; quarantine surfaced in run health"
+            if n_quarantined and loss_flagged
+            else ""
+        )
+    )
+    if not ok:
+        if n_spans != n_merged or not per_label_ok:
+            detail += "; merged span count disagrees with pool task accounting"
+        if n_missing:
+            detail += "; completed task(s) lost their sidecar record"
+        if n_quarantined and not loss_flagged:
+            detail += "; quarantine not reflected in run health"
+    return Invariant("worker_spans_accounted", ok, detail)

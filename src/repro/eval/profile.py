@@ -43,6 +43,9 @@ from repro.obs.resources import LATENCY_BUCKETS
 #: hotspot rows shown in the ranked table
 HOTSPOT_LIMIT = 12
 
+#: per-task attribution rows shown per pool label
+ATTRIBUTION_LIMIT = 12
+
 
 class ProfileError(ValueError):
     """No usable run manifest at the given location."""
@@ -216,6 +219,79 @@ def phase_hotspots(
     return rows[:limit]
 
 
+def worker_task_attribution(
+    manifest: Mapping[str, object],
+) -> Dict[str, List[Dict[str, object]]]:
+    """Per-task wall attribution from merged ``segugio_worker_task`` spans.
+
+    Groups the worker-side spans the supervisor merged back into the trace
+    (DESIGN.md §15) by pool label, then by task index — for ``shard_*``
+    labels the task index is the shard, for ``forest_*`` labels the
+    fixed-size tree block — summing wall seconds across pool calls (a
+    multi-day run executes each task index once per call).  Returns
+    ``{label: [{task, unit, n, wall_s, workers}]}`` with tasks in index
+    order; empty for manifests without worker spans (unprofiled or serial
+    runs).
+    """
+    per_label: Dict[str, Dict[int, Dict[str, object]]] = {}
+
+    def visit(span: object) -> None:
+        if not isinstance(span, Mapping):
+            return
+        attributes = span.get("attributes")
+        if span.get("name") == "segugio_worker_task" and isinstance(
+            attributes, Mapping
+        ):
+            label = str(attributes.get("label", "?"))
+            try:
+                task = int(attributes.get("task", -1))  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                task = -1
+            entry = per_label.setdefault(label, {}).setdefault(
+                task,
+                {
+                    "task": task,
+                    "unit": (
+                        "shard"
+                        if label.startswith("shard_")
+                        else "tree block"
+                        if label.startswith("forest_")
+                        else "task"
+                    ),
+                    "n": 0,
+                    "wall_s": 0.0,
+                    "workers": set(),
+                },
+            )
+            entry["n"] = int(entry["n"]) + 1  # type: ignore[arg-type]
+            try:
+                entry["wall_s"] = round(
+                    float(entry["wall_s"])  # type: ignore[arg-type]
+                    + float(span.get("duration", 0.0) or 0.0),
+                    6,
+                )
+            except (TypeError, ValueError):
+                pass
+            worker = attributes.get("worker")
+            if worker is not None:
+                entry["workers"].add(str(worker))  # type: ignore[union-attr]
+        children = span.get("children")
+        if isinstance(children, list):
+            for child in children:
+                visit(child)
+
+    spans = manifest.get("spans")
+    for span in spans if isinstance(spans, list) else []:
+        visit(span)
+    return {
+        label: [
+            {**entry, "workers": sorted(entry["workers"])}  # type: ignore[arg-type]
+            for _task, entry in sorted(tasks.items())
+        ]
+        for label, tasks in sorted(per_label.items())
+    }
+
+
 def budget_verdicts(
     manifest: Mapping[str, object],
 ) -> List[Mapping[str, object]]:
@@ -386,6 +462,7 @@ def render_profile(manifest: Mapping[str, object]) -> str:
 
     if profiled:
         _process, _throughput, pool = _resource_section(resources)  # type: ignore[arg-type]
+        attribution = worker_task_attribution(manifest)
         if pool:
             lines.append("")
             lines.append("supervised pool utilization:")
@@ -431,6 +508,21 @@ def render_profile(manifest: Mapping[str, object]) -> str:
                         lines.append(
                             f"    {wid}: {int(wstats.get('n_tasks', 0) or 0)} "
                             f"task(s), busy {busy:.3f}s ({share:.0f}%)"
+                        )
+                tasks = attribution.get(label)
+                if tasks:
+                    for row in tasks[:ATTRIBUTION_LIMIT]:
+                        workers = ", ".join(row["workers"])  # type: ignore[arg-type]
+                        lines.append(
+                            f"    {row['unit']} {row['task']}: "
+                            f"{int(row['n'])} run(s), "  # type: ignore[arg-type]
+                            f"wall {float(row['wall_s']):.3f}s"  # type: ignore[arg-type]
+                            + (f" ({workers})" if workers else "")
+                        )
+                    if len(tasks) > ATTRIBUTION_LIMIT:
+                        lines.append(
+                            f"    ... {len(tasks) - ATTRIBUTION_LIMIT} more "
+                            f"{row['unit']}(s)"
                         )
 
         verdicts = budget_verdicts(manifest)
@@ -573,6 +665,27 @@ def render_profile_html(manifest: Mapping[str, object]) -> str:
                     f"<td>{_fmt(mean)}</td>"
                     "</tr>"
                 )
+            parts.append("</table>")
+        attribution = worker_task_attribution(manifest)
+        if attribution:
+            parts.append("<h2>Worker task attribution</h2>")
+            parts.append(
+                '<table><tr><th class="name">label</th><th>task</th>'
+                "<th>runs</th><th>wall s</th>"
+                '<th class="name">workers</th></tr>'
+            )
+            for label, tasks in attribution.items():
+                for row in tasks:
+                    parts.append(
+                        "<tr>"
+                        f'<td class="name">{html.escape(label)}</td>'
+                        f"<td>{html.escape(str(row['unit']))} {row['task']}</td>"
+                        f"<td>{int(row['n'])}</td>"  # type: ignore[arg-type]
+                        f"<td>{float(row['wall_s']):.3f}</td>"  # type: ignore[arg-type]
+                        f'<td class="name">'
+                        f"{html.escape(', '.join(row['workers']))}</td>"  # type: ignore[arg-type]
+                        "</tr>"
+                    )
             parts.append("</table>")
         verdicts = budget_verdicts(manifest)
         parts.append("<h2>Resource budget verdicts</h2>")

@@ -14,11 +14,17 @@ P(malware) — the "malware score" thresholded by the deployment (paper
 tree is keyed on a seed derived *once* from ``random_state`` before any
 work is scheduled, so a tree's content depends only on its seed and the
 training data — never on which worker grew it or in what order chunks
-completed.  Prediction sums per-tree scores in fixed-size chunks
-(:data:`_PREDICT_TREE_CHUNK`) and then combines the per-chunk partial sums
-in chunk order; the serial path uses the *same* chunk boundaries, so
-float-addition association is identical and ``n_jobs > 1`` scores are
-bit-identical to ``n_jobs = 1`` (see DESIGN.md §10).
+completed.  Both fit and predict are chunked into *fixed-size* tree
+blocks (:data:`_FIT_TREE_CHUNK`, :data:`_PREDICT_TREE_CHUNK`) that do not
+depend on ``n_jobs``, and both always run through
+``repro.runtime.supervisor.supervised_map`` (which executes in-process
+when ``max_workers <= 1``).  That buys two invariants at once: the
+per-chunk partial sums combine in chunk order with identical
+float-addition association, so scores are bit-identical at any worker
+count; and the task list seen by the supervisor — and therefore the
+merged worker-span tree and per-tree-block attribution in a profiled
+run — is the same whether one worker or eight did the work (see
+DESIGN.md §10, §15).
 """
 
 from __future__ import annotations
@@ -39,6 +45,11 @@ from repro.utils.validation import as_1d_int_array, as_2d_float_array, check_sam
 #: n_jobs) so the reduction tree, and therefore the float rounding, is the
 #: same no matter how many workers computed the partials
 _PREDICT_TREE_CHUNK = 16
+
+#: seeds per fit batch — fixed (independent of n_jobs) so the supervised
+#: task list, the per-tree-block attribution in profiled runs, and the
+#: merged worker-span tree are identical at any worker count
+_FIT_TREE_CHUNK = 16
 
 
 def _resolve_n_jobs(n_jobs: Optional[int]) -> int:
@@ -173,17 +184,18 @@ class RandomForestClassifier:
             n_samples=int(n),
             n_jobs=jobs,
         ) as span:
-            if jobs <= 1:
-                self.trees_ = _fit_tree_batch(seeds, params, X_binned, y, base_weight)
-            else:
-                self.trees_ = self._fit_parallel(
-                    seeds, params, X_binned, y, base_weight, jobs
+            self.trees_ = self._fit_parallel(
+                seeds, params, X_binned, y, base_weight, jobs
+            )
+            if span is not None:
+                # Pool fan-out size: pairs with the supervisor's per-label
+                # task stats ("forest_fit") in the resource profile's
+                # pool-utilization table.  Chunking is fixed-size, so this
+                # count is the same at any worker count.
+                span.set_attribute(
+                    "n_pool_tasks",
+                    (self.n_estimators + _FIT_TREE_CHUNK - 1) // _FIT_TREE_CHUNK,
                 )
-                if span is not None:
-                    # Pool fan-out size: pairs with the supervisor's
-                    # per-label task stats ("forest_fit") in the resource
-                    # profile's pool-utilization table.
-                    span.set_attribute("n_pool_tasks", jobs)
             n_degraded = len(events) - events_mark
             if span is not None and n_degraded:
                 span.set_attribute("n_supervisor_events", n_degraded)
@@ -208,21 +220,21 @@ class RandomForestClassifier:
     ) -> List[DecisionTreeClassifier]:
         """Fit seed-keyed tree batches across a supervised process pool.
 
-        Seeds are split into ``jobs`` contiguous batches; each worker runs
-        the same ``_fit_tree_batch`` as the serial path and results are
-        concatenated in batch order.  The supervisor absorbs worker death,
-        hangs, and transient errors by resubmitting the seed-keyed batches
-        on a shrinking pool (ultimately in-process), so the returned
-        ensemble is bit-identical to a serial fit even on a degraded run
-        (DESIGN.md §12).
+        Seeds are split into fixed-size contiguous batches
+        (:data:`_FIT_TREE_CHUNK` trees each, independent of *jobs*); each
+        worker runs the same ``_fit_tree_batch`` as an in-process fit and
+        results are concatenated in batch order.  The supervisor absorbs
+        worker death, hangs, and transient errors by resubmitting the
+        seed-keyed batches on a shrinking pool (ultimately in-process), so
+        the returned ensemble is bit-identical to a serial fit even on a
+        degraded run (DESIGN.md §12), and the task list — hence the merged
+        worker-span tree — is the same at any worker count (§15).
         """
         from repro.runtime.supervisor import supervised_map
 
-        batches = np.array_split(np.asarray(seeds, dtype=np.int64), jobs)
         tasks = [
-            ([int(s) for s in batch], params, X_binned, y, base_weight)
-            for batch in batches
-            if len(batch)
+            (list(batch), params, X_binned, y, base_weight)
+            for batch in _chunked(seeds, _FIT_TREE_CHUNK)
         ]
         trees: List[DecisionTreeClassifier] = []
         for batch_trees in supervised_map(
@@ -256,19 +268,14 @@ class RandomForestClassifier:
             n_chunks=len(chunks),
         ) as span:
             X_binned = self.bin_mapper_.transform(X)
-            if jobs <= 1:
-                partials = [
-                    _predict_tree_batch(chunk, X_binned) for chunk in chunks
-                ]
-            else:
-                from repro.runtime.supervisor import supervised_map
+            from repro.runtime.supervisor import supervised_map
 
-                partials = supervised_map(
-                    _predict_tree_batch,
-                    [(chunk, X_binned) for chunk in chunks],
-                    max_workers=jobs,
-                    label="forest_predict",
-                )
+            partials = supervised_map(
+                _predict_tree_batch,
+                [(chunk, X_binned) for chunk in chunks],
+                max_workers=jobs,
+                label="forest_predict",
+            )
             n_degraded = len(events) - events_mark
             if span is not None and n_degraded:
                 span.set_attribute("n_supervisor_events", n_degraded)

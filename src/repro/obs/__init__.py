@@ -21,6 +21,14 @@ summaries into ``ok``/``warn``/``alert`` health verdicts.
 whose output is the run manifest (:mod:`repro.obs.manifest`) rendered by
 ``segugio telemetry``.
 
+:mod:`repro.obs.workerctx` carries the ambient pattern across process
+boundaries: the supervised executor injects a picklable
+:class:`TaskContext` into every pool task, workers open real spans and
+record events/metrics into per-process sidecar files, and the parent
+merges the sidecars back into the main span tree after each pool call —
+so a profiled multi-process run yields one unified timeline
+(``segugio trace``).
+
 All three layers are **ambient and off by default**: library code
 instruments unconditionally against :func:`get_registry` /
 :func:`current_tracer` / :func:`get_logger`, and pays (only) a
@@ -97,6 +105,13 @@ from repro.obs.tracing import (
     current_tracer,
     use_tracer,
 )
+from repro.obs.workerctx import (
+    SIDECAR_SCHEMA_VERSION,
+    TaskContext,
+    WorkerMergeBox,
+    open_box,
+    read_sidecars,
+)
 
 __all__ = [
     "AlertRule",
@@ -121,13 +136,16 @@ __all__ = [
     "ResourceReader",
     "RunTelemetry",
     "RuntimeEventLog",
+    "SIDECAR_SCHEMA_VERSION",
     "SPAN_NAMES",
     "SPAN_RENAMES_V1",
     "Span",
     "Stopwatch",
     "StructuredLogger",
     "TRACE_FILENAME",
+    "TaskContext",
     "Tracer",
+    "WorkerMergeBox",
     "bound",
     "config_hash",
     "configure",
@@ -146,6 +164,8 @@ __all__ = [
     "load_decisions",
     "load_manifest",
     "load_resource_budgets",
+    "open_box",
+    "read_sidecars",
     "render_decision",
     "render_telemetry",
     "rules_from_dicts",

@@ -21,7 +21,12 @@ health verdict.
 
 Events are deterministic: they carry task indices, labels, and ladder
 positions — never wall-clock timestamps or PIDs — so a faulted run's event
-stream is itself reproducible under a seed-keyed fault plan.
+stream is itself reproducible under a seed-keyed fault plan.  When the
+structured-log context has a ``day`` or ``phase`` bound (telemetry's
+``day_scope``, the tracer's active span), :meth:`RuntimeEventLog.record`
+stamps them onto the event unless the caller passed its own — so a fault
+that fires mid-shard self-describes which day and phase it degraded
+instead of relying on where the event happened to land in the manifest.
 """
 
 from __future__ import annotations
@@ -29,6 +34,8 @@ from __future__ import annotations
 import contextvars
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional
+
+from repro.obs import logs as _logs
 
 #: hard cap on retained events; a runaway failure loop must not eat the heap
 MAX_EVENTS = 10_000
@@ -51,6 +58,10 @@ class RuntimeEventLog:
             self.n_dropped += 1
             return None
         event: Dict[str, object] = {"kind": str(kind)}
+        context = _logs.context_fields()
+        for key in ("day", "phase"):
+            if key in context and key not in fields:
+                event[key] = context[key]
         event.update(fields)
         self.records.append(event)
         return event

@@ -39,8 +39,13 @@ Manifest layout (``manifest_version`` 2)::
       "trace_file": "trace.jsonl",
       "decisions_file": "decisions.jsonl" | null,  # decision provenance
       "resources": {…}               # additive: per-phase CPU/peak-RSS/IO,
-                                     # throughput gauges, and pool stats —
-                                     # present only on ``--profile`` runs
+                                     # throughput gauges, pool stats, and
+                                     # "workers" — per-pool-label sidecar
+                                     # merge accounting (n_merged/
+                                     # n_quarantined/n_missing/...) from
+                                     # cross-process worker tracing
+                                     # (repro.obs.workerctx, DESIGN.md §15)
+                                     # — present only on ``--profile`` runs
                                      # (repro.obs.resources; readers render
                                      # "n/a" when absent)
     }
@@ -57,7 +62,10 @@ a purely *additive* v2 extension: readers must treat a missing key as an
 empty list, so older v2 manifests stay valid without a version bump.
 The ``resources`` key (run-level and per-day) follows the same additive
 contract: only ``--profile`` runs write it, and readers must render
-"n/a" — never fail — when it is absent.
+"n/a" — never fail — when it is absent.  ``resources.workers`` (and the
+merged ``segugio_worker_task`` spans it accounts for) arrived with
+cross-process worker tracing under the same rule: absent on serial or
+pre-workerctx manifests, and never required by any reader.
 
 ``segugio telemetry manifest.json`` renders the per-phase cost breakdown in
 the shape of the paper's §IV-G efficiency table (learning vs. classification

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import contextvars
 import json
+import os
 from contextlib import contextmanager
 from typing import Dict, IO, Iterator, List, Mapping, Optional, Sequence
 
@@ -53,11 +54,30 @@ class ProvenanceError(ValueError):
 
 
 class DecisionLog:
-    """Collects decision records for one run (ambient, off by default)."""
+    """Collects decision records for one run (ambient, off by default).
+
+    Two export modes share one byte format:
+
+    * **buffered** (default): every record stays in :attr:`records` until
+      :meth:`write_jsonl` serializes them in one pass;
+    * **streaming** (:meth:`stream_to`): records accumulate per day and
+      :meth:`flush_pending` appends them to a staging file as each day
+      finalizes, clearing the buffer — at paper scale this trades the
+      ~1 GB in-memory ledger for a file handle.  :meth:`finalize_stream`
+      fsyncs and atomically renames the staging file into place, so an
+      interrupted run never leaves a torn ``decisions.jsonl``.
+
+    Records are immutable once their day closes (``finalize_day`` stamps
+    thresholds *before* the day scope exits and flushes), which is what
+    makes the streamed bytes provably identical to the buffered bytes.
+    """
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = bool(enabled)
         self.records: List[Dict[str, object]] = []
+        self.n_flushed = 0
+        self._stream_path: Optional[str] = None
+        self._stream: Optional[IO[str]] = None
 
     # ------------------------------------------------------------------ #
     # recording
@@ -123,17 +143,80 @@ class DecisionLog:
         return n
 
     # ------------------------------------------------------------------ #
+    # incremental streaming
+    # ------------------------------------------------------------------ #
+
+    @property
+    def streaming(self) -> bool:
+        """Whether a streaming target is open (or was finalized)."""
+        return self._stream_path is not None
+
+    def stream_to(self, path: str) -> None:
+        """Stream records incrementally toward *path*.
+
+        Opens a pid-suffixed staging file next to *path*; records land in
+        it on every :meth:`flush_pending` and the rename onto *path*
+        happens only in :meth:`finalize_stream`.  No-op when disabled.
+        """
+        if not self.enabled:
+            return
+        if self._stream is not None:
+            raise ProvenanceError(
+                f"decision log already streaming to {self._stream_path!r}"
+            )
+        self._stream_path = str(path)
+        self._stream = open(f"{path}.tmp.{os.getpid()}", "w")
+
+    def flush_pending(self) -> int:
+        """Append every buffered record to the stream and clear the buffer.
+
+        Called as each day scope closes — by then ``finalize_day`` has
+        stamped the day's thresholds, so flushed bytes match what the
+        buffered path would serialize at the end of the run.  Returns the
+        number of records flushed (0 when not streaming).
+        """
+        if self._stream is None or not self.records:
+            return 0
+        n = self.write_jsonl(self._stream)
+        self.n_flushed += n
+        self.records.clear()
+        return n
+
+    def finalize_stream(self) -> str:
+        """Flush, fsync, and atomically rename the stream into place.
+
+        Returns the final path.  Idempotent after the first call (a run
+        that writes its telemetry twice must not truncate the ledger);
+        calling it on a log that never streamed is an error.
+        """
+        if self._stream_path is None:
+            raise ProvenanceError("decision log is not streaming")
+        if self._stream is None:  # already finalized
+            return self._stream_path
+        self.flush_pending()
+        staging = self._stream.name
+        self._stream.flush()
+        os.fsync(self._stream.fileno())
+        self._stream.close()
+        self._stream = None
+        os.replace(staging, self._stream_path)
+        path = self._stream_path
+        return path
+
+    # ------------------------------------------------------------------ #
     # access / export
     # ------------------------------------------------------------------ #
 
     def day_records(self, day: int) -> List[Dict[str, object]]:
+        """Buffered (not-yet-flushed) records for *day*."""
         return [r for r in self.records if r["day"] == int(day)]
 
     def for_domain(self, domain: str) -> List[Dict[str, object]]:
+        """Buffered (not-yet-flushed) records for *domain*."""
         return [r for r in self.records if r["domain"] == domain]
 
     def write_jsonl(self, stream: IO[str]) -> int:
-        """One sorted-keys JSON object per record; returns count written."""
+        """One sorted-keys JSON object per buffered record; returns count."""
         n = 0
         for record in self.records:
             stream.write(json.dumps(record, sort_keys=True, default=str) + "\n")
@@ -141,10 +224,13 @@ class DecisionLog:
         return n
 
     def __len__(self) -> int:
-        return len(self.records)
+        return self.n_flushed + len(self.records)
 
     def __repr__(self) -> str:
-        return f"DecisionLog(records={len(self.records)}, enabled={self.enabled})"
+        return (
+            f"DecisionLog(records={len(self.records)}, "
+            f"flushed={self.n_flushed}, enabled={self.enabled})"
+        )
 
 
 # ---------------------------------------------------------------------- #

@@ -257,6 +257,7 @@ class ResourceMonitor:
         self.phases: Dict[str, Dict[str, object]] = {}
         self.units: Dict[str, int] = {}
         self.pool: Dict[str, Dict[str, object]] = {}
+        self.workers: Dict[str, Dict[str, object]] = {}
         self._workers: Dict[object, str] = {}
         self.n_samples = 0
         self._sampled_peak_mb: Optional[float] = None
@@ -317,8 +318,16 @@ class ResourceMonitor:
         if peak is None and rss is None:
             # no watermark sample landed yet (sampler not running, or a
             # frame closed before the first tick): one direct read keeps
-            # the column populated rather than blank
+            # the column populated rather than blank.  The reading is
+            # cached as the last-known RSS so samplerless monitors (the
+            # per-process worker context) pay the /proc/self/status parse
+            # once, not once per span — per-frame parses alone would
+            # break the <3% e2e overhead gate.
             rss = self.reader.rss_mb()
+            if rss is not None:
+                with self._lock:
+                    if self._last_rss_mb is None:
+                        self._last_rss_mb = rss
         if rss is not None:
             peak = rss if peak is None else max(peak, rss)
         delta: Dict[str, object] = {
@@ -432,6 +441,58 @@ class ResourceMonitor:
         if worker not in self._workers:
             self._workers[worker] = f"w{len(self._workers)}"
         return self._workers[worker]
+
+    def worker_alias(self, worker: object) -> str:
+        """The stable anonymised id (``w0``, ``w1``, …) for *worker*.
+
+        Public face of the first-seen worker table so the sidecar merge
+        (:mod:`repro.obs.workerctx`) stamps merged spans with the same
+        alias the pool stats use — pids never reach the manifest.
+        """
+        return self._worker_id(worker)
+
+    def record_worker_merge(
+        self,
+        label: str,
+        *,
+        n_merged: int,
+        n_quarantined: int,
+        n_missing: int,
+        n_sidecar_files: int,
+        n_worker_events: int = 0,
+    ) -> None:
+        """Account one sidecar merge (per ``supervised_map`` label).
+
+        *n_merged* worker span trees were grafted into the parent trace;
+        *n_quarantined* sidecar records were superseded (a retried task's
+        earlier round) and dropped — counted like orphan runtime events;
+        *n_missing* completed tasks produced no sidecar record (killed
+        worker, spill failure).  Lands additively as the manifest's
+        ``resources.workers`` section.
+        """
+        if not self.enabled:
+            return
+        stats = self.workers.setdefault(
+            label,
+            {
+                "n_merged": 0,
+                "n_quarantined": 0,
+                "n_missing": 0,
+                "n_sidecar_files": 0,
+                "n_worker_events": 0,
+            },
+        )
+        stats["n_merged"] = int(stats["n_merged"]) + int(n_merged)  # type: ignore[arg-type]
+        stats["n_quarantined"] = (  # type: ignore[arg-type]
+            int(stats["n_quarantined"]) + int(n_quarantined)  # type: ignore[arg-type]
+        )
+        stats["n_missing"] = int(stats["n_missing"]) + int(n_missing)  # type: ignore[arg-type]
+        stats["n_sidecar_files"] = (  # type: ignore[arg-type]
+            int(stats["n_sidecar_files"]) + int(n_sidecar_files)  # type: ignore[arg-type]
+        )
+        stats["n_worker_events"] = (  # type: ignore[arg-type]
+            int(stats["n_worker_events"]) + int(n_worker_events)  # type: ignore[arg-type]
+        )
 
     def observe_task(
         self,
@@ -601,6 +662,10 @@ class ResourceMonitor:
         if self.pool:
             payload["pool"] = {
                 label: dict(stats) for label, stats in self.pool.items()
+            }
+        if self.workers:
+            payload["workers"] = {
+                label: dict(stats) for label, stats in self.workers.items()
             }
         return payload
 

@@ -126,10 +126,27 @@ class RunTelemetry:
         if resources_delta is not None:
             record["resources"] = resources_delta
         self.days.append(record)
+        # A finalized day's decision records are immutable; when the log
+        # streams, append them to disk now instead of holding every
+        # domain's record in memory for the whole campaign.
+        self.decisions.flush_pending()
 
     # ------------------------------------------------------------------ #
     # accumulation
     # ------------------------------------------------------------------ #
+
+    def stream_decisions(self, out_dir: str) -> None:
+        """Stream ``decisions.jsonl`` incrementally into *out_dir*.
+
+        Must name the same directory later passed to :meth:`write`.
+        Byte-identical to the buffered path (records flush only after
+        their day finalized), so callers can enable it whenever the
+        output directory is known up front.  No-op when disabled.
+        """
+        if not self.enabled:
+            return
+        os.makedirs(out_dir, exist_ok=True)
+        self.decisions.stream_to(os.path.join(out_dir, DECISIONS_FILENAME))
 
     def add_ingest_report(self, report) -> None:
         """Attach an :class:`repro.runtime.ingest.IngestReport` (or its
@@ -166,6 +183,27 @@ class RunTelemetry:
         if self.resources.enabled:
             resources = self.resources.summary()
             violations = evaluate_budgets(resources, self.budgets)
+            # Worker span loss degrades health like orphan runtime events:
+            # a quarantined or missing sidecar record means part of the
+            # trace timeline is reconstructed, not observed.
+            n_lost = sum(
+                int(stats.get("n_quarantined", 0)) + int(stats.get("n_missing", 0))  # type: ignore[arg-type]
+                for stats in (resources.get("workers") or {}).values()  # type: ignore[union-attr]
+            )
+            if n_lost:
+                violations = list(violations) + [
+                    {
+                        "rule": "worker_spans_quarantined",
+                        "status": _monitor.STATUS_WARN,
+                        "path": "resources.workers",
+                        "value": n_lost,
+                        "message": (
+                            f"{n_lost} worker span record(s) quarantined or "
+                            "missing (retried or killed pool tasks); the "
+                            "merged trace covers completed attempts only"
+                        ),
+                    }
+                ]
             if violations:
                 reasons: List[Dict[str, object]] = health["reasons"]  # type: ignore[assignment]
                 reasons.extend({"day": None, **v} for v in violations)
@@ -213,7 +251,9 @@ class RunTelemetry:
             stream.flush()
             os.fsync(stream.fileno())
         os.replace(staging, trace_path)
-        if len(self.decisions):
+        if self.decisions.streaming:
+            self.decisions.finalize_stream()
+        elif len(self.decisions):
             decisions_path = os.path.join(out_dir, DECISIONS_FILENAME)
             staging = f"{decisions_path}.tmp.{os.getpid()}"
             with open(staging, "w") as stream:

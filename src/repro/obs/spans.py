@@ -26,6 +26,7 @@ SPAN_NAMES = frozenset(
         "segugio_checkpoint_save",
         "segugio_checkpoint_resume",
         "segugio_supervisor_serial",
+        "segugio_worker_task",
         # out-of-core sharded graph build (repro.core.sharded)
         "segugio_sharded_build",
         # core tracker phases (the paper's daily loop)

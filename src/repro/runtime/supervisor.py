@@ -63,11 +63,13 @@ from typing import (
 
 import os
 
+from repro.obs import workerctx
 from repro.obs.events import RuntimeEventLog, current_event_log
 from repro.obs.logs import get_logger
 from repro.obs.provenance import current_decision_log
 from repro.obs.resources import ResourceMonitor, current_monitor, process_clock
 from repro.obs.tracing import current_tracer
+from repro.obs.workerctx import TaskContext, WorkerMergeBox
 from repro.runtime.faults import (
     FaultDirective,
     FaultPlan,
@@ -202,16 +204,26 @@ def _supervised_call(
     args: Tuple[Any, ...],
     directive: Optional[FaultDirective],
     measure: bool = False,
+    ctx: Optional[TaskContext] = None,
 ) -> Any:
     """Worker shim: execute one injected fault directive, then the task.
 
     With *measure* (set when the coordinating run profiles resources) the
     task self-times its wall and CPU seconds via
     :func:`repro.obs.resources.process_clock` and returns a
-    :class:`_MeasuredResult` for the coordinator to unwrap.
+    :class:`_MeasuredResult` for the coordinator to unwrap.  With *ctx*
+    (set when worker tracing is active — implies *measure*) the task runs
+    under a full worker telemetry stack and spills its finished span
+    record to the context's sidecar file before returning.
     """
     if directive is not None:
         apply_directive(directive, in_worker=True)
+    if ctx is not None:
+        wall0, cpu0 = process_clock()
+        result, record = workerctx.execute(ctx, fn, args)
+        wall1, cpu1 = process_clock()
+        workerctx.spill(ctx.sidecar_dir, record)
+        return _MeasuredResult(result, wall1 - wall0, cpu1 - cpu0, os.getpid())
     if not measure:
         return fn(*args)
     wall0, cpu0 = process_clock()
@@ -229,6 +241,7 @@ def _run_serial(
     label: str,
     policy: SupervisorPolicy,
     events: RuntimeEventLog,
+    box: Optional[WorkerMergeBox] = None,
 ) -> None:
     """In-process execution with bounded retries on transient errors."""
     delays = backoff_schedule(
@@ -239,7 +252,22 @@ def _run_serial(
         attempt = 0
         while True:
             try:
-                if monitor.enabled:
+                if box is not None:
+                    # worker tracing: run under the same telemetry stack a
+                    # pool worker would, so the merged span tree is
+                    # identical at any worker count (serial included)
+                    wall0, cpu0 = process_clock()
+                    results[index], record = workerctx.execute(
+                        box.task_context(index, workerctx.SERIAL_ROUND),
+                        fn,
+                        tasks[index],
+                    )
+                    wall1, cpu1 = process_clock()
+                    monitor.observe_task(
+                        label, 0.0, wall1 - wall0, cpu1 - cpu0, "serial"
+                    )
+                    box.collect_serial(index, record)
+                elif monitor.enabled:
                     wall0, cpu0 = process_clock()
                     results[index] = fn(*tasks[index])
                     wall1, cpu1 = process_clock()
@@ -276,6 +304,8 @@ def _run_pool_round(
     results: List[Any],
     done: List[bool],
     events: RuntimeEventLog,
+    round_index: int = 0,
+    box: Optional[WorkerMergeBox] = None,
 ) -> Optional[str]:
     """One ladder rung: submit *pending* to a *width*-worker pool.
 
@@ -304,6 +334,9 @@ def _run_pool_round(
                     tasks[index],
                     directives.get(index),
                     measure,
+                    box.task_context(index, round_index)
+                    if box is not None
+                    else None,
                 )
             ] = index
             if measure:
@@ -356,6 +389,8 @@ def _run_pool_round(
                         value = value.result
                     results[index] = value
                     done[index] = True
+                    if box is not None:
+                        box.note_completed(index, round_index)
         return failure
     finally:
         # wait=False + cancel_futures: a hung worker must not hold the
@@ -384,49 +419,84 @@ def supervised_map(
     done = [False] * n
     events = current_event_log()
     jobs = max(1, min(int(max_workers), n))
-    if jobs <= 1:
-        _run_serial(fn, task_list, range(n), results, done, label, policy, events)
-        return results
-    plan = current_fault_plan()
-    widths = ladder_widths(jobs, policy.max_retries)
-    delays = backoff_schedule(len(widths), policy.base_delay, policy.multiplier)
-    step = 0
-    while True:
-        pending = [index for index in range(n) if not done[index]]
-        if not pending:
-            return results
-        width = widths[step]
-        if width == 0:
-            events.record(EVENT_SERIAL_FALLBACK, label=label, n_tasks=len(pending))
-            logger.warning(
-                "degraded to serial execution",
-                label=label,
-                n_tasks=len(pending),
+    box = workerctx.open_box(label)
+    try:
+        if jobs <= 1:
+            _run_serial(
+                fn, task_list, range(n), results, done, label, policy, events, box
             )
-            with current_tracer().span("segugio_supervisor_serial"):
-                _run_serial(
-                    fn, task_list, pending, results, done, label, policy, events
-                )
+            if box is not None:
+                box.merge()
             return results
-        failure = _run_pool_round(
-            fn, task_list, pending, width, label, policy, plan, results, done, events
+        plan = current_fault_plan()
+        widths = ladder_widths(jobs, policy.max_retries)
+        delays = backoff_schedule(
+            len(widths), policy.base_delay, policy.multiplier
         )
-        if failure is None:
-            return results
-        next_step = step + 1
-        if failure == EVENT_MEMORY_PRESSURE:
-            # same-width resubmits would hit the same memory ceiling
-            while widths[next_step] != 0 and widths[next_step] >= width:
-                next_step += 1
-        if widths[next_step] != 0 and widths[next_step] < width:
-            events.record(
-                EVENT_POOL_SHRUNK,
-                label=label,
-                from_workers=width,
-                to_workers=widths[next_step],
+        step = 0
+        while True:
+            pending = [index for index in range(n) if not done[index]]
+            if not pending:
+                break
+            width = widths[step]
+            if width == 0:
+                events.record(
+                    EVENT_SERIAL_FALLBACK, label=label, n_tasks=len(pending)
+                )
+                logger.warning(
+                    "degraded to serial execution",
+                    label=label,
+                    n_tasks=len(pending),
+                )
+                with current_tracer().span("segugio_supervisor_serial"):
+                    _run_serial(
+                        fn,
+                        task_list,
+                        pending,
+                        results,
+                        done,
+                        label,
+                        policy,
+                        events,
+                        box,
+                    )
+                break
+            failure = _run_pool_round(
+                fn,
+                task_list,
+                pending,
+                width,
+                label,
+                policy,
+                plan,
+                results,
+                done,
+                events,
+                round_index=step,
+                box=box,
             )
-        policy.sleep(delays[min(step, len(delays) - 1)])
-        step = next_step
+            if failure is None:
+                break
+            next_step = step + 1
+            if failure == EVENT_MEMORY_PRESSURE:
+                # same-width resubmits would hit the same memory ceiling
+                while widths[next_step] != 0 and widths[next_step] >= width:
+                    next_step += 1
+            if widths[next_step] != 0 and widths[next_step] < width:
+                events.record(
+                    EVENT_POOL_SHRUNK,
+                    label=label,
+                    from_workers=width,
+                    to_workers=widths[next_step],
+                )
+            policy.sleep(delays[min(step, len(delays) - 1)])
+            step = next_step
+        if box is not None:
+            box.merge()
+        return results
+    finally:
+        if box is not None:
+            box.cleanup()
 
 
 def supervised_process_day(

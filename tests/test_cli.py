@@ -253,7 +253,9 @@ class TestProfilingFlags:
         out = capsys.readouterr().out
         assert "end-to-end benchmark" in out
         payload = json.load(open("BENCH_e2e.json"))
-        assert payload["schema_version"] == 2
+        assert payload["schema_version"] == 3
+        assert payload["worker_tracing"]["complete"] is True
+        assert payload["sharded"]["worker_tracing"]["complete"] is True
         assert payload["profiling"]["outputs_bit_identical"] is True
         assert payload["throughput"]["trace_rows_per_s"] is not None
         assert payload["sharded"]["outputs_bit_identical"] is True

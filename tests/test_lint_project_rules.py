@@ -1,4 +1,4 @@
-"""Phase-2 interprocedural rules: SEG101-SEG104 seeded violations.
+"""Phase-2 interprocedural rules: SEG101-SEG105 seeded violations.
 
 Each rule gets a tree deliberately violating its contract (the issue's
 acceptance examples: an unseeded ``default_rng()`` two calls deep, a
@@ -14,6 +14,7 @@ from tools.lint.project_rules import (
     ManifestContractRule,
     PoolCallableRule,
     SpanRegistryRule,
+    WorkerTelemetryRule,
     canonical_name,
     run_project_rules,
 )
@@ -418,6 +419,139 @@ class TestSEG104SpanRegistry:
         )
         (finding,) = lint(tmp_path, monkeypatch, SpanRegistryRule)
         assert "registry module" in finding.message
+
+
+class TestSEG105WorkerTelemetry:
+    def _tree(self, tmp_path):
+        write(tmp_path, "src/repro/__init__.py", "")
+        write(tmp_path, "src/repro/runtime/__init__.py", "")
+        write(tmp_path, "src/repro/runtime/supervisor.py", SUPERVISOR_STUB)
+        write(tmp_path, "src/repro/obs/__init__.py", "")
+        write(
+            tmp_path,
+            "src/repro/obs/tracing.py",
+            "def current_tracer():\n    return None\n",
+        )
+        write(
+            tmp_path,
+            "src/repro/obs/workerctx.py",
+            "from repro.obs.tracing import current_tracer\n"
+            "\n"
+            "\n"
+            "def execute(ctx, fn, args):\n"
+            "    tracer = current_tracer()\n"
+            "    return fn(*args), tracer\n",
+        )
+
+    def test_ambient_getter_two_hops_deep_flagged(
+        self, tmp_path, monkeypatch
+    ):
+        self._tree(tmp_path)
+        write(
+            tmp_path,
+            "src/repro/work.py",
+            "from repro.obs.tracing import current_tracer\n"
+            "from repro.runtime.supervisor import supervised_map\n"
+            "\n"
+            "\n"
+            "def _emit(t):\n"
+            "    current_tracer()\n"
+            "    return t\n"
+            "\n"
+            "\n"
+            "def _task(t):\n"
+            "    return _emit(t) + 1\n"
+            "\n"
+            "\n"
+            "def run(tasks):\n"
+            "    return supervised_map(_task, tasks)\n",
+        )
+        (finding,) = lint(tmp_path, monkeypatch, WorkerTelemetryRule)
+        assert finding.rule == "SEG105"
+        assert "current_tracer" in finding.message
+        assert "worker context API" in finding.message
+        assert any("_task" in hop for hop in finding.trace)
+
+    def test_workerctx_bridge_is_allowlisted(self, tmp_path, monkeypatch):
+        # the sanctioned bridge calls the getters to install the worker
+        # stack; submitting through it must stay quiet
+        self._tree(tmp_path)
+        write(
+            tmp_path,
+            "src/repro/work.py",
+            "from repro.obs.workerctx import execute\n"
+            "from repro.runtime.supervisor import supervised_map\n"
+            "\n"
+            "\n"
+            "def _task(t):\n"
+            "    return t + 1\n"
+            "\n"
+            "\n"
+            "def _shim(t):\n"
+            "    return execute(None, _task, (t,))\n"
+            "\n"
+            "\n"
+            "def run(tasks):\n"
+            "    return supervised_map(_shim, tasks)\n",
+        )
+        assert lint(tmp_path, monkeypatch, WorkerTelemetryRule) == []
+
+    def test_clean_pool_callable_is_quiet(self, tmp_path, monkeypatch):
+        self._tree(tmp_path)
+        write(
+            tmp_path,
+            "src/repro/work.py",
+            "from repro.runtime.supervisor import supervised_map\n"
+            "\n"
+            "\n"
+            "def _task(t):\n"
+            "    return t * 2\n"
+            "\n"
+            "\n"
+            "def run(tasks):\n"
+            "    return supervised_map(_task, tasks)\n",
+        )
+        assert lint(tmp_path, monkeypatch, WorkerTelemetryRule) == []
+
+    def test_parent_side_getter_not_flagged(self, tmp_path, monkeypatch):
+        # ambient emission is fine in code that merely CALLS the pool —
+        # only the submitted callable's closure is constrained
+        self._tree(tmp_path)
+        write(
+            tmp_path,
+            "src/repro/work.py",
+            "from repro.obs.tracing import current_tracer\n"
+            "from repro.runtime.supervisor import supervised_map\n"
+            "\n"
+            "\n"
+            "def _task(t):\n"
+            "    return t + 1\n"
+            "\n"
+            "\n"
+            "def run(tasks):\n"
+            "    current_tracer()\n"
+            "    return supervised_map(_task, tasks)\n",
+        )
+        assert lint(tmp_path, monkeypatch, WorkerTelemetryRule) == []
+
+    def test_suppression_comment_honored(self, tmp_path, monkeypatch):
+        self._tree(tmp_path)
+        write(
+            tmp_path,
+            "src/repro/work.py",
+            "from repro.obs.tracing import current_tracer\n"
+            "from repro.runtime.supervisor import supervised_map\n"
+            "\n"
+            "\n"
+            "def _task(t):\n"
+            "    current_tracer()  # seg: ignore[SEG105]\n"
+            "    return t\n"
+            "\n"
+            "\n"
+            "def run(tasks):\n"
+            "    return supervised_map(_task, tasks)\n",
+        )
+        assert lint(tmp_path, monkeypatch, WorkerTelemetryRule) == []
 
 
 class TestLiveRepoContracts:

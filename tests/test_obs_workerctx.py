@@ -1,0 +1,315 @@
+"""Unit tests for the worker-side telemetry context (repro.obs.workerctx).
+
+Covers the full sidecar life cycle in-process, without a real pool:
+execute's record shape, spill/read round trips (including torn files),
+the merge's adopt/quarantine/missing accounting, serial-floor records,
+clock-skew normalization, spool cleanup, and the profile gate on
+``open_box``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import workerctx
+from repro.obs.events import RuntimeEventLog, current_event_log, use_event_log
+from repro.obs.resources import ResourceMonitor, use_monitor
+from repro.obs.tracing import Tracer, current_tracer, use_tracer
+from repro.obs.workerctx import (
+    SERIAL_ROUND,
+    SIDECAR_PREFIX,
+    SIDECAR_SCHEMA_VERSION,
+    SIDECAR_SUFFIX,
+    TaskContext,
+    WorkerMergeBox,
+    execute,
+    open_box,
+    read_sidecars,
+    spill,
+)
+
+
+def make_ctx(tmp_path, task=0, round_index=0, **extra):
+    return TaskContext(
+        label="unit",
+        task_index=task,
+        round_index=round_index,
+        epoch=0.0,
+        sidecar_dir=str(tmp_path),
+        **extra,
+    )
+
+
+def traced_fn(x):
+    # opens a nested span on the worker's ambient tracer and logs an event
+    with current_tracer().span("inner_work", x=x):
+        current_event_log().record("unit_event", detail="from-worker")
+    return x * 2
+
+
+class TestExecute:
+    def test_returns_result_and_schema_versioned_record(self, tmp_path):
+        result, record = execute(make_ctx(tmp_path, task=3), traced_fn, (21,))
+        assert result == 42
+        assert record["schema_version"] == SIDECAR_SCHEMA_VERSION
+        assert record["label"] == "unit"
+        assert record["task"] == 3
+        assert record["round"] == 0
+        assert record["pid"] == os.getpid()
+
+    def test_wraps_call_in_worker_task_span(self, tmp_path):
+        _, record = execute(make_ctx(tmp_path, task=7), traced_fn, (1,))
+        (root,) = record["spans"]
+        assert root["name"] == "segugio_worker_task"
+        assert root["attributes"]["label"] == "unit"
+        assert root["attributes"]["task"] == 7
+        (child,) = root["children"]
+        assert child["name"] == "inner_work"
+
+    def test_day_and_events_carried_when_present(self, tmp_path):
+        _, record = execute(make_ctx(tmp_path, day=4), traced_fn, (1,))
+        assert record["day"] == 4
+        kinds = [event["kind"] for event in record["events"]]
+        assert "unit_event" in kinds
+
+    def test_day_omitted_when_context_has_none(self, tmp_path):
+        _, record = execute(make_ctx(tmp_path), lambda: None, ())
+        assert "day" not in record
+
+    def test_raising_call_re_raises_without_record(self, tmp_path):
+        def boom():
+            raise ValueError("worker exploded")
+
+        with pytest.raises(ValueError, match="worker exploded"):
+            execute(make_ctx(tmp_path), boom, ())
+
+    def test_worker_stack_does_not_leak_into_parent(self, tmp_path):
+        parent = current_tracer()
+        execute(make_ctx(tmp_path), traced_fn, (1,))
+        assert current_tracer() is parent
+
+
+class TestSpillAndRead:
+    def test_round_trip(self, tmp_path):
+        spool = str(tmp_path)
+        _, record = execute(make_ctx(spool, task=1), traced_fn, (5,))
+        spill(spool, record)
+        records, n_files = read_sidecars(spool)
+        assert n_files == 1
+        assert [r["task"] for r in records] == [1]
+        name = os.listdir(spool)[0]
+        assert name.startswith(SIDECAR_PREFIX) and name.endswith(SIDECAR_SUFFIX)
+
+    def test_none_record_is_ignored(self, tmp_path):
+        spill(str(tmp_path), None)
+        assert os.listdir(str(tmp_path)) == []
+
+    def test_rewrite_accumulates_this_process_records(self, tmp_path):
+        spool = str(tmp_path)
+        for task in (0, 1, 2):
+            _, record = execute(make_ctx(spool, task=task), traced_fn, (1,))
+            spill(spool, record)
+        records, n_files = read_sidecars(spool)
+        assert n_files == 1  # one pid, one file
+        assert sorted(r["task"] for r in records) == [0, 1, 2]
+
+    def test_torn_lines_and_foreign_files_skipped(self, tmp_path):
+        spool = str(tmp_path)
+        good = os.path.join(spool, f"{SIDECAR_PREFIX}1{SIDECAR_SUFFIX}")
+        with open(good, "w") as stream:
+            stream.write(json.dumps({"task": 0, "round": 0, "pid": 1}) + "\n")
+            stream.write('{"task": 1, "round":')  # torn mid-write
+        with open(os.path.join(spool, "notes.txt"), "w") as stream:
+            stream.write("not a sidecar\n")
+        records, n_files = read_sidecars(spool)
+        assert n_files == 1
+        assert [r["task"] for r in records] == [0]
+
+    def test_missing_dir_reads_empty(self, tmp_path):
+        records, n_files = read_sidecars(str(tmp_path / "nowhere"))
+        assert records == [] and n_files == 0
+
+
+def make_box(label="unit"):
+    tracer = Tracer(enabled=True, epoch=0.0)
+    monitor = ResourceMonitor(enabled=True, sample_interval=0.0)
+    events = RuntimeEventLog(enabled=True)
+    return WorkerMergeBox(label, tracer, monitor, events)
+
+
+def sidecar_record(task, round_index, pid, name="segugio_worker_task"):
+    return {
+        "schema_version": SIDECAR_SCHEMA_VERSION,
+        "label": "unit",
+        "task": task,
+        "round": round_index,
+        "pid": pid,
+        "spans": [
+            {
+                "name": name,
+                "start": 0.001 * (task + 1),
+                "duration": 0.002,
+                "status": "ok",
+                "attributes": {"label": "unit", "task": task},
+            }
+        ],
+    }
+
+
+def write_sidecar(box, pid, records):
+    path = os.path.join(
+        box.sidecar_dir, f"{SIDECAR_PREFIX}{pid}{SIDECAR_SUFFIX}"
+    )
+    with open(path, "w") as stream:
+        for record in records:
+            stream.write(json.dumps(record) + "\n")
+
+
+class TestWorkerMergeBox:
+    def test_merge_adopts_completed_attempts_with_worker_alias(self):
+        box = make_box()
+        write_sidecar(box, 101, [sidecar_record(0, 0, 101)])
+        write_sidecar(box, 102, [sidecar_record(1, 0, 102)])
+        box.note_completed(0, 0)
+        box.note_completed(1, 0)
+        accounting = box.merge()
+        box.cleanup()
+        assert accounting["n_merged"] == 2
+        assert accounting["n_quarantined"] == 0
+        assert accounting["n_missing"] == 0
+        assert accounting["n_sidecar_files"] == 2
+        aliases = [root.attributes["worker"] for root in box.tracer.roots]
+        # deterministic first-seen aliasing, in ascending task order
+        assert aliases == ["w0", "w1"]
+
+    def test_superseded_round_is_quarantined(self):
+        box = make_box()
+        # task 0 attempted on round 0, retried and completed on round 1
+        write_sidecar(
+            box, 101, [sidecar_record(0, 0, 101), sidecar_record(0, 1, 101)]
+        )
+        box.note_completed(0, 1)
+        accounting = box.merge()
+        box.cleanup()
+        assert accounting["n_merged"] == 1
+        assert accounting["n_quarantined"] == 1
+        assert len(box.tracer.roots) == 1
+
+    def test_completed_task_without_record_counts_missing(self):
+        box = make_box()
+        box.note_completed(0, 0)  # killed worker: no sidecar survived
+        accounting = box.merge()
+        box.cleanup()
+        assert accounting["n_merged"] == 0
+        assert accounting["n_missing"] == 1
+
+    def test_merge_order_is_task_order_regardless_of_pid(self):
+        box = make_box()
+        # the higher-numbered pid finished the *lower* task index
+        write_sidecar(box, 900, [sidecar_record(0, 0, 900)])
+        write_sidecar(box, 100, [sidecar_record(1, 0, 100)])
+        box.note_completed(0, 0)
+        box.note_completed(1, 0)
+        box.merge()
+        box.cleanup()
+        tasks = [root.attributes["task"] for root in box.tracer.roots]
+        assert tasks == [0, 1]
+
+    def test_serial_record_gets_serial_alias(self):
+        box = make_box()
+        _, record = execute(
+            box.task_context(0, SERIAL_ROUND), traced_fn, (1,)
+        )
+        record["pid"] = None  # serial-floor records carry no pid
+        box.collect_serial(0, record)
+        accounting = box.merge()
+        box.cleanup()
+        assert accounting["n_merged"] >= 1
+        assert box.tracer.roots[0].attributes["worker"] == "serial"
+
+    def test_worker_events_restamped_with_day_phase_worker(self):
+        tracer = Tracer(enabled=True, epoch=0.0)
+        monitor = ResourceMonitor(enabled=True, sample_interval=0.0)
+        events = RuntimeEventLog(enabled=True)
+        from repro.obs import logs as _logs
+
+        with _logs.bound(day=9):
+            box = WorkerMergeBox("unit", tracer, monitor, events)
+        record = sidecar_record(0, 0, 101)
+        record["events"] = [{"kind": "task_retried", "attempt": 2}]
+        write_sidecar(box, 101, [record])
+        box.note_completed(0, 0)
+        accounting = box.merge()
+        box.cleanup()
+        assert accounting["n_worker_events"] == 1
+        (event,) = [e for e in events.records if e["kind"] == "task_retried"]
+        assert event["worker"] == "w0"
+        assert event["day"] == 9
+        assert event["attempt"] == 2
+
+    def test_accounting_lands_in_monitor_workers(self):
+        box = make_box(label="forest_fit")
+        write_sidecar(box, 101, [sidecar_record(0, 0, 101)])
+        box.note_completed(0, 0)
+        box.merge()
+        box.cleanup()
+        stats = box.monitor.workers["forest_fit"]
+        assert stats["n_merged"] == 1
+
+    def test_task_context_carries_box_identity(self):
+        box = make_box()
+        ctx = box.task_context(5, 2)
+        assert ctx.label == box.label
+        assert ctx.task_index == 5
+        assert ctx.round_index == 2
+        assert ctx.epoch == box.tracer.epoch
+        assert ctx.sidecar_dir == box.sidecar_dir
+
+    def test_cleanup_removes_spool_and_is_idempotent(self):
+        box = make_box()
+        write_sidecar(box, 101, [sidecar_record(0, 0, 101)])
+        box.cleanup()
+        assert not os.path.exists(box.sidecar_dir)
+        box.cleanup()  # second call must not raise
+
+
+class TestSkewNormalization:
+    def test_in_window_start_untouched(self):
+        tree = {"name": "s", "start": 0.5, "duration": 0.1}
+        workerctx._normalize_skew(tree, now_rel=10.0)
+        assert tree["start"] == 0.5
+        assert "attributes" not in tree
+
+    def test_negative_start_clamped_and_marked(self):
+        tree = {"name": "s", "start": -3.0, "duration": 0.1}
+        workerctx._normalize_skew(tree, now_rel=10.0)
+        assert tree["start"] == 0.0
+        assert tree["attributes"]["skew_normalized"] is True
+
+    def test_future_start_clamped_to_now(self):
+        tree = {"name": "s", "start": 99.0, "duration": 0.1}
+        workerctx._normalize_skew(tree, now_rel=10.0)
+        assert tree["start"] == 10.0
+        assert tree["attributes"]["skew_normalized"] is True
+
+
+class TestOpenBox:
+    def test_none_without_ambient_telemetry(self):
+        # the module defaults are a disabled tracer/monitor
+        assert open_box("unit") is None
+
+    def test_none_when_only_tracer_enabled(self):
+        with use_tracer(Tracer(enabled=True)):
+            assert open_box("unit") is None
+
+    def test_box_when_profile_stack_active(self):
+        tracer = Tracer(enabled=True)
+        monitor = ResourceMonitor(enabled=True, sample_interval=0.0)
+        events = RuntimeEventLog(enabled=True)
+        with use_tracer(tracer), use_monitor(monitor), use_event_log(events):
+            box = open_box("unit")
+        assert box is not None
+        assert box.tracer is tracer
+        assert box.monitor is monitor
+        box.cleanup()

@@ -91,7 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m tools.lint",
         description="segugio-lint: enforce determinism, layering, and "
         "telemetry contracts over the source tree — per-file rules "
-        "(SEG0xx) plus whole-program analyses (SEG101-SEG104)",
+        "(SEG0xx) plus whole-program analyses (SEG101-SEG105)",
     )
     parser.add_argument(
         "targets",
@@ -169,7 +169,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-project",
         action="store_true",
-        help="skip the whole-program phase (SEG101-SEG104) entirely",
+        help="skip the whole-program phase (SEG101-SEG105) entirely",
     )
     return parser
 

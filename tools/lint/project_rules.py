@@ -21,6 +21,14 @@ phase 1 — never on raw source — so they see across file boundaries:
 * **SEG104** — span-name registry: every ``span("segugio_*")`` literal
   must be declared in :data:`repro.obs.spans.SPAN_NAMES`; registry
   entries with no call site are warnings.
+* **SEG105** — worker-telemetry isolation: code transitively reachable
+  from a pool-submitted callable must not call the ambient telemetry
+  getters (``current_tracer`` and friends).  Inside a worker those
+  resolve to whatever :mod:`repro.obs.workerctx` installed — or, on the
+  in-process serial floor, to the *parent's* tracer — so direct ambient
+  emission either dodges the sidecar merge or double-counts into the
+  parent span tree.  Worker-side telemetry goes through the worker
+  context API (the one module allowlisted here).
 
 Each finding carries a ``trace`` — the hop-by-hop flow path — rendered
 by ``python -m tools.lint --explain SEGxxx``.
@@ -94,6 +102,22 @@ MANIFEST_ARCHIVAL_KEYS: Dict[str, str] = {
 
 SPAN_REGISTRY_MODULE = "repro.obs.spans"
 SPAN_REGISTRY_NAME = "SPAN_NAMES"
+
+#: SEG105: the ambient telemetry getters — resolving one of these inside
+#: a pool-callable's transitive closure is a finding
+AMBIENT_GETTERS = frozenset(
+    {
+        ("repro.obs.tracing", "current_tracer"),
+        ("repro.obs.events", "current_event_log"),
+        ("repro.obs.resources", "current_monitor"),
+        ("repro.obs.metrics", "get_registry"),
+        ("repro.obs.provenance", "current_decision_log"),
+    }
+)
+
+#: SEG105: modules allowed to touch the ambient getters from worker
+#: context — the sanctioned bridge that installs the worker stack
+WORKER_TELEMETRY_MODULES = frozenset({"repro.obs.workerctx"})
 
 
 class _SnippetCache:
@@ -504,6 +528,35 @@ class DeterminismTaintRule(ProjectRule):
         )
 
 
+def pool_submitted_callable(
+    index: ProjectIndex,
+    module: str,
+    fn_info: Dict[str, object],
+    fn: str,
+    call: Dict[str, object],
+) -> Optional[Dict[str, object]]:
+    """The esum of the callable argument, if this call ships one to a
+    worker process; ``None`` otherwise.  Shared by SEG102 and SEG105."""
+    args: List[Dict[str, object]] = call["args"]  # type: ignore[assignment]
+    if not args:
+        return None
+    resolved = index.resolve_call(module, fn)
+    if resolved in POOL_ENTRYPOINTS:
+        return args[0]
+    head, _, method = fn.rpartition(".")
+    if method == "submit" and head:
+        receiver = head.split(".")[0]
+        assigns: Dict[str, Dict[str, object]] = fn_info["assigns"]  # type: ignore[assignment]
+        origin = assigns.get(receiver)
+        if origin is not None and origin.get("k") == "call":
+            origin_fn = str(origin.get("fn", ""))
+            if origin_fn.rsplit(".", 1)[-1] == "ProcessPoolExecutor":
+                return args[0]
+        if receiver in ("pool", "executor"):
+            return args[0]
+    return None
+
+
 class PoolCallableRule(ProjectRule):
     """SEG102 — callables crossing the process-pool boundary."""
 
@@ -550,26 +603,7 @@ class PoolCallableRule(ProjectRule):
         fn: str,
         call: Dict[str, object],
     ) -> Optional[Dict[str, object]]:
-        """The esum of the callable argument, if this call ships one to a
-        worker process; ``None`` otherwise."""
-        args: List[Dict[str, object]] = call["args"]  # type: ignore[assignment]
-        if not args:
-            return None
-        resolved = index.resolve_call(module, fn)
-        if resolved in POOL_ENTRYPOINTS:
-            return args[0]
-        head, _, method = fn.rpartition(".")
-        if method == "submit" and head:
-            receiver = head.split(".")[0]
-            assigns: Dict[str, Dict[str, object]] = fn_info["assigns"]  # type: ignore[assignment]
-            origin = assigns.get(receiver)
-            if origin is not None and origin.get("k") == "call":
-                origin_fn = str(origin.get("fn", ""))
-                if origin_fn.rsplit(".", 1)[-1] == "ProcessPoolExecutor":
-                    return args[0]
-            if receiver in ("pool", "executor"):
-                return args[0]
-        return None
+        return pool_submitted_callable(index, module, fn_info, fn, call)
 
     def _check_callable(
         self,
@@ -898,12 +932,141 @@ class SpanRegistryRule(ProjectRule):
         return lineno
 
 
+class WorkerTelemetryRule(ProjectRule):
+    """SEG105 — no ambient telemetry getters inside pool-callable code."""
+
+    rule_id = "SEG105"
+    name = "worker-telemetry-isolation"
+    rationale = (
+        "pool-callable code runs both in forked workers (where the "
+        "ambient getters resolve to the stack repro.obs.workerctx "
+        "installed) and on the in-process serial floor (where they "
+        "resolve to the parent's tracer); emitting through them directly "
+        "either dodges the sidecar merge or double-counts into the "
+        "parent span tree — worker telemetry must flow through the "
+        "worker context API"
+    )
+
+    def run(self, index: ProjectIndex) -> Iterator[Finding]:
+        reported: Set[Tuple[str, int, str]] = set()
+        for module, summary in sorted(index.modules.items()):
+            functions: Dict[str, Dict[str, object]] = summary["functions"]  # type: ignore[assignment]
+            for qualname, info in sorted(functions.items()):
+                for call in info["calls"]:  # type: ignore[union-attr]
+                    fn = str(call["fn"])
+                    submitted = pool_submitted_callable(
+                        index, module, info, fn, call
+                    )
+                    if submitted is None:
+                        continue
+                    submit_site = (
+                        f"{summary['path']}:{call['lineno']}: "
+                        f"{fn}(...) in {module}:{qualname}"
+                    )
+                    for root in self._roots(index, module, info, submitted):
+                        yield from self._walk(
+                            index, root, submit_site, reported
+                        )
+
+    def _roots(
+        self,
+        index: ProjectIndex,
+        module: str,
+        fn_info: Dict[str, object],
+        expr: Dict[str, object],
+    ) -> List[Tuple[str, str]]:
+        """Resolve the submitted-callable esum to closure entry points."""
+        kind = expr.get("k")
+        if kind == "name":
+            name = str(expr["id"])
+            summary = index.modules.get(module)
+            if summary is not None:
+                nested = f"{fn_info['qualname']}.{name}"
+                if nested in summary["functions"]:  # type: ignore[operator]
+                    return [(module, nested)]
+            resolved = index.resolve_call(module, name)
+            return [resolved] if resolved is not None else []
+        if kind == "attr":
+            resolved = index.resolve_call(module, str(expr["dotted"]))
+            return [resolved] if resolved is not None else []
+        if kind == "call":
+            fn = str(expr.get("fn", ""))
+            if fn.rsplit(".", 1)[-1] == "partial":
+                args: List[Dict[str, object]] = expr.get("args", [])  # type: ignore[assignment]
+                if args:
+                    return self._roots(index, module, fn_info, args[0])
+        return []
+
+    def _walk(
+        self,
+        index: ProjectIndex,
+        root: Tuple[str, str],
+        submit_site: str,
+        reported: Set[Tuple[str, int, str]],
+    ) -> Iterator[Finding]:
+        """BFS the resolved call graph from *root*, flagging getters."""
+        if root[0] in WORKER_TELEMETRY_MODULES:
+            return
+        seen: Set[Tuple[str, str]] = {root}
+        # each queue entry carries the hop chain that reached it
+        queue: List[Tuple[Tuple[str, str], List[str]]] = [
+            (root, [f"  -> pool callable {root[0]}:{root[1]}"])
+        ]
+        while queue:
+            (module, qualname), chain = queue.pop(0)
+            info = index.function(module, qualname)
+            if info is None:
+                continue
+            summary = index.modules.get(module)
+            path = str(summary["path"]) if summary is not None else ""
+            for call in info["calls"]:  # type: ignore[union-attr]
+                resolved = index.resolve_call(module, str(call["fn"]))
+                if resolved is None:
+                    continue
+                lineno = int(call["lineno"])
+                if resolved in AMBIENT_GETTERS:
+                    key = (path, lineno, f"{resolved[0]}:{resolved[1]}")
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    if index.is_suppressed(path, lineno, self.rule_id):
+                        continue
+                    yield self.finding(
+                        path,
+                        lineno,
+                        f"{call['fn']}() called inside pool-callable code "
+                        f"({module}:{qualname}, reachable from the process-"
+                        "pool boundary) — worker telemetry must go through "
+                        "the worker context API (repro.obs.workerctx), "
+                        "never the ambient getters",
+                        trace=[submit_site]
+                        + chain
+                        + [f"  ! {module}:{qualname} line {lineno} calls "
+                           f"{resolved[0]}:{resolved[1]}"],
+                    )
+                    continue
+                if (
+                    resolved not in seen
+                    and resolved[0] not in WORKER_TELEMETRY_MODULES
+                ):
+                    seen.add(resolved)
+                    queue.append(
+                        (
+                            resolved,
+                            chain
+                            + [f"  -> {resolved[0]}:{resolved[1]} "
+                               f"(line {lineno})"],
+                        )
+                    )
+
+
 def build_project_rules() -> Tuple[ProjectRule, ...]:
     return (
         DeterminismTaintRule(),
         PoolCallableRule(),
         ManifestContractRule(),
         SpanRegistryRule(),
+        WorkerTelemetryRule(),
     )
 
 
